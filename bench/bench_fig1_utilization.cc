@@ -1,0 +1,93 @@
+// Reproduces Figure 1: daily utilization U_v(t) for two sample vehicles
+// with contrasting patterns — a steady user at 20k-30k s/day with scattered
+// zero days, and a machine idle for weeks that suddenly works at full
+// capacity. Also checks the Section 4.4 statistic: mean daily utilization in
+// the first maintenance cycle is ~30% lower than in subsequent cycles
+// (paper: 10,676 s vs 13,792 s).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/statistics.h"
+#include "core/series.h"
+
+using nextmaint::bench::BenchConfig;
+using nextmaint::bench::ConfigFromEnv;
+using nextmaint::bench::MakeReferenceFleet;
+
+int main() {
+  const BenchConfig config = ConfigFromEnv();
+  const nextmaint::telem::Fleet fleet = MakeReferenceFleet(config);
+
+  // v1 is the steady archetype, v2 the bursty one — mirroring the paper's
+  // two sample vehicles. A mature window (past the first-cycle ramp-in)
+  // shows the steady-state contrast: v1 works most days at 20-30k s with
+  // scattered zero days, v2 alternates multi-week dead periods with
+  // full-capacity runs.
+  constexpr size_t kWindowStart = 300;
+  constexpr size_t kWindowDays = 90;
+  std::printf(
+      "=== Figure 1: daily utilization U_v(t), days %zu..%zu ===\n",
+      kWindowStart, kWindowStart + kWindowDays - 1);
+  std::printf("%-5s", "t");
+  for (const char* id : {"v1", "v2"}) std::printf(" %10s", id);
+  std::printf("\n");
+  const auto* v1 = fleet.Find("v1").ValueOrDie();
+  const auto* v2 = fleet.Find("v2").ValueOrDie();
+  for (size_t t = kWindowStart; t < kWindowStart + kWindowDays; ++t) {
+    std::printf("%-5zu %10.0f %10.0f\n", t, v1->utilization[t],
+                v2->utilization[t]);
+  }
+
+  // Heterogeneity summary across the whole fleet.
+  std::printf("\n=== fleet heterogeneity ===\n");
+  std::printf("%-5s %-16s %12s %12s %10s\n", "id", "model", "mean U (s)",
+              "zero days %", "cycles");
+  for (const auto& vehicle : fleet.vehicles) {
+    size_t zero_days = 0;
+    for (size_t t = 0; t < vehicle.utilization.size(); ++t) {
+      if (vehicle.utilization[t] == 0.0) ++zero_days;
+    }
+    std::printf("%-5s %-16s %12.0f %12.1f %10zu\n",
+                vehicle.profile.id.c_str(),
+                vehicle.profile.model_name.c_str(),
+                vehicle.utilization.MeanValue(),
+                100.0 * static_cast<double>(zero_days) /
+                    static_cast<double>(vehicle.utilization.size()),
+                vehicle.maintenance_days.size());
+  }
+
+  // Section 4.4 statistic: first-cycle vs later-cycle mean daily usage.
+  std::vector<double> first_cycle_means, later_cycle_means;
+  for (const auto& vehicle : fleet.vehicles) {
+    auto series = nextmaint::core::DeriveSeries(
+        vehicle.utilization, config.maintenance_interval_s);
+    if (!series.ok() || series.ValueOrDie().completed_cycles() < 2) continue;
+    const auto& s = series.ValueOrDie();
+    const auto& first = s.cycles[0];
+    double first_sum = 0.0;
+    for (size_t t = first.start; t <= first.end; ++t) first_sum += s.u[t];
+    first_cycle_means.push_back(first_sum /
+                                static_cast<double>(first.length_days()));
+    double later_sum = 0.0;
+    size_t later_days = 0;
+    for (size_t c = 1; c < s.cycles.size(); ++c) {
+      for (size_t t = s.cycles[c].start; t <= s.cycles[c].end; ++t) {
+        later_sum += s.u[t];
+        ++later_days;
+      }
+    }
+    later_cycle_means.push_back(later_sum / static_cast<double>(later_days));
+  }
+  const double first_mean = nextmaint::Mean(first_cycle_means);
+  const double later_mean = nextmaint::Mean(later_cycle_means);
+  std::printf("\n=== Section 4.4: first-cycle usage deficit ===\n");
+  std::printf("mean daily utilization, first cycle : %8.0f s (paper: 10676)\n",
+              first_mean);
+  std::printf("mean daily utilization, later cycles: %8.0f s (paper: 13792)\n",
+              later_mean);
+  std::printf("first-cycle deficit                 : %7.1f %% (paper: ~30%%)\n",
+              100.0 * (1.0 - first_mean / later_mean));
+  return 0;
+}

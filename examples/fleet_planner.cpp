@@ -1,0 +1,164 @@
+// Fleet maintenance planner: the scenario the paper's introduction
+// motivates. A fleet manager oversees heterogeneous construction vehicles
+// and wants a maintenance calendar — which machines must be serviced in the
+// next 30/60/90 days — driven by per-vehicle ML predictions instead of
+// fixed-interval scheduling.
+//
+// This example:
+//   1. simulates a 12-vehicle fleet over ~3 years;
+//   2. trains the scheduler (per-vehicle model selection for old vehicles,
+//      similarity/unified models for younger ones);
+//   3. prints a maintenance calendar grouped by urgency bucket;
+//   4. compares the ML plan against the naive fixed-average plan (BL) and
+//      reports how many vehicle-days of scheduling slack the ML plan saves.
+
+#include <cstdio>
+#include <map>
+
+#include "nextmaint.h"
+
+namespace {
+
+using nextmaint::Date;
+
+int Run() {
+  const double t_v = 2'000'000.0;
+
+  // --- Simulate the fleet. -----------------------------------------------
+  nextmaint::telem::FleetOptions fleet_options;
+  fleet_options.num_vehicles = 12;
+  fleet_options.num_days = 1100;
+  fleet_options.maintenance_interval_s = t_v;
+  fleet_options.start_date = Date::FromYmd(2015, 1, 1).ValueOrDie();
+  fleet_options.seed = 2025;
+  auto fleet_result = nextmaint::telem::SimulateFleet(fleet_options);
+  if (!fleet_result.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 fleet_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto fleet = std::move(fleet_result).ValueOrDie();
+  const Date today =
+      fleet_options.start_date.AddDays(fleet_options.num_days - 1);
+  std::printf("fleet of %zu vehicles, data through %s\n",
+              fleet.vehicles.size(), today.ToString().c_str());
+
+  // --- Train the scheduler. ----------------------------------------------
+  nextmaint::core::SchedulerOptions options;
+  options.maintenance_interval_s = t_v;
+  options.window = 6;
+  options.algorithms = {"BL", "LR", "RF"};
+  options.unified_algorithm = "XGB";
+  options.selection.tune = false;
+  options.selection.train_on_last29_only = true;
+  options.selection.resampling_shifts = 2;
+  nextmaint::core::FleetScheduler scheduler(options);
+  for (const auto& vehicle : fleet.vehicles) {
+    auto status =
+        scheduler.RegisterVehicle(vehicle.profile.id, fleet.start_date);
+    if (status.ok()) {
+      status = scheduler.IngestSeries(vehicle.profile.id,
+                                      vehicle.utilization);
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", vehicle.profile.id.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (auto status = scheduler.TrainAll(); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // --- Maintenance calendar by urgency bucket. ---------------------------
+  auto forecasts_result = scheduler.FleetForecast();
+  if (!forecasts_result.ok()) {
+    std::fprintf(stderr, "forecast failed: %s\n",
+                 forecasts_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto forecasts = std::move(forecasts_result).ValueOrDie();
+
+  const std::map<int, const char*> buckets = {
+      {30, "URGENT   (<= 30 days)"},
+      {60, "SOON     (31-60 days)"},
+      {90, "PLANNED  (61-90 days)"},
+      {100000, "LATER    (> 90 days)"}};
+  for (const auto& [limit, label] : buckets) {
+    std::printf("\n%s\n", label);
+    bool any = false;
+    for (const auto& f : forecasts) {
+      const double days = f.days_left;
+      const bool in_bucket =
+          limit == 30 ? days <= 30
+                      : (days > limit - 30 && days <= limit) ||
+                            (limit == 100000 && days > 90);
+      if (!in_bucket) continue;
+      any = true;
+      std::printf("  %-5s %-16s due %s (%5.1f days, %8.0f s left, %s)\n",
+                  f.vehicle_id.c_str(), f.model_name.c_str(),
+                  f.predicted_date.ToString().c_str(), f.days_left,
+                  f.usage_seconds_left,
+                  nextmaint::core::VehicleCategoryName(f.category));
+    }
+    if (!any) std::printf("  (none)\n");
+  }
+
+  // --- Compare against the naive fixed-average plan. ----------------------
+  // For each vehicle compute the BL date (L / lifetime-average usage) and
+  // report the spread between the two plans: large gaps are exactly the
+  // vehicles whose recent usage deviates from their historical average.
+  std::printf("\nML plan vs naive average plan\n");
+  std::printf("%-5s %12s %12s %10s\n", "id", "ML days", "naive days",
+              "gap");
+  double total_gap = 0.0;
+  for (const auto& f : forecasts) {
+    const auto* vehicle = fleet.Find(f.vehicle_id).ValueOrDie();
+    auto avg = nextmaint::core::AverageUtilization(vehicle->utilization);
+    if (!avg.ok()) continue;
+    const double naive_days = f.usage_seconds_left / avg.ValueOrDie();
+    const double gap = std::fabs(naive_days - f.days_left);
+    total_gap += gap;
+    std::printf("%-5s %12.1f %12.1f %10.1f\n", f.vehicle_id.c_str(),
+                f.days_left, naive_days, gap);
+  }
+  std::printf(
+      "\ntotal scheduling disagreement: %.0f vehicle-days — each of these "
+      "is a day the naive plan would service too early (wasted downtime) "
+      "or too late (overrun risk).\n",
+      total_gap);
+
+  // --- Book concrete workshop slots under capacity constraints. ----------
+  nextmaint::core::WorkshopOptions workshop;
+  workshop.daily_capacity = 1;
+  workshop.horizon_days = 120;
+  auto plan_result =
+      nextmaint::core::PlanWorkshop(forecasts, today.AddDays(1), workshop);
+  if (!plan_result.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto plan = std::move(plan_result).ValueOrDie();
+  std::printf("\nworkshop bookings (capacity %d/day, weekdays only)\n",
+              workshop.daily_capacity);
+  std::printf("%-12s %-6s %12s %7s\n", "slot", "id", "due", "slack");
+  for (const auto& booking : plan.assignments) {
+    std::printf("%-12s %-6s %12s %+7ld\n",
+                booking.scheduled_date.ToString().c_str(),
+                booking.vehicle_id.c_str(),
+                booking.predicted_due_date.ToString().c_str(),
+                static_cast<long>(booking.slack_days));
+  }
+  std::printf("plan cost %.1f (early %ld days, late %ld days, %zu beyond "
+              "horizon)\n",
+              plan.total_cost, static_cast<long>(plan.total_early_days),
+              static_cast<long>(plan.total_late_days),
+              plan.beyond_horizon.size());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,331 @@
+#include "cli/cli.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "core/old_vehicle.h"
+#include "core/scheduler.h"
+#include "core/workshop_planner.h"
+#include "data/csv.h"
+#include "data/preprocess.h"
+#include "telematics/fleet.h"
+
+namespace nextmaint {
+namespace cli {
+
+namespace fs = std::filesystem;
+
+std::string ParsedArgs::FlagOr(const std::string& name,
+                               std::string fallback) const {
+  const auto it = flags.find(name);
+  return it == flags.end() ? std::move(fallback) : it->second;
+}
+
+Result<int64_t> ParsedArgs::IntFlagOr(const std::string& name,
+                                      int64_t fallback) const {
+  const auto it = flags.find(name);
+  if (it == flags.end()) return fallback;
+  Result<int64_t> value = ParseInt64(it->second);
+  if (!value.ok()) {
+    return Status::DataError("flag --" + name + " expects an integer, got '" +
+                             it->second + "'");
+  }
+  return value;
+}
+
+Result<double> ParsedArgs::DoubleFlagOr(const std::string& name,
+                                        double fallback) const {
+  const auto it = flags.find(name);
+  if (it == flags.end()) return fallback;
+  Result<double> value = ParseDouble(it->second);
+  if (!value.ok()) {
+    return Status::DataError("flag --" + name + " expects a number, got '" +
+                             it->second + "'");
+  }
+  return value;
+}
+
+ParsedArgs ParseArgs(const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& token = args[i];
+    if (!StartsWith(token, "--")) {
+      parsed.positional.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const size_t equals = body.find('=');
+    if (equals != std::string::npos) {
+      parsed.flags[body.substr(0, equals)] = body.substr(equals + 1);
+      continue;
+    }
+    // `--name value` unless the next token is itself a flag.
+    if (i + 1 < args.size() && !StartsWith(args[i + 1], "--")) {
+      parsed.flags[body] = args[i + 1];
+      ++i;
+    } else {
+      parsed.flags[body] = "";
+    }
+  }
+  return parsed;
+}
+
+namespace {
+
+/// Loads every `*.csv` vehicle series in `dir` (fleet.csv excluded).
+/// The file stem is the vehicle id.
+Result<std::vector<std::pair<std::string, data::DailySeries>>> LoadFleetDir(
+    const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("'" + dir + "' is not a directory");
+  }
+  std::vector<std::pair<std::string, data::DailySeries>> vehicles;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".csv" &&
+        entry.path().stem() != "fleet" &&
+        entry.path().stem() != "weather") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& path : paths) {
+    NM_ASSIGN_OR_RETURN(data::Table table, data::ReadCsvFile(path.string()));
+    // Accept either column name for the daily seconds.
+    Result<data::DailySeries> loaded =
+        data::AggregateDaily(table, "date", "utilization_s");
+    if (!loaded.ok()) {
+      loaded = data::AggregateDaily(table, "date", "usage");
+    }
+    if (!loaded.ok()) {
+      return loaded.status().WithContext(path.string());
+    }
+    data::DailySeries series = std::move(loaded).ValueOrDie();
+    data::Clean(&series);
+    vehicles.emplace_back(path.stem().string(), std::move(series));
+  }
+  if (vehicles.empty()) {
+    return Status::NotFound("no vehicle CSVs under '" + dir + "'");
+  }
+  return vehicles;
+}
+
+/// Builds a trained scheduler from the vehicles in `dir`.
+Result<core::FleetScheduler> MakeTrainedScheduler(const ParsedArgs& args,
+                                                  const std::string& dir) {
+  NM_ASSIGN_OR_RETURN(auto vehicles, LoadFleetDir(dir));
+  core::SchedulerOptions options;
+  NM_ASSIGN_OR_RETURN(double tv, args.DoubleFlagOr("tv", 2'000'000.0));
+  NM_ASSIGN_OR_RETURN(int64_t window, args.IntFlagOr("window", 6));
+  options.maintenance_interval_s = tv;
+  options.window = static_cast<int>(window);
+  options.selection.tune = args.HasFlag("tune");
+  options.selection.train_on_last29_only = true;
+  options.selection.resampling_shifts = 2;
+
+  core::FleetScheduler scheduler(options);
+  for (const auto& [id, series] : vehicles) {
+    NM_RETURN_NOT_OK(scheduler.RegisterVehicle(id, series.start_date()));
+    NM_RETURN_NOT_OK(scheduler.IngestSeries(id, series).WithContext(id));
+  }
+  NM_RETURN_NOT_OK(scheduler.TrainAll());
+  return scheduler;
+}
+
+}  // namespace
+
+Status RunSimulate(const ParsedArgs& args, std::ostream& out) {
+  if (!args.HasFlag("out")) {
+    return Status::InvalidArgument("simulate requires --out DIR");
+  }
+  const std::string dir = args.flags.at("out");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create '" + dir + "': " + ec.message());
+  }
+
+  telem::FleetOptions options;
+  NM_ASSIGN_OR_RETURN(int64_t vehicles, args.IntFlagOr("vehicles", 24));
+  NM_ASSIGN_OR_RETURN(int64_t days, args.IntFlagOr("days", 1735));
+  NM_ASSIGN_OR_RETURN(int64_t seed, args.IntFlagOr("seed", 20150101));
+  NM_ASSIGN_OR_RETURN(double tv, args.DoubleFlagOr("tv", 2'000'000.0));
+  options.num_vehicles = static_cast<int>(vehicles);
+  options.num_days = static_cast<int>(days);
+  options.seed = static_cast<uint64_t>(seed);
+  options.maintenance_interval_s = tv;
+  options.start_date = Date::FromYmd(2015, 1, 1).ValueOrDie();
+  options.with_weather = args.HasFlag("weather");
+
+  NM_ASSIGN_OR_RETURN(telem::Fleet fleet, telem::SimulateFleet(options));
+
+  // Per-vehicle daily CSVs.
+  for (const auto& vehicle : fleet.vehicles) {
+    NM_ASSIGN_OR_RETURN(
+        data::Table table,
+        data::SeriesToTable(vehicle.utilization, "utilization_s"));
+    const std::string path = dir + "/" + vehicle.profile.id + ".csv";
+    NM_RETURN_NOT_OK(data::WriteCsvFile(table, path));
+  }
+
+  // Fleet inventory.
+  {
+    data::Column id("vehicle_id", data::ColumnType::kString);
+    data::Column model("model", data::ColumnType::kString);
+    data::Column cycles("maintenance_events", data::ColumnType::kInt64);
+    for (const auto& vehicle : fleet.vehicles) {
+      id.AppendString(vehicle.profile.id);
+      model.AppendString(vehicle.profile.model_name);
+      cycles.AppendInt64(
+          static_cast<int64_t>(vehicle.maintenance_days.size()));
+    }
+    data::Table inventory;
+    NM_RETURN_NOT_OK(inventory.AddColumn(std::move(id)));
+    NM_RETURN_NOT_OK(inventory.AddColumn(std::move(model)));
+    NM_RETURN_NOT_OK(inventory.AddColumn(std::move(cycles)));
+    NM_RETURN_NOT_OK(data::WriteCsvFile(inventory, dir + "/fleet.csv"));
+  }
+
+  out << "wrote " << fleet.vehicles.size() << " vehicle series ("
+      << options.num_days << " days each) to " << dir << "\n";
+  return Status::OK();
+}
+
+Status RunForecast(const ParsedArgs& args, std::ostream& out) {
+  if (!args.HasFlag("data")) {
+    return Status::InvalidArgument("forecast requires --data DIR");
+  }
+  NM_ASSIGN_OR_RETURN(core::FleetScheduler scheduler,
+                      MakeTrainedScheduler(args, args.flags.at("data")));
+  NM_ASSIGN_OR_RETURN(auto forecasts, scheduler.FleetForecast());
+  out << StrFormat("%-8s %-10s %-18s %10s %12s\n", "vehicle", "category",
+                   "model", "days left", "due date");
+  for (const auto& f : forecasts) {
+    out << StrFormat("%-8s %-10s %-18s %10.1f %12s\n", f.vehicle_id.c_str(),
+                     core::VehicleCategoryName(f.category),
+                     f.model_name.c_str(), f.days_left,
+                     f.predicted_date.ToString().c_str());
+  }
+  if (args.HasFlag("save-models")) {
+    const std::string path = args.flags.at("save-models");
+    std::ofstream file(path);
+    if (!file) return Status::IOError("cannot open '" + path + "'");
+    NM_RETURN_NOT_OK(scheduler.SaveModels(file));
+    out << "models saved to " << path << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunPlan(const ParsedArgs& args, std::ostream& out) {
+  if (!args.HasFlag("data")) {
+    return Status::InvalidArgument("plan requires --data DIR");
+  }
+  NM_ASSIGN_OR_RETURN(core::FleetScheduler scheduler,
+                      MakeTrainedScheduler(args, args.flags.at("data")));
+  NM_ASSIGN_OR_RETURN(auto forecasts, scheduler.FleetForecast());
+  if (forecasts.empty()) {
+    return Status::FailedPrecondition("no forecastable vehicle");
+  }
+
+  core::WorkshopOptions options;
+  NM_ASSIGN_OR_RETURN(int64_t capacity, args.IntFlagOr("capacity", 1));
+  NM_ASSIGN_OR_RETURN(int64_t horizon, args.IntFlagOr("horizon", 90));
+  options.daily_capacity = static_cast<int>(capacity);
+  options.horizon_days = static_cast<int>(horizon);
+  options.weekend_service = args.HasFlag("weekends");
+
+  // "Today" is the day after the last ingested observation.
+  Date today;
+  for (const auto& f : forecasts) {
+    const Date due = f.predicted_date.AddDays(
+        -static_cast<int64_t>(std::llround(f.days_left)));
+    if (due > today) today = due;
+  }
+
+  NM_ASSIGN_OR_RETURN(core::ServicePlan plan,
+                      core::PlanWorkshop(forecasts, today, options));
+  out << "workshop plan from " << today.ToString() << " (capacity "
+      << options.daily_capacity << "/day, horizon " << options.horizon_days
+      << " days)\n";
+  out << StrFormat("%-12s %-8s %12s %8s\n", "date", "vehicle", "due",
+                   "slack");
+  for (const auto& a : plan.assignments) {
+    out << StrFormat("%-12s %-8s %12s %+8ld\n",
+                     a.scheduled_date.ToString().c_str(),
+                     a.vehicle_id.c_str(),
+                     a.predicted_due_date.ToString().c_str(),
+                     static_cast<long>(a.slack_days));
+  }
+  out << StrFormat("total cost %.1f (early days %ld, late days %ld)\n",
+                   plan.total_cost,
+                   static_cast<long>(plan.total_early_days),
+                   static_cast<long>(plan.total_late_days));
+  for (const std::string& id : plan.beyond_horizon) {
+    out << "beyond horizon: " << id << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunEvaluate(const ParsedArgs& args, std::ostream& out) {
+  if (!args.HasFlag("data")) {
+    return Status::InvalidArgument("evaluate requires --data DIR");
+  }
+  NM_ASSIGN_OR_RETURN(auto vehicles, LoadFleetDir(args.flags.at("data")));
+  NM_ASSIGN_OR_RETURN(double tv, args.DoubleFlagOr("tv", 2'000'000.0));
+  NM_ASSIGN_OR_RETURN(int64_t window, args.IntFlagOr("window", 6));
+
+  core::OldVehicleOptions options;
+  options.window = static_cast<int>(window);
+  options.train_on_last29_only = args.HasFlag("last29");
+  options.tune = args.HasFlag("tune");
+  options.resampling_shifts = 2;
+
+  out << StrFormat("%-8s %-6s %12s %12s\n", "vehicle", "model",
+                   "E_MRE(1..29)", "E_Global");
+  for (const auto& [id, series] : vehicles) {
+    for (const char* algorithm : {"BL", "LR", "LSVR", "RF", "XGB"}) {
+      const auto eval =
+          core::EvaluateAlgorithmOnVehicle(algorithm, series, tv, options);
+      if (!eval.ok()) {
+        out << StrFormat("%-8s %-6s skipped: %s\n", id.c_str(), algorithm,
+                         eval.status().message().c_str());
+        continue;
+      }
+      out << StrFormat("%-8s %-6s %12.2f %12.2f\n", id.c_str(), algorithm,
+                       eval.ValueOrDie().emre, eval.ValueOrDie().eglobal);
+    }
+  }
+  return Status::OK();
+}
+
+std::string UsageText() {
+  return
+      "usage: nextmaint <command> [flags]\n"
+      "commands:\n"
+      "  simulate --out DIR [--vehicles N] [--days N] [--seed S] [--tv S]\n"
+      "           [--weather]\n"
+      "  forecast --data DIR [--tv S] [--window W] [--tune]\n"
+      "           [--save-models FILE]\n"
+      "  plan     --data DIR [--capacity N] [--horizon DAYS] [--weekends]\n"
+      "  evaluate --data DIR [--tv S] [--window W] [--last29] [--tune]\n";
+}
+
+Status RunCommand(const std::vector<std::string>& args, std::ostream& out) {
+  const ParsedArgs parsed = ParseArgs(args);
+  if (parsed.positional.empty()) {
+    return Status::InvalidArgument("missing command\n" + UsageText());
+  }
+  const std::string& command = parsed.positional.front();
+  if (command == "simulate") return RunSimulate(parsed, out);
+  if (command == "forecast") return RunForecast(parsed, out);
+  if (command == "plan") return RunPlan(parsed, out);
+  if (command == "evaluate") return RunEvaluate(parsed, out);
+  return Status::InvalidArgument("unknown command '" + command + "'\n" +
+                                 UsageText());
+}
+
+}  // namespace cli
+}  // namespace nextmaint

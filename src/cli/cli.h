@@ -1,0 +1,72 @@
+#ifndef NEXTMAINT_CLI_CLI_H_
+#define NEXTMAINT_CLI_CLI_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file cli.h
+/// The `nextmaint` command-line tool, as a library so every command is unit
+/// testable. The binary in tools/nextmaint_cli.cc is a thin dispatcher.
+///
+/// Commands:
+///   simulate --out DIR [--vehicles N] [--days N] [--seed S] [--weather]
+///       Simulate a fleet and write one CSV per vehicle (date,utilization_s)
+///       plus fleet.csv with the vehicle inventory.
+///   forecast --data DIR [--tv SECONDS] [--window W] [--save-models FILE]
+///       Load per-vehicle CSVs, train the scheduler, print the fleet
+///       forecast; optionally persist the trained models.
+///   plan --data DIR [--capacity N] [--horizon DAYS] [--weekends]
+///       Forecast, then book workshop slots under capacity constraints.
+///   evaluate --data DIR [--tv SECONDS] [--window W] [--last29]
+///       Compare the five paper algorithms per vehicle (E_MRE / E_Global).
+///
+/// Every command returns a Status; errors print nothing to `out` besides
+/// what was already produced.
+
+namespace nextmaint {
+namespace cli {
+
+/// Parsed command line: flag values by name (without leading dashes) and
+/// positional arguments in order.
+struct ParsedArgs {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  bool HasFlag(const std::string& name) const {
+    return flags.count(name) > 0;
+  }
+  /// Flag value or `fallback` when absent.
+  std::string FlagOr(const std::string& name, std::string fallback) const;
+  /// Integer flag; DataError on unparsable values.
+  Result<int64_t> IntFlagOr(const std::string& name, int64_t fallback) const;
+  /// Double flag; DataError on unparsable values.
+  Result<double> DoubleFlagOr(const std::string& name,
+                              double fallback) const;
+};
+
+/// Parses `--name value`, `--name=value` and bare `--switch` tokens;
+/// everything else is positional. A `--switch` immediately followed by
+/// another flag (or end of input) stores the empty string.
+ParsedArgs ParseArgs(const std::vector<std::string>& args);
+
+/// Command entry points. `out` receives human-readable results.
+Status RunSimulate(const ParsedArgs& args, std::ostream& out);
+Status RunForecast(const ParsedArgs& args, std::ostream& out);
+Status RunPlan(const ParsedArgs& args, std::ostream& out);
+Status RunEvaluate(const ParsedArgs& args, std::ostream& out);
+
+/// Dispatches to the command named by the first positional argument.
+/// Unknown or missing commands return InvalidArgument with a usage string.
+Status RunCommand(const std::vector<std::string>& args, std::ostream& out);
+
+/// One-paragraph usage text.
+std::string UsageText();
+
+}  // namespace cli
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_CLI_CLI_H_

@@ -1,0 +1,125 @@
+#include "common/date.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace nextmaint {
+
+namespace {
+
+bool IsLeapYear(int y) { return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0); }
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30,
+                                  31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+/// Civil-from-days and days-from-civil, after Howard Hinnant's
+/// chrono-compatible algorithms (http://howardhinnant.github.io/date_algorithms.html).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+}  // namespace
+
+Date Date::FromDayNumber(int64_t days) { return Date(days); }
+
+Result<Date> Date::FromYmd(int year, int month, int day) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " +
+                                   std::to_string(month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range: " + std::to_string(day));
+  }
+  return Date(DaysFromCivil(year, month, day));
+}
+
+Result<Date> Date::Parse(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  char trailing = '\0';
+  const int matched =
+      std::sscanf(text.c_str(), "%d-%d-%d%c", &y, &m, &d, &trailing);
+  if (matched != 3) {
+    return Status::InvalidArgument("cannot parse date: '" + text + "'");
+  }
+  return FromYmd(y, m, d);
+}
+
+void Date::ToCivil(int* year, int* month, int* day) const {
+  CivilFromDays(days_, year, month, day);
+}
+
+int Date::year() const {
+  int y, m, d;
+  ToCivil(&y, &m, &d);
+  return y;
+}
+
+int Date::month() const {
+  int y, m, d;
+  ToCivil(&y, &m, &d);
+  return m;
+}
+
+int Date::day() const {
+  int y, m, d;
+  ToCivil(&y, &m, &d);
+  return d;
+}
+
+Weekday Date::weekday() const {
+  // 1970-01-01 was a Thursday (ISO day 4).
+  int64_t iso = (days_ + 3) % 7;  // 0 = Monday
+  if (iso < 0) iso += 7;
+  return static_cast<Weekday>(iso + 1);
+}
+
+bool Date::IsWeekend() const {
+  const Weekday wd = weekday();
+  return wd == Weekday::kSaturday || wd == Weekday::kSunday;
+}
+
+int Date::DayOfYear() const {
+  int y, m, d;
+  ToCivil(&y, &m, &d);
+  const int64_t jan1 = DaysFromCivil(y, 1, 1);
+  return static_cast<int>(days_ - jan1) + 1;
+}
+
+std::string Date::ToString() const {
+  int y, m, d;
+  ToCivil(&y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const Date& date) {
+  return os << date.ToString();
+}
+
+}  // namespace nextmaint

@@ -1,0 +1,87 @@
+#ifndef NEXTMAINT_COMMON_DATE_H_
+#define NEXTMAINT_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+/// \file date.h
+/// Day-granularity civil-calendar arithmetic.
+///
+/// The telematics pipeline aggregates CAN data per calendar day, so the whole
+/// library works with dates, not timestamps. Internally a Date is a count of
+/// days since the civil epoch 1970-01-01 (negative before), using Howard
+/// Hinnant's proleptic-Gregorian algorithms.
+
+namespace nextmaint {
+
+/// Day of week; numbering matches ISO 8601 (Monday = 1 ... Sunday = 7).
+enum class Weekday : int {
+  kMonday = 1,
+  kTuesday = 2,
+  kWednesday = 3,
+  kThursday = 4,
+  kFriday = 5,
+  kSaturday = 6,
+  kSunday = 7,
+};
+
+/// A civil-calendar date with day granularity.
+class Date {
+ public:
+  /// Constructs the epoch date 1970-01-01.
+  Date() = default;
+
+  /// Constructs a date from a serial day number (days since 1970-01-01).
+  static Date FromDayNumber(int64_t days);
+
+  /// Constructs a date from civil year/month/day. Returns
+  /// InvalidArgument for out-of-range month/day combinations.
+  static Result<Date> FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD".
+  static Result<Date> Parse(const std::string& text);
+
+  /// Days since 1970-01-01.
+  int64_t day_number() const { return days_; }
+
+  int year() const;
+  int month() const;  ///< 1..12
+  int day() const;    ///< 1..31
+
+  Weekday weekday() const;
+  bool IsWeekend() const;
+
+  /// 1-based ordinal day within the year (1..366).
+  int DayOfYear() const;
+
+  /// Formats as "YYYY-MM-DD".
+  std::string ToString() const;
+
+  /// Returns this date shifted by `days` (may be negative).
+  Date AddDays(int64_t days) const { return FromDayNumber(days_ + days); }
+
+  /// Days from `other` to this date (positive when this is later).
+  int64_t DaysSince(const Date& other) const { return days_ - other.days_; }
+
+  friend bool operator==(const Date& a, const Date& b) {
+    return a.days_ == b.days_;
+  }
+  friend auto operator<=>(const Date& a, const Date& b) {
+    return a.days_ <=> b.days_;
+  }
+
+ private:
+  explicit Date(int64_t days) : days_(days) {}
+
+  void ToCivil(int* year, int* month, int* day) const;
+
+  int64_t days_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Date& date);
+
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_COMMON_DATE_H_

@@ -1,0 +1,60 @@
+#ifndef NEXTMAINT_COMMON_LOGGING_H_
+#define NEXTMAINT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal leveled logging to stderr.
+///
+///   NM_LOG(INFO) << "trained vehicle " << id << " in " << secs << "s";
+///
+/// The global threshold defaults to kWarning so that library internals stay
+/// quiet in tests and benchmarks; examples raise it to kInfo.
+
+namespace nextmaint {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the minimum level that is actually emitted.
+void SetLogThreshold(LogLevel level);
+
+/// Current minimum emitted level.
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace nextmaint
+
+#define NM_LOG(severity)                                              \
+  ::nextmaint::internal::LogMessage(                                  \
+      ::nextmaint::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // NEXTMAINT_COMMON_LOGGING_H_

@@ -1,0 +1,121 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 1) return 0.0;
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mu) * (v - mu);
+  return acc / static_cast<double>(values.size());
+}
+
+double SampleStdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mu) * (v - mu);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double Min(const std::vector<double>& values) {
+  NM_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  NM_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Quantile(std::vector<double> values, double q) {
+  NM_CHECK(!values.empty());
+  NM_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("correlation requires equal lengths");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("correlation requires >= 2 points");
+  }
+  const double mean_a = Mean(a);
+  const double mean_b = Mean(b);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) {
+    return Status::NumericError("correlation undefined for constant series");
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double PointwiseAverageDistance(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += std::fabs(a[i] - b[i]);
+  return acc / static_cast<double>(n);
+}
+
+double NormalizedEuclideanDistance(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 1) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+}  // namespace nextmaint

@@ -1,0 +1,76 @@
+#ifndef NEXTMAINT_COMMON_STATISTICS_H_
+#define NEXTMAINT_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file statistics.h
+/// Descriptive statistics over double sequences.
+///
+/// Shared by the data-preparation layer (normalization), the similarity
+/// measures (correlation/distance between utilization series) and the
+/// benchmark reports (summaries of residual errors).
+
+namespace nextmaint {
+
+/// Arithmetic mean. Returns 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population variance (divides by n). Returns 0 for fewer than 1 element.
+double Variance(const std::vector<double>& values);
+
+/// Sample standard deviation (divides by n-1). Returns 0 for n < 2.
+double SampleStdDev(const std::vector<double>& values);
+
+/// Minimum / maximum; abort on empty input.
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// Linear-interpolated quantile, q in [0, 1]. Aborts on empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Median (Quantile with q = 0.5).
+double Median(std::vector<double> values);
+
+/// Pearson correlation between two equal-length series. Returns
+/// NumericError when either series has zero variance, InvalidArgument on a
+/// length mismatch or fewer than 2 points.
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// Mean absolute difference between paired elements; the paper's
+/// "point-wise average distance" used to match semi-new vehicles to the most
+/// similar old vehicle. The shorter series length is used when they differ.
+double PointwiseAverageDistance(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+/// Euclidean distance over the common prefix of the two series, normalized
+/// by its length (root mean squared difference).
+double NormalizedEuclideanDistance(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance of the values added so far.
+  double variance() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_COMMON_STATISTICS_H_

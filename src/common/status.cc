@@ -1,0 +1,82 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nextmaint {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string* const kEmpty = new std::string();
+  return *kEmpty;
+}
+}  // namespace
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kDataError:
+      return "data-error";
+    case StatusCode::kIOError:
+      return "io-error";
+    case StatusCode::kNumericError:
+      return "numeric-error";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kUnknown:
+      return "unknown";
+  }
+  return "invalid-code";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : rep_(std::make_unique<Rep>(Rep{code, std::move(message)})) {}
+
+Status::Status(const Status& other)
+    : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return rep_ ? rep_->message : EmptyString();
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal {
+
+void DieOnBadResult(const Status& status) {
+  std::fprintf(stderr, "Result<T>::ValueOrDie on errored result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace nextmaint

@@ -1,0 +1,189 @@
+#ifndef NEXTMAINT_COMMON_STATUS_H_
+#define NEXTMAINT_COMMON_STATUS_H_
+
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// Error-handling primitives for the nextmaint library.
+///
+/// Following the Arrow/RocksDB idiom, no exceptions cross the public API.
+/// Fallible operations return `Status` (no payload) or `Result<T>`
+/// (payload or error). Programmer errors (violated preconditions) abort via
+/// the NM_CHECK macros in macros.h instead of returning a Status.
+
+namespace nextmaint {
+
+/// Machine-readable category of an error carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A caller-supplied argument is invalid (bad range, wrong shape, ...).
+  kInvalidArgument = 1,
+  /// The operation requires state that has not been established yet
+  /// (e.g. predicting with an untrained model).
+  kFailedPrecondition = 2,
+  /// A referenced entity (vehicle id, column name, file) does not exist.
+  kNotFound = 3,
+  /// Input data is malformed (corrupt CSV row, inconsistent series).
+  kDataError = 4,
+  /// An I/O operation failed.
+  kIOError = 5,
+  /// A numeric routine failed to converge or produced non-finite values.
+  kNumericError = 6,
+  /// The entity being created already exists.
+  kAlreadyExists = 7,
+  /// Catch-all for errors that fit no other category.
+  kUnknown = 8,
+};
+
+/// Returns the canonical lowercase name of a status code
+/// (e.g. "invalid-argument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that produces no value.
+///
+/// An OK status is represented without allocation; error statuses carry a
+/// code and a human-readable message. Statuses are cheap to move and
+/// relatively cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `StatusCode::kOk`; use the default constructor for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status DataError(std::string msg) {
+    return Status(StatusCode::kDataError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code; kOk for success.
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for success.
+  const std::string& message() const;
+
+  /// Returns "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  /// Prepends `context` to the error message; no-op on OK statuses.
+  /// Useful when propagating errors up a call chain.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; avoids allocation on the success path.
+  std::unique_ptr<Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Outcome of an operation that produces a `T` on success.
+///
+/// Holds either a value or a non-OK Status. Accessing the value of an
+/// errored Result aborts the process (programmer error), so callers must
+/// test `ok()` first or use the NM_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value` (implicit by design so
+  /// that `return value;` works in functions returning Result<T>).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an errored result (implicit so `return status;` works).
+  /// `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+
+  /// The carried status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Returns the value. Process-aborts when `!ok()`.
+  const T& ValueOrDie() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  /// Moves the value out of the result. Process-aborts when `!ok()`.
+  T MoveValueOrDie() {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  /// Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  // optional avoids requiring T to be default-constructible.
+  std::optional<T> value_;
+};
+
+namespace internal {
+/// Aborts the process with a diagnostic; used by Result<T>::ValueOrDie.
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResult(status_);
+}
+
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+#ifndef NEXTMAINT_COMMON_STRINGS_H_
+#define NEXTMAINT_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file strings.h
+/// Small string utilities used by the CSV layer and report printers.
+
+namespace nextmaint {
+
+/// Splits `text` on `delimiter`, preserving empty fields
+/// ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Parses a double. Rejects trailing garbage and empty input.
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a signed 64-bit integer. Rejects trailing garbage and empty input.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_COMMON_STRINGS_H_

@@ -1,0 +1,48 @@
+#include "core/category.h"
+
+#include <cmath>
+
+namespace nextmaint {
+namespace core {
+
+const char* VehicleCategoryName(VehicleCategory category) {
+  switch (category) {
+    case VehicleCategory::kOld:
+      return "old";
+    case VehicleCategory::kSemiNew:
+      return "semi-new";
+    case VehicleCategory::kNew:
+      return "new";
+  }
+  return "?";
+}
+
+VehicleCategory Categorize(const VehicleSeries& series) {
+  if (series.completed_cycles() >= 1) return VehicleCategory::kOld;
+  if (series.TotalUsage() >= series.maintenance_interval_s / 2.0) {
+    return VehicleCategory::kSemiNew;
+  }
+  return VehicleCategory::kNew;
+}
+
+Result<VehicleCategory> CategorizeUsage(const data::DailySeries& u,
+                                        double maintenance_interval_s) {
+  if (maintenance_interval_s <= 0.0) {
+    return Status::InvalidArgument("maintenance_interval_s must be positive");
+  }
+  if (!u.IsComplete()) {
+    return Status::DataError("utilization series contains missing values");
+  }
+  // A single pass suffices: the first crossing of T_v makes the vehicle
+  // old; otherwise compare the total against T_v/2.
+  double total = 0.0;
+  for (size_t t = 0; t < u.size(); ++t) {
+    total += u[t];
+    if (total >= maintenance_interval_s) return VehicleCategory::kOld;
+  }
+  return total >= maintenance_interval_s / 2.0 ? VehicleCategory::kSemiNew
+                                               : VehicleCategory::kNew;
+}
+
+}  // namespace core
+}  // namespace nextmaint

@@ -1,0 +1,90 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/statistics.h"
+
+namespace nextmaint {
+namespace core {
+
+Result<DriftDetector> DriftDetector::Create(double reference_mean,
+                                            double reference_std,
+                                            const DriftOptions& options) {
+  if (!std::isfinite(reference_mean) || !std::isfinite(reference_std)) {
+    return Status::InvalidArgument("reference statistics must be finite");
+  }
+  if (reference_std <= 0.0) {
+    return Status::InvalidArgument("reference std must be positive");
+  }
+  if (options.slack < 0.0 || options.threshold <= 0.0) {
+    return Status::InvalidArgument(
+        "slack must be >= 0 and threshold positive");
+  }
+  return DriftDetector(reference_mean, reference_std, options);
+}
+
+bool DriftDetector::Observe(double daily_utilization_s) {
+  const double z = (daily_utilization_s - mean_) / std_;
+  positive_sum_ = std::max(0.0, positive_sum_ + z - options_.slack);
+  negative_sum_ = std::max(0.0, negative_sum_ - z - options_.slack);
+  if (!drifted_) {
+    if (positive_sum_ > options_.threshold) {
+      drifted_ = true;
+      direction_ = +1;
+    } else if (negative_sum_ > options_.threshold) {
+      drifted_ = true;
+      direction_ = -1;
+    }
+  }
+  return drifted_;
+}
+
+void DriftDetector::Reset() {
+  positive_sum_ = 0.0;
+  negative_sum_ = 0.0;
+  drifted_ = false;
+  direction_ = 0;
+}
+
+Result<DriftReport> DetectUsageDrift(const data::DailySeries& series,
+                                     size_t train_days,
+                                     const DriftOptions& options) {
+  if (!series.IsComplete()) {
+    return Status::DataError("series contains missing values; clean first");
+  }
+  if (train_days < 2 || train_days >= series.size()) {
+    return Status::InvalidArgument(
+        "train_days must leave at least one monitored day and cover at "
+        "least two training days");
+  }
+  const std::vector<double> train(
+      series.values().begin(),
+      series.values().begin() + static_cast<ptrdiff_t>(train_days));
+  const double mean = Mean(train);
+  const double std = SampleStdDev(train);
+  if (std <= 1e-9) {
+    return Status::NumericError(
+        "training window has no variance; CUSUM reference undefined");
+  }
+
+  NM_ASSIGN_OR_RETURN(DriftDetector detector,
+                      DriftDetector::Create(mean, std, options));
+  DriftReport report;
+  for (size_t t = train_days; t < series.size(); ++t) {
+    const bool alarm = detector.Observe(series[t]);
+    report.peak_statistic =
+        std::max({report.peak_statistic, detector.positive_sum(),
+                  detector.negative_sum()});
+    if (alarm && !report.drift_detected) {
+      report.drift_detected = true;
+      report.first_alarm_day = t;
+      report.direction = detector.direction();
+    }
+  }
+  return report;
+}
+
+}  // namespace core
+}  // namespace nextmaint

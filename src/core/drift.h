@@ -1,0 +1,98 @@
+#ifndef NEXTMAINT_CORE_DRIFT_H_
+#define NEXTMAINT_CORE_DRIFT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "data/time_series.h"
+
+/// \file drift.h
+/// Usage-drift detection for the deployed system.
+///
+/// The paper motivates per-vehicle models with the non-stationarity of the
+/// utilization series ("some vehicles could remain unused for a relatively
+/// long period of time, then be moved to a construction site, and keep
+/// working at full capacity"), and the deployed system is explicitly meant
+/// to support "further tests and tunings". A regime change after training
+/// silently invalidates a model; this monitor detects such changes so the
+/// fleet operator can trigger retraining.
+///
+/// Method: two-sided CUSUM on the standardized daily utilization. The
+/// reference mean/std come from the training period; the cumulative sums
+///   S+_t = max(0, S+_{t-1} + (z_t - k))
+///   S-_t = max(0, S-_{t-1} - (z_t + k))
+/// raise an alarm when either exceeds the threshold h. `k` (the slack)
+/// absorbs day-to-day noise; `h` trades detection delay for false alarms.
+
+namespace nextmaint {
+namespace core {
+
+/// CUSUM configuration.
+struct DriftOptions {
+  /// Slack per observation, in reference standard deviations. Shifts
+  /// smaller than ~2k are ignored by design.
+  double slack = 0.5;
+  /// Alarm threshold, in accumulated standard deviations.
+  double threshold = 8.0;
+};
+
+/// Outcome of monitoring one series against a reference window.
+struct DriftReport {
+  bool drift_detected = false;
+  /// Day index (within the monitored series) of the first alarm; only
+  /// meaningful when drift_detected.
+  size_t first_alarm_day = 0;
+  /// +1: usage shifted up; -1: usage shifted down; 0: no drift.
+  int direction = 0;
+  /// Peak of the CUSUM statistic over the monitored window.
+  double peak_statistic = 0.0;
+};
+
+/// Streaming two-sided CUSUM detector.
+class DriftDetector {
+ public:
+  /// `reference_mean` / `reference_std` describe the training-period usage
+  /// distribution; std must be positive (a constant reference cannot be
+  /// monitored this way).
+  static Result<DriftDetector> Create(double reference_mean,
+                                      double reference_std,
+                                      const DriftOptions& options = {});
+
+  /// Feeds one day of utilization. Returns true when this observation
+  /// raises (or sustains) an alarm.
+  bool Observe(double daily_utilization_s);
+
+  bool drifted() const { return drifted_; }
+  /// +1 upward shift, -1 downward, 0 none yet.
+  int direction() const { return direction_; }
+  double positive_sum() const { return positive_sum_; }
+  double negative_sum() const { return negative_sum_; }
+
+  /// Resets the accumulators (e.g. after retraining).
+  void Reset();
+
+ private:
+  DriftDetector(double mean, double std, DriftOptions options)
+      : mean_(mean), std_(std), options_(options) {}
+
+  double mean_;
+  double std_;
+  DriftOptions options_;
+  double positive_sum_ = 0.0;
+  double negative_sum_ = 0.0;
+  bool drifted_ = false;
+  int direction_ = 0;
+};
+
+/// Convenience batch API: fits the reference on `series[0..train_days)` and
+/// monitors the remainder. Fails when train_days leaves nothing to monitor
+/// or the training window has (near-)zero variance.
+Result<DriftReport> DetectUsageDrift(const data::DailySeries& series,
+                                     size_t train_days,
+                                     const DriftOptions& options = {});
+
+}  // namespace core
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_CORE_DRIFT_H_

@@ -1,0 +1,81 @@
+#include "core/errors.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace core {
+
+DaySet DaySet::Last29() { return DaySet(1, 29); }
+
+DaySet DaySet::Range(int lo, int hi) {
+  NM_CHECK_MSG(lo <= hi, "DaySet range inverted");
+  return DaySet(lo, hi);
+}
+
+DaySet DaySet::Single(int d) { return DaySet(d, d); }
+
+bool DaySet::Contains(double d_value) const {
+  if (std::isnan(d_value)) return false;
+  const double rounded = std::round(d_value);
+  return rounded >= static_cast<double>(lo_) &&
+         rounded <= static_cast<double>(hi_);
+}
+
+Result<std::vector<double>> DailyErrors(
+    const std::vector<double>& truth, const std::vector<double>& predicted) {
+  if (truth.size() != predicted.size()) {
+    return Status::InvalidArgument("truth/prediction lengths differ");
+  }
+  std::vector<double> errors(truth.size());
+  for (size_t t = 0; t < truth.size(); ++t) {
+    errors[t] = std::isnan(truth[t])
+                    ? std::numeric_limits<double>::quiet_NaN()
+                    : truth[t] - predicted[t];
+  }
+  return errors;
+}
+
+namespace {
+
+/// Mean of f(E(t)) over days passing `keep`; f is |.| or identity.
+Result<double> AggregateErrors(const std::vector<double>& truth,
+                               const std::vector<double>& predicted,
+                               bool signed_mean,
+                               const std::function<bool(double)>& keep) {
+  NM_ASSIGN_OR_RETURN(std::vector<double> errors,
+                      DailyErrors(truth, predicted));
+  double acc = 0.0;
+  size_t n = 0;
+  for (size_t t = 0; t < errors.size(); ++t) {
+    if (std::isnan(errors[t]) || !keep(truth[t])) continue;
+    acc += signed_mean ? errors[t] : std::fabs(errors[t]);
+    ++n;
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("no days satisfy the error restriction");
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace
+
+Result<double> GlobalError(const std::vector<double>& truth,
+                           const std::vector<double>& predicted,
+                           bool signed_mean) {
+  return AggregateErrors(truth, predicted, signed_mean,
+                         [](double) { return true; });
+}
+
+Result<double> MeanResidualError(const std::vector<double>& truth,
+                                 const std::vector<double>& predicted,
+                                 const DaySet& days, bool signed_mean) {
+  return AggregateErrors(truth, predicted, signed_mean,
+                         [&days](double d) { return days.Contains(d); });
+}
+
+}  // namespace core
+}  // namespace nextmaint

@@ -1,0 +1,68 @@
+#ifndef NEXTMAINT_CORE_ERRORS_H_
+#define NEXTMAINT_CORE_ERRORS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+/// \file errors.h
+/// The paper's error metrics (Section 2.1):
+///
+///  - daily error      E_v(t) = D_v(t) - D_hat_v(t)                  (Eq. 2)
+///  - global error     E_Global = mean_t E_v(t)                      (Eq. 3)
+///  - mean residual    E_MRE(D~) = mean over {t : D_v(t) in D~} E(t) (Eq. 4)
+///
+/// The tables report error *magnitudes* (e.g. BL = 20.2 days), so the
+/// headline implementations aggregate |E(t)|; signed aggregation is exposed
+/// as an option for bias analysis. The default D~ = {1..29} follows the
+/// paper ("we have considered the last 29 days per cycle").
+
+namespace nextmaint {
+namespace core {
+
+/// Membership set D~ over target values (days to maintenance).
+class DaySet {
+ public:
+  /// The paper's default: the last 29 days before maintenance, {1..29}.
+  static DaySet Last29();
+  /// Contiguous range {lo..hi} inclusive.
+  static DaySet Range(int lo, int hi);
+  /// A single value {d}.
+  static DaySet Single(int d);
+
+  /// True when the (rounded) target value belongs to the set.
+  bool Contains(double d_value) const;
+
+  int lo() const { return lo_; }
+  int hi() const { return hi_; }
+
+ private:
+  DaySet(int lo, int hi) : lo_(lo), hi_(hi) {}
+  int lo_;
+  int hi_;
+};
+
+/// Per-day errors E(t) = truth - predicted. Entries where the truth is NaN
+/// (undefined target) come back NaN. Fails on length mismatch.
+Result<std::vector<double>> DailyErrors(const std::vector<double>& truth,
+                                        const std::vector<double>& predicted);
+
+/// E_Global: the mean |E(t)| over all days with a defined target
+/// (signed = true gives the raw mean of Eq. 3). Fails when no day has a
+/// defined target.
+Result<double> GlobalError(const std::vector<double>& truth,
+                           const std::vector<double>& predicted,
+                           bool signed_mean = false);
+
+/// E_MRE(D~): the mean |E(t)| restricted to days whose true target lies in
+/// `days` (signed = true gives the raw mean of Eq. 4). Fails when the
+/// restriction is empty.
+Result<double> MeanResidualError(const std::vector<double>& truth,
+                                 const std::vector<double>& predicted,
+                                 const DaySet& days,
+                                 bool signed_mean = false);
+
+}  // namespace core
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_CORE_ERRORS_H_

@@ -1,0 +1,179 @@
+#include "core/old_vehicle.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "core/baseline.h"
+#include "ml/registry.h"
+
+namespace nextmaint {
+namespace core {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Builds the training dataset for one vehicle under the given options
+/// (target filter + resampling applied to the training slice only).
+Result<ml::Dataset> BuildTrainingData(const data::DailySeries& train_u,
+                                      double maintenance_interval_s,
+                                      const OldVehicleOptions& options) {
+  DatasetOptions dataset_options;
+  dataset_options.window = options.window;
+  dataset_options.normalize_features = options.normalize_features;
+  dataset_options.context = options.context;
+  dataset_options.context_forecast_days = options.context_forecast_days;
+  if (options.train_on_last29_only) {
+    dataset_options.target_filter = DaySet::Last29();
+  }
+  ResamplingOptions resampling;
+  resampling.num_shifts = options.resampling_shifts;
+  resampling.seed = options.seed ^ 0x5151;
+  return BuildResampledDataset(train_u, maintenance_interval_s,
+                               dataset_options, resampling);
+}
+
+}  // namespace
+
+Result<VehicleEvaluation> EvaluateAlgorithmOnVehicle(
+    const std::string& algorithm, const data::DailySeries& u,
+    double maintenance_interval_s, const OldVehicleOptions& options) {
+  if (options.train_fraction <= 0.0 || options.train_fraction >= 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  if (options.window < 0) {
+    return Status::InvalidArgument("window must be non-negative");
+  }
+
+  // Full-series derivation defines the evaluation ground truth; the
+  // training slice shares its cycle phase because both start at day 0.
+  NM_ASSIGN_OR_RETURN(VehicleSeries full,
+                      DeriveSeries(u, maintenance_interval_s));
+  const size_t n = full.size();
+  const size_t split =
+      static_cast<size_t>(options.train_fraction * static_cast<double>(n));
+  if (split == 0 || split >= n) {
+    return Status::InvalidArgument("degenerate train/test split");
+  }
+  const data::DailySeries train_u = u.Slice(0, split);
+
+  VehicleEvaluation eval;
+  eval.algorithm = algorithm;
+
+  const double t_start = NowSeconds();
+  std::unique_ptr<ml::Regressor> model;
+  if (algorithm == "BL") {
+    // BL: average utilization over the training period (Eq. 5); no
+    // training beyond that.
+    NM_ASSIGN_OR_RETURN(double avg, AverageUtilization(train_u));
+    const double l_scale =
+        options.normalize_features ? 1.0 / maintenance_interval_s : 1.0;
+    model = std::make_unique<BaselinePredictor>(avg, l_scale);
+  } else {
+    NM_ASSIGN_OR_RETURN(
+        ml::Dataset train_data,
+        BuildTrainingData(train_u, maintenance_interval_s, options));
+    ml::ParamMap params;
+    if (options.tune) {
+      NM_ASSIGN_OR_RETURN(ml::RegressorFactory factory,
+                          ml::MakeFactory(algorithm));
+      const ml::ParamGrid grid =
+          ml::DefaultGridFor(algorithm, options.grid_budget);
+      ml::GridSearchOptions search_options;
+      search_options.seed = options.seed;
+      // Tiny training sets cannot sustain 5 folds.
+      search_options.folds =
+          std::min<size_t>(5, std::max<size_t>(2, train_data.num_rows() / 10));
+      if (train_data.num_rows() >= 2 * search_options.folds) {
+        NM_ASSIGN_OR_RETURN(
+            ml::GridSearchResult search,
+            ml::GridSearchCV(factory, grid, train_data, search_options));
+        params = search.best_params;
+      }
+      eval.best_params = params;
+    }
+    NM_ASSIGN_OR_RETURN(model, ml::MakeRegressor(algorithm, params));
+    NM_RETURN_NOT_OK(model->Fit(train_data).WithContext(algorithm));
+  }
+  eval.train_seconds = NowSeconds() - t_start;
+
+  // Test period: days >= split with a defined target (and >= W so the
+  // feature window exists).
+  DatasetOptions feature_options;
+  feature_options.window = options.window;
+  feature_options.normalize_features = options.normalize_features;
+  feature_options.context = options.context;
+  feature_options.context_forecast_days = options.context_forecast_days;
+  const size_t first_test_day =
+      std::max(split, static_cast<size_t>(options.window));
+  for (size_t t = first_test_day; t < n; ++t) {
+    if (!full.HasTarget(t)) continue;
+    NM_ASSIGN_OR_RETURN(std::vector<double> row,
+                        BuildFeatureRow(full, t, feature_options));
+    NM_ASSIGN_OR_RETURN(
+        double prediction,
+        model->Predict(std::span<const double>(row.data(), row.size())));
+    eval.test_truth.push_back(full.d[t]);
+    eval.test_predicted.push_back(prediction);
+  }
+  if (eval.test_truth.empty()) {
+    return Status::InvalidArgument(
+        "no evaluable test day (no completed cycle in the test window)");
+  }
+
+  NM_ASSIGN_OR_RETURN(eval.eglobal,
+                      GlobalError(eval.test_truth, eval.test_predicted));
+  // E_MRE may be undefined when the test window lacks near-deadline days;
+  // surface that as an error to the caller rather than reporting 0.
+  NM_ASSIGN_OR_RETURN(
+      eval.emre, MeanResidualError(eval.test_truth, eval.test_predicted,
+                                   options.eval_days));
+  eval.model = std::move(model);
+  return eval;
+}
+
+Result<ModelSelectionResult> SelectBestModelForVehicle(
+    const std::vector<std::string>& algorithms, const data::DailySeries& u,
+    double maintenance_interval_s, const OldVehicleOptions& options) {
+  if (algorithms.empty()) {
+    return Status::InvalidArgument("empty algorithm list");
+  }
+  ModelSelectionResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (const std::string& algorithm : algorithms) {
+    NM_ASSIGN_OR_RETURN(
+        VehicleEvaluation eval,
+        EvaluateAlgorithmOnVehicle(algorithm, u, maintenance_interval_s,
+                                   options));
+    if (eval.emre < best) {
+      best = eval.emre;
+      result.best_index = result.evaluations.size();
+    }
+    result.evaluations.push_back(std::move(eval));
+  }
+  return result;
+}
+
+std::vector<double> PerDayResiduals(const VehicleEvaluation& eval, int lo,
+                                    int hi) {
+  NM_CHECK(lo <= hi);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(hi - lo + 1));
+  for (int d = lo; d <= hi; ++d) {
+    const Result<double> r = MeanResidualError(
+        eval.test_truth, eval.test_predicted, DaySet::Single(d));
+    out.push_back(r.ok() ? r.ValueOrDie()
+                         : std::numeric_limits<double>::quiet_NaN());
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace nextmaint

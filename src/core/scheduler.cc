@@ -1,0 +1,333 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "core/baseline.h"
+#include "core/dataset_builder.h"
+#include "ml/registry.h"
+
+namespace nextmaint {
+namespace core {
+
+FleetScheduler::FleetScheduler(SchedulerOptions options)
+    : options_(std::move(options)) {
+  options_.selection.window = options_.window;
+  options_.cold_start.window = options_.window;
+}
+
+Status FleetScheduler::RegisterVehicle(const std::string& id, Date first_day) {
+  if (id.empty()) return Status::InvalidArgument("empty vehicle id");
+  if (vehicles_.count(id) > 0) {
+    return Status::AlreadyExists("vehicle '" + id + "' already registered");
+  }
+  VehicleState state;
+  state.first_day = first_day;
+  state.usage = data::DailySeries(first_day, {});
+  vehicles_.emplace(id, std::move(state));
+  return Status::OK();
+}
+
+Status FleetScheduler::IngestUsage(const std::string& id, Date day,
+                                   double seconds) {
+  auto it = vehicles_.find(id);
+  if (it == vehicles_.end()) {
+    return Status::NotFound("vehicle '" + id + "' is not registered");
+  }
+  VehicleState& state = it->second;
+  const Date expected =
+      state.first_day.AddDays(static_cast<int64_t>(state.usage.size()));
+  if (day != expected) {
+    return Status::InvalidArgument(
+        "out-of-order ingestion for '" + id + "': expected " +
+        expected.ToString() + ", got " + day.ToString());
+  }
+  if (std::isnan(seconds) || seconds < 0.0 || seconds > 86400.0) {
+    return Status::InvalidArgument("utilization must be in [0, 86400]");
+  }
+  state.usage.Append(seconds);
+  return Status::OK();
+}
+
+Status FleetScheduler::IngestSeries(const std::string& id,
+                                    const data::DailySeries& series) {
+  auto it = vehicles_.find(id);
+  if (it == vehicles_.end()) {
+    return Status::NotFound("vehicle '" + id + "' is not registered");
+  }
+  if (!series.IsComplete()) {
+    return Status::DataError(
+        "series contains missing values; run the cleaning step first");
+  }
+  it->second.first_day = series.start_date();
+  it->second.usage = series;
+  it->second.model.reset();
+  return Status::OK();
+}
+
+Result<const FleetScheduler::VehicleState*> FleetScheduler::FindVehicle(
+    const std::string& id) const {
+  auto it = vehicles_.find(id);
+  if (it == vehicles_.end()) {
+    return Status::NotFound("vehicle '" + id + "' is not registered");
+  }
+  return &it->second;
+}
+
+Result<VehicleCategory> FleetScheduler::CategoryOf(
+    const std::string& id) const {
+  NM_ASSIGN_OR_RETURN(const VehicleState* state, FindVehicle(id));
+  if (state->usage.empty()) return VehicleCategory::kNew;
+  return CategorizeUsage(state->usage, options_.maintenance_interval_s);
+}
+
+std::vector<std::string> FleetScheduler::VehicleIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(vehicles_.size());
+  for (const auto& [id, state] : vehicles_) ids.push_back(id);
+  return ids;
+}
+
+Status FleetScheduler::TrainAll() {
+  // Pass 1: first-cycle corpus from old vehicles (for cold-start models).
+  std::vector<FirstCycleData> corpus;
+  for (const auto& [id, state] : vehicles_) {
+    if (state.usage.empty()) continue;
+    NM_ASSIGN_OR_RETURN(
+        VehicleCategory category,
+        CategorizeUsage(state.usage, options_.maintenance_interval_s));
+    if (category != VehicleCategory::kOld) continue;
+    Result<FirstCycleData> data =
+        ExtractFirstCycle(id, state.usage, options_.maintenance_interval_s,
+                          options_.cold_start);
+    if (data.ok()) corpus.push_back(std::move(data).ValueOrDie());
+  }
+
+  // Unified model shared by every cold-start vehicle.
+  std::shared_ptr<ml::Regressor> unified;
+  if (!corpus.empty()) {
+    Result<std::unique_ptr<ml::Regressor>> uni = TrainUnifiedModel(
+        options_.unified_algorithm, corpus, options_.cold_start);
+    if (uni.ok()) {
+      unified = std::move(uni).ValueOrDie();
+    } else {
+      NM_LOG(Warning) << "unified model training failed: "
+                      << uni.status().ToString();
+    }
+  }
+
+  // Pass 2: per-vehicle models.
+  for (auto& [id, state] : vehicles_) {
+    state.model.reset();
+    state.model_name.clear();
+    if (state.usage.empty()) continue;
+    NM_ASSIGN_OR_RETURN(
+        VehicleCategory category,
+        CategorizeUsage(state.usage, options_.maintenance_interval_s));
+
+    if (category == VehicleCategory::kOld) {
+      // Select the best algorithm under the 70/30 protocol, then refit it
+      // on the complete history for deployment.
+      std::string chosen = "BL";
+      Result<ModelSelectionResult> selection = SelectBestModelForVehicle(
+          options_.algorithms, state.usage,
+          options_.maintenance_interval_s, options_.selection);
+      if (selection.ok()) {
+        const ModelSelectionResult& result = selection.ValueOrDie();
+        chosen = result.evaluations[result.best_index].algorithm;
+      } else {
+        NM_LOG(Warning) << id << ": model selection failed ("
+                        << selection.status().ToString()
+                        << "); falling back to BL";
+      }
+
+      if (chosen == "BL") {
+        Result<double> avg = AverageUtilization(state.usage);
+        if (avg.ok()) {
+          const double l_scale =
+              options_.selection.normalize_features
+                  ? 1.0 / options_.maintenance_interval_s
+                  : 1.0;
+          state.model = std::make_shared<BaselinePredictor>(
+              avg.ValueOrDie(), l_scale);
+          state.model_name = "BL";
+        }
+        continue;
+      }
+      DatasetOptions dataset_options;
+      dataset_options.window = options_.window;
+      dataset_options.normalize_features =
+          options_.selection.normalize_features;
+      if (options_.selection.train_on_last29_only) {
+        dataset_options.target_filter = DaySet::Last29();
+      }
+      ResamplingOptions resampling;
+      resampling.num_shifts = options_.selection.resampling_shifts;
+      resampling.seed = options_.selection.seed;
+      NM_ASSIGN_OR_RETURN(
+          ml::Dataset full_data,
+          BuildResampledDataset(state.usage,
+                                options_.maintenance_interval_s,
+                                dataset_options, resampling));
+      NM_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
+                          ml::MakeRegressor(chosen));
+      NM_RETURN_NOT_OK(model->Fit(full_data).WithContext(id));
+      state.model = std::move(model);
+      state.model_name = chosen;
+      continue;
+    }
+
+    if (category == VehicleCategory::kSemiNew) {
+      // Prefer Model_Sim; fall back to Model_Uni, then BL.
+      Result<std::vector<double>> first_half = FirstHalfCycleUsage(
+          state.usage, options_.maintenance_interval_s);
+      if (first_half.ok() && !corpus.empty()) {
+        Result<SimilarityModel> sim = TrainSimilarityModel(
+            options_.unified_algorithm, first_half.ValueOrDie(), corpus,
+            options_.cold_start);
+        if (sim.ok()) {
+          SimilarityModel value = std::move(sim).ValueOrDie();
+          state.model = std::move(value.model);
+          state.model_name =
+              options_.unified_algorithm + "_Sim(" + value.match.id + ")";
+          continue;
+        }
+      }
+      if (unified != nullptr) {
+        state.model = unified;
+        state.model_name = options_.unified_algorithm + "_Uni";
+        continue;
+      }
+      Result<std::unique_ptr<ml::Regressor>> bl = MakeSemiNewBaseline(
+          state.usage, options_.maintenance_interval_s, options_.cold_start);
+      if (bl.ok()) {
+        state.model = std::move(bl).ValueOrDie();
+        state.model_name = "BL_semi";
+      }
+      continue;
+    }
+
+    // New vehicle: only the unified model applies (Section 4.4.2).
+    if (unified != nullptr) {
+      state.model = unified;
+      state.model_name = options_.unified_algorithm + "_Uni";
+    }
+  }
+  return Status::OK();
+}
+
+Result<MaintenanceForecast> FleetScheduler::Forecast(
+    const std::string& id) const {
+  NM_ASSIGN_OR_RETURN(const VehicleState* state, FindVehicle(id));
+  if (state->model == nullptr) {
+    return Status::FailedPrecondition(
+        "vehicle '" + id + "' has no trained model (run TrainAll; new "
+        "vehicles need at least one old vehicle in the fleet)");
+  }
+  if (state->usage.size() < static_cast<size_t>(options_.window) + 1) {
+    return Status::FailedPrecondition(
+        "vehicle '" + id + "' has fewer days of data than the feature "
+        "window");
+  }
+  // Forecast from the day *after* the last observation: append a virtual
+  // "today" with zero usage so that C/L are defined for it, D is the
+  // unknown and BuildFeatureRow sees yesterday as U(t-1).
+  data::DailySeries extended = state->usage;
+  extended.Append(0.0);
+  NM_ASSIGN_OR_RETURN(
+      VehicleSeries today_series,
+      DeriveSeries(extended, options_.maintenance_interval_s));
+  const size_t today = today_series.size() - 1;
+
+  DatasetOptions feature_options;
+  feature_options.window = options_.window;
+  feature_options.normalize_features =
+      options_.selection.normalize_features;
+  NM_ASSIGN_OR_RETURN(std::vector<double> row,
+                      BuildFeatureRow(today_series, today, feature_options));
+  NM_ASSIGN_OR_RETURN(
+      double days_left,
+      state->model->Predict(std::span<const double>(row.data(), row.size())));
+  days_left = std::max(0.0, days_left);
+
+  MaintenanceForecast forecast;
+  forecast.vehicle_id = id;
+  NM_ASSIGN_OR_RETURN(forecast.category, CategoryOf(id));
+  forecast.model_name = state->model_name;
+  forecast.days_left = days_left;
+  forecast.usage_seconds_left = today_series.l[today];
+  const Date last_day = state->usage.end_date();
+  forecast.predicted_date =
+      last_day.AddDays(static_cast<int64_t>(std::llround(days_left)));
+  return forecast;
+}
+
+Result<std::vector<MaintenanceForecast>> FleetScheduler::FleetForecast()
+    const {
+  std::vector<MaintenanceForecast> forecasts;
+  for (const auto& [id, state] : vehicles_) {
+    if (state.model == nullptr) continue;
+    Result<MaintenanceForecast> forecast = Forecast(id);
+    if (forecast.ok()) forecasts.push_back(std::move(forecast).ValueOrDie());
+  }
+  std::sort(forecasts.begin(), forecasts.end(),
+            [](const MaintenanceForecast& a, const MaintenanceForecast& b) {
+              return a.predicted_date < b.predicted_date;
+            });
+  return forecasts;
+}
+
+
+Result<DriftReport> FleetScheduler::CheckDrift(
+    const std::string& id, double reference_fraction,
+    const DriftOptions& options) const {
+  NM_ASSIGN_OR_RETURN(const VehicleState* state, FindVehicle(id));
+  if (reference_fraction <= 0.0 || reference_fraction >= 1.0) {
+    return Status::InvalidArgument("reference_fraction must be in (0, 1)");
+  }
+  const size_t train_days = static_cast<size_t>(
+      reference_fraction * static_cast<double>(state->usage.size()));
+  return DetectUsageDrift(state->usage, train_days, options);
+}
+
+Status FleetScheduler::SaveModels(std::ostream& out) const {
+  for (const auto& [id, state] : vehicles_) {
+    if (state.model == nullptr) continue;
+    // Unified models are shared across vehicles; each vehicle writes its
+    // own copy so files stay self-contained.
+    out << "vehicle " << id << " " << state.model_name << "\n";
+    NM_RETURN_NOT_OK(state.model->Save(out).WithContext(id));
+  }
+  out << "fleet-end\n";
+  if (!out) return Status::IOError("fleet model serialization failed");
+  return Status::OK();
+}
+
+Status FleetScheduler::LoadModels(std::istream& in) {
+  std::string token;
+  while (in >> token) {
+    if (token == "fleet-end") return Status::OK();
+    if (token != "vehicle") {
+      return Status::DataError("expected 'vehicle', got '" + token + "'");
+    }
+    std::string id, model_name;
+    if (!(in >> id >> model_name)) {
+      return Status::DataError("truncated vehicle model header");
+    }
+    auto it = vehicles_.find(id);
+    if (it == vehicles_.end()) {
+      return Status::NotFound("model for unregistered vehicle '" + id +
+                              "'");
+    }
+    NM_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
+                        LoadAnyModel(in));
+    it->second.model = std::move(model);
+    it->second.model_name = model_name;
+  }
+  return Status::DataError("missing fleet-end marker");
+}
+
+}  // namespace core
+}  // namespace nextmaint

@@ -1,0 +1,142 @@
+#ifndef NEXTMAINT_CORE_SCHEDULER_H_
+#define NEXTMAINT_CORE_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/status.h"
+#include "core/category.h"
+#include "core/cold_start.h"
+#include "core/drift.h"
+#include "core/old_vehicle.h"
+#include "data/time_series.h"
+#include "ml/regressor.h"
+
+/// \file scheduler.h
+/// The deployed-system facade ("The system we propose here is currently
+/// under deployment"): a fleet-level API that ingests daily utilization,
+/// categorizes each vehicle, trains the category-appropriate model and
+/// answers "when is each vehicle's next maintenance due?".
+
+namespace nextmaint {
+namespace core {
+
+/// Per-vehicle prediction produced by the scheduler.
+struct MaintenanceForecast {
+  std::string vehicle_id;
+  VehicleCategory category = VehicleCategory::kNew;
+  /// Name of the model serving this vehicle ("BL", "RF", "XGB_Uni", ...).
+  std::string model_name;
+  /// Predicted days until the next maintenance, from the last ingested day.
+  double days_left = 0.0;
+  /// Calendar date of the predicted maintenance.
+  Date predicted_date;
+  /// Utilization seconds left until maintenance (L on the day after the
+  /// last ingested day).
+  double usage_seconds_left = 0.0;
+};
+
+/// Configuration of the scheduler.
+struct SchedulerOptions {
+  /// Allowed usage seconds between maintenances, fleet-wide default.
+  double maintenance_interval_s = 2'000'000.0;
+  /// Feature window W used by every trained model.
+  int window = 6;
+  /// Candidate algorithms for old-vehicle model selection.
+  std::vector<std::string> algorithms = {"BL", "LR", "RF"};
+  /// Algorithm for the unified cold-start model.
+  std::string unified_algorithm = "XGB";
+  /// Per-vehicle evaluation/selection options (the 70/30 protocol). The
+  /// window field is overwritten by `window` above.
+  OldVehicleOptions selection;
+  /// Cold-start options; window overwritten likewise.
+  ColdStartOptions cold_start;
+};
+
+/// Fleet-level next-maintenance scheduler.
+///
+/// Usage: RegisterVehicle -> IngestUsage (day by day or in bulk) ->
+/// TrainAll -> Forecast / FleetForecast. Retraining after further ingestion
+/// is allowed at any time.
+class FleetScheduler {
+ public:
+  explicit FleetScheduler(SchedulerOptions options);
+
+  /// Registers a vehicle whose data starts on `first_day`.
+  /// Fails with AlreadyExists on duplicates.
+  Status RegisterVehicle(const std::string& id, Date first_day);
+
+  /// Appends one day of utilization. Days must be ingested in order with
+  /// no gaps (the telematics collector guarantees this; absent telemetry
+  /// should be ingested as 0 or repaired upstream).
+  Status IngestUsage(const std::string& id, Date day, double seconds);
+
+  /// Bulk ingestion of a gap-free series (replaces prior data).
+  Status IngestSeries(const std::string& id, const data::DailySeries& series);
+
+  /// Current category of a vehicle.
+  Result<VehicleCategory> CategoryOf(const std::string& id) const;
+
+  /// Registered ids, sorted.
+  std::vector<std::string> VehicleIds() const;
+
+  /// Trains/refreshes every vehicle's model:
+  ///  - old vehicles: per-vehicle model selection (E_MRE criterion), then a
+  ///    refit of the winning algorithm on the vehicle's full history;
+  ///  - semi-new: Model_Sim over the old vehicles' first cycles (falls back
+  ///    to Model_Uni when similarity matching is impossible);
+  ///  - new: Model_Uni.
+  /// Vehicles whose category has no viable model (e.g. a new vehicle in a
+  /// fleet with no old vehicles) are left untrained; Forecast reports the
+  /// failure for them.
+  Status TrainAll();
+
+  /// Predicts the next maintenance for one vehicle (requires TrainAll).
+  Result<MaintenanceForecast> Forecast(const std::string& id) const;
+
+  /// Forecasts for every vehicle that has a trained model, sorted by
+  /// predicted date (most urgent first).
+  Result<std::vector<MaintenanceForecast>> FleetForecast() const;
+
+  /// Persists every trained per-vehicle model to `out` as a sequence of
+  /// "vehicle <id> <model-name>" headers followed by the model's text
+  /// serialization. Untrained vehicles are skipped. The usage data itself
+  /// is not saved (it lives in the telematics store); re-ingest it before
+  /// forecasting with loaded models.
+  Status SaveModels(std::ostream& out) const;
+
+  /// Runs the CUSUM usage-drift monitor for one vehicle: the reference
+  /// distribution is fitted on the first `reference_fraction` of its
+  /// history and the remainder is monitored. A detected drift means the
+  /// vehicle's model was trained on a usage regime that no longer holds —
+  /// retrain (TrainAll) and reset. See core/drift.h.
+  Result<DriftReport> CheckDrift(const std::string& id,
+                                 double reference_fraction = 0.7,
+                                 const DriftOptions& options = {}) const;
+
+  /// Restores models saved by SaveModels. Every referenced vehicle must
+  /// already be registered; models for unknown vehicles fail with
+  /// NotFound. Vehicles absent from the stream keep their current model.
+  Status LoadModels(std::istream& in);
+
+ private:
+  struct VehicleState {
+    Date first_day;
+    data::DailySeries usage;
+    std::shared_ptr<ml::Regressor> model;
+    std::string model_name;
+  };
+
+  Result<const VehicleState*> FindVehicle(const std::string& id) const;
+
+  SchedulerOptions options_;
+  std::map<std::string, VehicleState> vehicles_;
+};
+
+}  // namespace core
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_CORE_SCHEDULER_H_

@@ -1,0 +1,54 @@
+#include "core/series.h"
+
+#include <cmath>
+#include <limits>
+
+namespace nextmaint {
+namespace core {
+
+Result<VehicleSeries> DeriveSeries(const data::DailySeries& u,
+                                   double maintenance_interval_s,
+                                   size_t offset) {
+  if (maintenance_interval_s <= 0.0) {
+    return Status::InvalidArgument("maintenance_interval_s must be positive");
+  }
+  const data::DailySeries shifted =
+      offset == 0 ? u : u.Slice(offset, u.size());
+  if (shifted.empty()) {
+    return Status::InvalidArgument("utilization series is empty");
+  }
+  if (!shifted.IsComplete()) {
+    return Status::DataError(
+        "utilization series contains missing values; run the cleaning step "
+        "before deriving series");
+  }
+
+  const size_t n = shifted.size();
+  VehicleSeries out;
+  out.u = shifted;
+  out.maintenance_interval_s = maintenance_interval_s;
+  out.c.resize(n);
+  out.l.resize(n);
+  out.d.assign(n, std::numeric_limits<double>::quiet_NaN());
+
+  size_t cycle_start = 0;
+  double cycle_usage = 0.0;  // usage accumulated in the current cycle
+  for (size_t t = 0; t < n; ++t) {
+    out.c[t] = static_cast<double>(t - cycle_start);
+    out.l[t] = maintenance_interval_s - cycle_usage;
+    cycle_usage += shifted[t];
+    if (cycle_usage >= maintenance_interval_s) {
+      // Maintenance at the end of day t closes the cycle.
+      out.cycles.push_back(Cycle{cycle_start, t});
+      for (size_t i = cycle_start; i <= t; ++i) {
+        out.d[i] = static_cast<double>(t - i);
+      }
+      cycle_usage -= maintenance_interval_s;  // excess carries over
+      cycle_start = t + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace nextmaint

@@ -1,0 +1,73 @@
+#include "core/similarity.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/statistics.h"
+
+namespace nextmaint {
+namespace core {
+
+SimilarityMeasure AverageDistanceMeasure() {
+  return [](const std::vector<double>& a, const std::vector<double>& b) {
+    return std::fabs(Mean(a) - Mean(b));
+  };
+}
+
+SimilarityMeasure PointwiseDistanceMeasure() {
+  return [](const std::vector<double>& a, const std::vector<double>& b) {
+    return PointwiseAverageDistance(a, b);
+  };
+}
+
+SimilarityMeasure EuclideanMeasure() {
+  return [](const std::vector<double>& a, const std::vector<double>& b) {
+    return NormalizedEuclideanDistance(a, b);
+  };
+}
+
+SimilarityMeasure CorrelationMeasure() {
+  return [](const std::vector<double>& a, const std::vector<double>& b) {
+    const size_t n = std::min(a.size(), b.size());
+    const std::vector<double> pa(a.begin(),
+                                 a.begin() + static_cast<ptrdiff_t>(n));
+    const std::vector<double> pb(b.begin(),
+                                 b.begin() + static_cast<ptrdiff_t>(n));
+    const Result<double> corr = PearsonCorrelation(pa, pb);
+    if (!corr.ok()) {
+      // Constant series: correlation undefined; fall back to distances so
+      // the measure stays total.
+      return PointwiseAverageDistance(a, b);
+    }
+    return 1.0 - corr.ValueOrDie();
+  };
+}
+
+Result<SimilarityMatch> MostSimilar(
+    const std::vector<double>& target,
+    const std::vector<SimilarityCandidate>& candidates,
+    const SimilarityMeasure& measure) {
+  if (target.empty()) {
+    return Status::InvalidArgument("empty target series");
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("empty candidate list");
+  }
+  if (!measure) {
+    return Status::InvalidArgument("null similarity measure");
+  }
+  SimilarityMatch best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double d = measure(target, candidates[i].series);
+    if (d < best.distance) {
+      best.distance = d;
+      best.index = i;
+      best.id = candidates[i].id;
+    }
+  }
+  return best;
+}
+
+}  // namespace core
+}  // namespace nextmaint

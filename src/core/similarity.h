@@ -1,0 +1,65 @@
+#ifndef NEXTMAINT_CORE_SIMILARITY_H_
+#define NEXTMAINT_CORE_SIMILARITY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/time_series.h"
+
+/// \file similarity.h
+/// Vehicle-similarity measures for the semi-new strategy (Section 4.4.1):
+/// "we estimate the pairwise similarity in terms of point-wise average
+/// distance AVG_v between the utilization series. However, more advanced
+/// similarity measures can be integrated as well." The measure is pluggable
+/// precisely to support that extension (and the similarity ablation bench).
+
+namespace nextmaint {
+namespace core {
+
+/// A dissimilarity over two utilization series: lower means more similar.
+/// Measures must be symmetric and non-negative.
+using SimilarityMeasure = std::function<double(
+    const std::vector<double>&, const std::vector<double>&)>;
+
+/// The paper's default: distance between the series' average utilization
+/// levels, |AVG_a - AVG_b| ("comparing the similarity of average usage",
+/// Section 5.2). Robust to phase misalignment of idle runs.
+SimilarityMeasure AverageDistanceMeasure();
+
+/// Point-wise mean absolute distance between the aligned series (sensitive
+/// to idle-run phase; kept for the similarity ablation).
+SimilarityMeasure PointwiseDistanceMeasure();
+
+/// Root-mean-squared point-wise distance.
+SimilarityMeasure EuclideanMeasure();
+
+/// 1 - Pearson correlation over the common prefix (constant series fall
+/// back to the average-distance measure so the result stays defined).
+SimilarityMeasure CorrelationMeasure();
+
+/// A named candidate series (an old vehicle's first-cycle usage).
+struct SimilarityCandidate {
+  std::string id;
+  std::vector<double> series;
+};
+
+/// Result of a most-similar search.
+struct SimilarityMatch {
+  size_t index = 0;       ///< index into the candidate list
+  std::string id;         ///< candidate id
+  double distance = 0.0;  ///< measure value for the winner
+};
+
+/// Finds the candidate minimizing `measure(target, candidate)`. Ties break
+/// toward the earlier candidate. Fails on an empty candidate list or empty
+/// target.
+Result<SimilarityMatch> MostSimilar(const std::vector<double>& target,
+                                    const std::vector<SimilarityCandidate>& candidates,
+                                    const SimilarityMeasure& measure);
+
+}  // namespace core
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_CORE_SIMILARITY_H_

@@ -1,0 +1,143 @@
+#include "core/workshop_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace nextmaint {
+namespace core {
+
+namespace {
+
+/// True when the workshop operates on `date`.
+bool IsServiceDay(Date date, const WorkshopOptions& options) {
+  return options.weekend_service || !date.IsWeekend();
+}
+
+/// Cost of servicing on `slot` a vehicle due on `due`.
+double SlotCost(Date slot, Date due, const WorkshopOptions& options) {
+  const int64_t slack = slot.DaysSince(due);
+  return slack <= 0
+             ? static_cast<double>(-slack) * options.earliness_cost_per_day
+             : static_cast<double>(slack) * options.lateness_cost_per_day;
+}
+
+}  // namespace
+
+Result<ServicePlan> PlanWorkshop(
+    const std::vector<MaintenanceForecast>& forecasts, Date today,
+    const WorkshopOptions& options) {
+  if (options.daily_capacity <= 0) {
+    return Status::InvalidArgument("daily_capacity must be positive");
+  }
+  if (options.horizon_days <= 0) {
+    return Status::InvalidArgument("horizon_days must be positive");
+  }
+  if (options.earliness_cost_per_day < 0.0 ||
+      options.lateness_cost_per_day < 0.0) {
+    return Status::InvalidArgument("cost weights must be non-negative");
+  }
+
+  ServicePlan plan;
+  plan.today = today;
+
+  // Remaining capacity per horizon day (service days only).
+  std::map<int64_t, int> free_slots;  // day offset -> remaining capacity
+  for (int d = 0; d < options.horizon_days; ++d) {
+    if (IsServiceDay(today.AddDays(d), options)) {
+      free_slots[d] = options.daily_capacity;
+    }
+  }
+  if (free_slots.empty()) {
+    return Status::InvalidArgument("no service day inside the horizon");
+  }
+
+  // Earliest-deadline-first processing order.
+  std::vector<const MaintenanceForecast*> order;
+  order.reserve(forecasts.size());
+  for (const MaintenanceForecast& f : forecasts) order.push_back(&f);
+  std::sort(order.begin(), order.end(),
+            [](const MaintenanceForecast* a, const MaintenanceForecast* b) {
+              if (a->predicted_date != b->predicted_date) {
+                return a->predicted_date < b->predicted_date;
+              }
+              return a->vehicle_id < b->vehicle_id;
+            });
+
+  for (const MaintenanceForecast* forecast : order) {
+    const int64_t due_offset =
+        forecast->predicted_date.DaysSince(today);
+    if (due_offset >= options.horizon_days) {
+      plan.beyond_horizon.push_back(forecast->vehicle_id);
+      continue;
+    }
+
+    // Latest free slot at or before the due date (offset clamped to >= 0
+    // for already-overdue vehicles)...
+    const int64_t clamped_due = std::max<int64_t>(due_offset, 0);
+    auto it = free_slots.upper_bound(clamped_due);
+    std::optional<int64_t> chosen;
+    if (it != free_slots.begin()) {
+      chosen = std::prev(it)->first;
+    } else if (it != free_slots.end()) {
+      // ...otherwise the earliest free slot after it.
+      chosen = it->first;
+    }
+    if (!chosen.has_value()) {
+      // Horizon fully booked; report the vehicle instead of overbooking.
+      plan.beyond_horizon.push_back(forecast->vehicle_id);
+      continue;
+    }
+    // If the at-or-before slot is very early, a later (overdue) slot could
+    // still be cheaper under asymmetric weights: compare with the earliest
+    // free slot strictly after the due date.
+    if (it != free_slots.end()) {
+      const Date before_date = today.AddDays(*chosen);
+      const Date after_date = today.AddDays(it->first);
+      if (SlotCost(after_date, forecast->predicted_date, options) <
+          SlotCost(before_date, forecast->predicted_date, options)) {
+        chosen = it->first;
+      }
+    }
+
+    const Date slot_date = today.AddDays(*chosen);
+    ServiceAssignment assignment;
+    assignment.vehicle_id = forecast->vehicle_id;
+    assignment.scheduled_date = slot_date;
+    assignment.predicted_due_date = forecast->predicted_date;
+    assignment.slack_days = slot_date.DaysSince(forecast->predicted_date);
+    assignment.cost =
+        SlotCost(slot_date, forecast->predicted_date, options);
+    plan.total_cost += assignment.cost;
+    if (assignment.slack_days < 0) {
+      plan.total_early_days += -assignment.slack_days;
+    } else {
+      plan.total_late_days += assignment.slack_days;
+    }
+    plan.assignments.push_back(std::move(assignment));
+
+    auto slot_it = free_slots.find(*chosen);
+    if (--slot_it->second == 0) free_slots.erase(slot_it);
+  }
+
+  std::sort(plan.assignments.begin(), plan.assignments.end(),
+            [](const ServiceAssignment& a, const ServiceAssignment& b) {
+              if (a.scheduled_date != b.scheduled_date) {
+                return a.scheduled_date < b.scheduled_date;
+              }
+              return a.vehicle_id < b.vehicle_id;
+            });
+  return plan;
+}
+
+double PlanCost(const ServicePlan& plan, const WorkshopOptions& options) {
+  double total = 0.0;
+  for (const ServiceAssignment& assignment : plan.assignments) {
+    total += SlotCost(assignment.scheduled_date,
+                      assignment.predicted_due_date, options);
+  }
+  return total;
+}
+
+}  // namespace core
+}  // namespace nextmaint

@@ -1,0 +1,89 @@
+#ifndef NEXTMAINT_CORE_WORKSHOP_PLANNER_H_
+#define NEXTMAINT_CORE_WORKSHOP_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/status.h"
+#include "core/scheduler.h"
+
+/// \file workshop_planner.h
+/// ML-supported maintenance scheduling — the extension the paper's
+/// conclusions announce ("we plan ... to design ML supported scheduling
+/// strategies") and the planning literature it cites ([8], [11], [12])
+/// assumes as input: "All the aforesaid strategies are possible if accurate
+/// predictions of next maintenance events are available."
+///
+/// Given the per-vehicle forecasts produced by FleetScheduler and a
+/// workshop with limited daily service capacity, the planner books each
+/// vehicle into a concrete service slot. Servicing early wastes remaining
+/// allowed usage (the machine is taken off site before it had to be);
+/// servicing late risks running past the allowed usage. The planner
+/// minimizes a weighted sum of both.
+
+namespace nextmaint {
+namespace core {
+
+/// Planning constraints and cost model.
+struct WorkshopOptions {
+  /// Vehicles the workshop can service per calendar day.
+  int daily_capacity = 1;
+  /// Planning horizon in days from `today`; vehicles forecast beyond it
+  /// are reported as unscheduled (next planning round will catch them).
+  int horizon_days = 90;
+  /// Cost per day of servicing before the predicted due date.
+  double earliness_cost_per_day = 1.0;
+  /// Cost per day of servicing after the predicted due date. Overdue
+  /// service risks violating the usage allowance, so the default weighs it
+  /// an order of magnitude above earliness.
+  double lateness_cost_per_day = 10.0;
+  /// Whether the workshop also works weekends.
+  bool weekend_service = false;
+};
+
+/// One booked service slot.
+struct ServiceAssignment {
+  std::string vehicle_id;
+  Date scheduled_date;
+  Date predicted_due_date;
+  /// scheduled - due; negative = early, positive = overdue.
+  int64_t slack_days = 0;
+  double cost = 0.0;
+};
+
+/// A complete plan over the horizon.
+struct ServicePlan {
+  Date today;
+  std::vector<ServiceAssignment> assignments;  ///< sorted by scheduled date
+  /// Vehicles whose predicted due date lies beyond the horizon.
+  std::vector<std::string> beyond_horizon;
+  double total_cost = 0.0;
+  int64_t total_early_days = 0;
+  int64_t total_late_days = 0;
+};
+
+/// Books every forecast vehicle into a service slot.
+///
+/// Strategy: process vehicles in due-date order (earliest deadline first)
+/// and give each one the cheapest feasible day — the latest free slot at
+/// or before its due date when one exists, otherwise the earliest free
+/// slot after it. With uniform costs this greedy rule is optimal for the
+/// per-day capacity model (exchange argument over slot assignments);
+/// heterogeneous cost weights keep it a strong heuristic while staying
+/// O(n * horizon).
+///
+/// Vehicles already overdue (due date before `today`) are booked into the
+/// earliest available slot. Fails with InvalidArgument on non-positive
+/// capacity/horizon or a negative cost weight.
+Result<ServicePlan> PlanWorkshop(const std::vector<MaintenanceForecast>& forecasts,
+                                 Date today, const WorkshopOptions& options);
+
+/// Total cost of an existing plan under (possibly different) cost weights;
+/// useful for comparing plans across cost models.
+double PlanCost(const ServicePlan& plan, const WorkshopOptions& options);
+
+}  // namespace core
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_CORE_WORKSHOP_PLANNER_H_

@@ -1,0 +1,156 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace nextmaint {
+namespace data {
+
+namespace {
+
+bool IsNullToken(const std::string& cell, const CsvReadOptions& options) {
+  const std::string trimmed(Trim(cell));
+  return std::find(options.null_tokens.begin(), options.null_tokens.end(),
+                   trimmed) != options.null_tokens.end();
+}
+
+/// Infers the narrowest type that can represent every non-null cell of a
+/// column: int64 < double < string.
+ColumnType InferType(const std::vector<std::vector<std::string>>& rows,
+                     size_t col, const CsvReadOptions& options) {
+  ColumnType type = ColumnType::kInt64;
+  for (const auto& row : rows) {
+    const std::string& cell = row[col];
+    if (IsNullToken(cell, options)) continue;
+    if (type == ColumnType::kInt64 && !ParseInt64(cell).ok()) {
+      type = ColumnType::kDouble;
+    }
+    if (type == ColumnType::kDouble && !ParseDouble(cell).ok()) {
+      type = ColumnType::kString;
+      break;
+    }
+  }
+  return type;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && header.empty() && rows.empty()) continue;
+    std::vector<std::string> fields = Split(line, options.delimiter);
+    if (header.empty() && options.has_header) {
+      header = std::move(fields);
+      continue;
+    }
+    const size_t expected =
+        options.has_header ? header.size() : (rows.empty() ? fields.size()
+                                                           : rows[0].size());
+    if (fields.size() != expected) {
+      return Status::DataError(
+          StrFormat("line %zu: expected %zu fields, found %zu", line_number,
+                    expected, fields.size()));
+    }
+    rows.push_back(std::move(fields));
+  }
+
+  const size_t num_cols =
+      options.has_header ? header.size() : (rows.empty() ? 0 : rows[0].size());
+  Table table;
+  for (size_t col = 0; col < num_cols; ++col) {
+    const std::string name = options.has_header
+                                 ? std::string(Trim(header[col]))
+                                 : "c" + std::to_string(col);
+    const ColumnType type = InferType(rows, col, options);
+    Column column(name, type);
+    for (const auto& row : rows) {
+      const std::string& cell = row[col];
+      if (IsNullToken(cell, options)) {
+        column.AppendNull();
+        continue;
+      }
+      switch (type) {
+        case ColumnType::kInt64:
+          // Inference guarantees parsability of non-null cells.
+          column.AppendInt64(ParseInt64(cell).ValueOrDie());
+          break;
+        case ColumnType::kDouble:
+          column.AppendDouble(ParseDouble(cell).ValueOrDie());
+          break;
+        case ColumnType::kString:
+          column.AppendString(std::string(Trim(cell)));
+          break;
+      }
+    }
+    NM_RETURN_NOT_OK(table.AddColumn(std::move(column)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  Result<Table> result = ReadCsv(file, options);
+  if (!result.ok()) {
+    return result.status().WithContext(path);
+  }
+  return result;
+}
+
+Status WriteCsv(const Table& table, std::ostream& output,
+                const CsvWriteOptions& options) {
+  if (options.write_header) {
+    const auto names = table.ColumnNames();
+    output << Join(names, std::string(1, options.delimiter)) << "\n";
+  }
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (size_t col = 0; col < table.num_columns(); ++col) {
+      if (col > 0) output << options.delimiter;
+      const Column& column = table.column(col);
+      if (!column.IsValid(row)) {
+        output << options.null_token;
+        continue;
+      }
+      switch (column.type()) {
+        case ColumnType::kDouble:
+          output << FormatDouble(column.DoubleAt(row),
+                                 options.double_precision);
+          break;
+        case ColumnType::kInt64:
+          output << column.Int64At(row);
+          break;
+        case ColumnType::kString:
+          output << column.StringAt(row);
+          break;
+      }
+    }
+    output << "\n";
+  }
+  if (!output) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvWriteOptions& options) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return WriteCsv(table, file, options).WithContext(path);
+}
+
+}  // namespace data
+}  // namespace nextmaint

@@ -1,0 +1,63 @@
+#ifndef NEXTMAINT_DATA_CSV_H_
+#define NEXTMAINT_DATA_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+/// \file csv.h
+/// CSV import/export for Table.
+///
+/// The deployed system exchanges daily-aggregate extracts as CSV files; this
+/// module provides the corresponding reader/writer. The reader infers column
+/// types (int64 -> double -> string, widest wins) and maps unparsable or
+/// empty cells to nulls, feeding the cleaning step of the preparation
+/// pipeline.
+
+namespace nextmaint {
+namespace data {
+
+/// Options controlling CSV parsing.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// When true the first row provides column names; otherwise columns are
+  /// named "c0", "c1", ...
+  bool has_header = true;
+  /// Cells equal to any of these strings (after trimming) become nulls.
+  std::vector<std::string> null_tokens = {"", "NA", "NaN", "null"};
+};
+
+/// Parses a CSV document into a Table. Fails with DataError on ragged rows
+/// (rows whose field count differs from the header's).
+Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options = {});
+
+/// Options controlling CSV output.
+struct CsvWriteOptions {
+  char delimiter = ',';
+  bool write_header = true;
+  /// Digits after the decimal point for double columns.
+  int double_precision = 6;
+  /// Token emitted for null cells.
+  std::string null_token = "";
+};
+
+/// Serializes a Table as CSV.
+Status WriteCsv(const Table& table, std::ostream& output,
+                const CsvWriteOptions& options = {});
+
+/// Writes a Table to a CSV file on disk.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvWriteOptions& options = {});
+
+}  // namespace data
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_DATA_CSV_H_

@@ -1,0 +1,204 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace data {
+
+namespace {
+
+/// Mean over the non-NaN entries, or 0 when none exist.
+double ObservedMean(const std::vector<double>& values) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (double v : values) {
+    if (!std::isnan(v)) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+void FillInterpolate(std::vector<double>* values) {
+  const size_t n = values->size();
+  size_t i = 0;
+  while (i < n) {
+    if (!std::isnan((*values)[i])) {
+      ++i;
+      continue;
+    }
+    // Gap [i, j).
+    size_t j = i;
+    while (j < n && std::isnan((*values)[j])) ++j;
+    const bool has_left = i > 0;
+    const bool has_right = j < n;
+    const double left = has_left ? (*values)[i - 1] : 0.0;
+    const double right = has_right ? (*values)[j] : 0.0;
+    for (size_t k = i; k < j; ++k) {
+      if (has_left && has_right) {
+        const double frac = static_cast<double>(k - i + 1) /
+                            static_cast<double>(j - i + 1);
+        (*values)[k] = left + (right - left) * frac;
+      } else if (has_left) {
+        (*values)[k] = left;
+      } else if (has_right) {
+        (*values)[k] = right;
+      } else {
+        (*values)[k] = 0.0;  // all-NaN series
+      }
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+CleaningReport Clean(DailySeries* series, MissingValuePolicy policy,
+                     const ConsistencyLimits& limits) {
+  CleaningReport report;
+  std::vector<double>& values = series->mutable_values();
+
+  // Step 1: clamp inconsistent values so fill statistics are unbiased.
+  for (double& v : values) {
+    if (std::isnan(v)) continue;
+    if (v > limits.max_daily_seconds) {
+      v = limits.max_daily_seconds;
+      ++report.clamped_high;
+    } else if (v < limits.min_daily_seconds) {
+      v = limits.min_daily_seconds;
+      ++report.clamped_low;
+    }
+  }
+
+  // Step 2: repair missing values.
+  report.missing_filled = series->MissingCount();
+  if (report.missing_filled == 0) return report;
+
+  switch (policy) {
+    case MissingValuePolicy::kZero:
+      for (double& v : values) {
+        if (std::isnan(v)) v = 0.0;
+      }
+      break;
+    case MissingValuePolicy::kMean: {
+      const double mean = ObservedMean(values);
+      for (double& v : values) {
+        if (std::isnan(v)) v = mean;
+      }
+      break;
+    }
+    case MissingValuePolicy::kForwardFill: {
+      double last = 0.0;
+      for (double& v : values) {
+        if (std::isnan(v)) {
+          v = last;
+        } else {
+          last = v;
+        }
+      }
+      break;
+    }
+    case MissingValuePolicy::kInterpolate:
+      FillInterpolate(&values);
+      break;
+  }
+  return report;
+}
+
+MinMaxParams NormalizeMinMax(DailySeries* series) {
+  MinMaxParams params;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : series->values()) {
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    // Empty or all-NaN series: identity params.
+    return params;
+  }
+  params.min = lo;
+  params.max = hi;
+  ApplyMinMax(params, series);
+  return params;
+}
+
+void ApplyMinMax(const MinMaxParams& params, DailySeries* series) {
+  for (double& v : series->mutable_values()) {
+    if (!std::isnan(v)) v = params.Transform(v);
+  }
+}
+
+Result<DailySeries> AggregateDaily(const Table& table,
+                                   const std::string& date_column,
+                                   const std::string& duration_column) {
+  NM_ASSIGN_OR_RETURN(const Column* dates, table.GetColumn(date_column));
+  NM_ASSIGN_OR_RETURN(const Column* durations,
+                      table.GetColumn(duration_column));
+  if (durations->type() == ColumnType::kString) {
+    return Status::InvalidArgument("duration column '" + duration_column +
+                                   "' is not numeric");
+  }
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot aggregate an empty table");
+  }
+
+  // day number -> accumulated seconds (NaN-free; observed days start at 0).
+  std::map<int64_t, double> day_totals;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    int64_t day_number;
+    if (dates->type() == ColumnType::kString) {
+      NM_ASSIGN_OR_RETURN(Date date, Date::Parse(dates->StringAt(row)));
+      day_number = date.day_number();
+    } else if (dates->type() == ColumnType::kInt64) {
+      day_number = dates->Int64At(row);
+    } else {
+      return Status::InvalidArgument("date column '" + date_column +
+                                     "' must be string or int64");
+    }
+    double& total = day_totals[day_number];
+    if (!durations->IsValid(row)) continue;  // observed day, unknown duration
+    const double seconds = durations->type() == ColumnType::kDouble
+                               ? durations->DoubleAt(row)
+                               : static_cast<double>(durations->Int64At(row));
+    if (!std::isnan(seconds)) total += seconds;
+  }
+
+  const int64_t first = day_totals.begin()->first;
+  const int64_t last = day_totals.rbegin()->first;
+  std::vector<double> values(static_cast<size_t>(last - first + 1),
+                             std::numeric_limits<double>::quiet_NaN());
+  for (const auto& [day, total] : day_totals) {
+    values[static_cast<size_t>(day - first)] = total;
+  }
+  return DailySeries(Date::FromDayNumber(first), std::move(values));
+}
+
+Result<Table> SeriesToTable(const DailySeries& series,
+                            const std::string& value_column_name) {
+  Column date_col("date", ColumnType::kString);
+  Column value_col(value_column_name, ColumnType::kDouble);
+  for (size_t i = 0; i < series.size(); ++i) {
+    date_col.AppendString(
+        series.start_date().AddDays(static_cast<int64_t>(i)).ToString());
+    if (std::isnan(series[i])) {
+      value_col.AppendNull();
+    } else {
+      value_col.AppendDouble(series[i]);
+    }
+  }
+  Table table;
+  NM_RETURN_NOT_OK(table.AddColumn(std::move(date_col)));
+  NM_RETURN_NOT_OK(table.AddColumn(std::move(value_col)));
+  return table;
+}
+
+}  // namespace data
+}  // namespace nextmaint

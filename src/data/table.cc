@@ -1,0 +1,260 @@
+#include "data/table.h"
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace data {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Column::Column(std::string name, ColumnType type)
+    : name_(std::move(name)), type_(type) {
+  switch (type_) {
+    case ColumnType::kDouble:
+      cells_ = std::vector<double>();
+      break;
+    case ColumnType::kInt64:
+      cells_ = std::vector<int64_t>();
+      break;
+    case ColumnType::kString:
+      cells_ = std::vector<std::string>();
+      break;
+  }
+}
+
+size_t Column::size() const { return validity_.size(); }
+
+void Column::AppendDouble(double value) {
+  NM_CHECK_MSG(type_ == ColumnType::kDouble, name_.c_str());
+  std::get<std::vector<double>>(cells_).push_back(value);
+  validity_.push_back(true);
+}
+
+void Column::AppendInt64(int64_t value) {
+  NM_CHECK_MSG(type_ == ColumnType::kInt64, name_.c_str());
+  std::get<std::vector<int64_t>>(cells_).push_back(value);
+  validity_.push_back(true);
+}
+
+void Column::AppendString(std::string value) {
+  NM_CHECK_MSG(type_ == ColumnType::kString, name_.c_str());
+  std::get<std::vector<std::string>>(cells_).push_back(std::move(value));
+  validity_.push_back(true);
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case ColumnType::kDouble:
+      std::get<std::vector<double>>(cells_).push_back(
+          std::numeric_limits<double>::quiet_NaN());
+      break;
+    case ColumnType::kInt64:
+      std::get<std::vector<int64_t>>(cells_).push_back(0);
+      break;
+    case ColumnType::kString:
+      std::get<std::vector<std::string>>(cells_).emplace_back();
+      break;
+  }
+  validity_.push_back(false);
+}
+
+size_t Column::null_count() const {
+  size_t count = 0;
+  for (bool valid : validity_) {
+    if (!valid) ++count;
+  }
+  return count;
+}
+
+double Column::DoubleAt(size_t row) const {
+  NM_CHECK(type_ == ColumnType::kDouble);
+  NM_CHECK(row < size());
+  if (!validity_[row]) return std::numeric_limits<double>::quiet_NaN();
+  return std::get<std::vector<double>>(cells_)[row];
+}
+
+int64_t Column::Int64At(size_t row) const {
+  NM_CHECK(type_ == ColumnType::kInt64);
+  NM_CHECK(row < size());
+  return std::get<std::vector<int64_t>>(cells_)[row];
+}
+
+const std::string& Column::StringAt(size_t row) const {
+  NM_CHECK(type_ == ColumnType::kString);
+  NM_CHECK(row < size());
+  return std::get<std::vector<std::string>>(cells_)[row];
+}
+
+Result<std::vector<double>> Column::AsDoubles() const {
+  std::vector<double> out(size());
+  switch (type_) {
+    case ColumnType::kDouble: {
+      const auto& v = std::get<std::vector<double>>(cells_);
+      for (size_t i = 0; i < size(); ++i) {
+        out[i] = validity_[i] ? v[i] : std::numeric_limits<double>::quiet_NaN();
+      }
+      return out;
+    }
+    case ColumnType::kInt64: {
+      const auto& v = std::get<std::vector<int64_t>>(cells_);
+      for (size_t i = 0; i < size(); ++i) {
+        out[i] = validity_[i] ? static_cast<double>(v[i])
+                              : std::numeric_limits<double>::quiet_NaN();
+      }
+      return out;
+    }
+    case ColumnType::kString:
+      return Status::FailedPrecondition("string column '" + name_ +
+                                        "' is not numeric");
+  }
+  return Status::Unknown("unreachable");
+}
+
+Result<Table> Table::Create(
+    const std::vector<std::pair<std::string, ColumnType>>& schema) {
+  Table table;
+  std::set<std::string> seen;
+  for (const auto& [name, type] : schema) {
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate column name: " + name);
+    }
+    NM_RETURN_NOT_OK(table.AddColumn(Column(name, type)));
+  }
+  return table;
+}
+
+size_t Table::num_rows() const {
+  return columns_.empty() ? 0 : columns_.front().size();
+}
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + column.name() + "' has " +
+        std::to_string(column.size()) + " rows, table has " +
+        std::to_string(num_rows()));
+  }
+  for (const Column& existing : columns_) {
+    if (existing.name() == column.name()) {
+      return Status::AlreadyExists("column '" + column.name() +
+                                   "' already present");
+    }
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  for (const Column& column : columns_) {
+    if (column.name() == name) return &column;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& column : columns_) names.push_back(column.name());
+  return names;
+}
+
+namespace {
+
+/// Copies row `row` of `src` into `dst` (same type).
+void CopyCell(const Column& src, size_t row, Column* dst) {
+  if (!src.IsValid(row)) {
+    dst->AppendNull();
+    return;
+  }
+  switch (src.type()) {
+    case ColumnType::kDouble:
+      dst->AppendDouble(src.DoubleAt(row));
+      break;
+    case ColumnType::kInt64:
+      dst->AppendInt64(src.Int64At(row));
+      break;
+    case ColumnType::kString:
+      dst->AppendString(src.StringAt(row));
+      break;
+  }
+}
+
+}  // namespace
+
+Table Table::Filter(const std::function<bool(size_t)>& predicate) const {
+  Table out;
+  for (const Column& column : columns_) {
+    Column copy(column.name(), column.type());
+    for (size_t row = 0; row < num_rows(); ++row) {
+      if (predicate(row)) CopyCell(column, row, &copy);
+    }
+    // Safe: all filtered columns have identical row counts by construction.
+    NM_CHECK(out.AddColumn(std::move(copy)).ok());
+  }
+  return out;
+}
+
+Result<Table> Table::Select(const std::vector<std::string>& names) const {
+  Table out;
+  for (const std::string& name : names) {
+    NM_ASSIGN_OR_RETURN(const Column* column, GetColumn(name));
+    NM_RETURN_NOT_OK(out.AddColumn(*column));
+  }
+  return out;
+}
+
+Table Table::Slice(size_t offset, size_t count) const {
+  const size_t n = num_rows();
+  const size_t begin = std::min(offset, n);
+  const size_t end = std::min(begin + count, n);
+  return Filter([begin, end](size_t row) { return row >= begin && row < end; });
+}
+
+Status Table::Concat(const Table& other) {
+  if (other.num_columns() != num_columns()) {
+    return Status::InvalidArgument("schema mismatch: column counts differ");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() != other.columns_[i].name() ||
+        columns_[i].type() != other.columns_[i].type()) {
+      return Status::InvalidArgument("schema mismatch at column " +
+                                     std::to_string(i));
+    }
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t row = 0; row < other.num_rows(); ++row) {
+      CopyCell(other.columns_[i], row, &columns_[i]);
+    }
+  }
+  return Status::OK();
+}
+
+size_t Table::null_count() const {
+  size_t count = 0;
+  for (const Column& column : columns_) count += column.null_count();
+  return count;
+}
+
+}  // namespace data
+}  // namespace nextmaint

@@ -1,0 +1,121 @@
+#ifndef NEXTMAINT_DATA_TABLE_H_
+#define NEXTMAINT_DATA_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file table.h
+/// A small columnar relational table.
+///
+/// The methodology section of the paper builds, per vehicle, a "relational
+/// dataset" whose records are days and whose attributes are the windowed past
+/// utilization values, the current time-left L(t) and the target D(t). Table
+/// is the in-memory representation of such datasets (and of the raw summary
+/// reports before aggregation): typed columns with per-cell validity, CSV
+/// serializable (see csv.h), convertible to the dense ml::Matrix format.
+
+namespace nextmaint {
+namespace data {
+
+/// Physical type of a column.
+enum class ColumnType { kDouble, kInt64, kString };
+
+const char* ColumnTypeName(ColumnType type);
+
+/// A named, typed column with per-cell validity.
+///
+/// Cell storage is a std::variant over the three supported vector types; the
+/// validity vector marks nulls (missing CAN reports, unparsable CSV cells).
+class Column {
+ public:
+  Column(std::string name, ColumnType type);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  size_t size() const;
+
+  /// Appends a valid cell. The overload must match the column type
+  /// (checked, aborts on mismatch: schema violations are programmer errors).
+  void AppendDouble(double value);
+  void AppendInt64(int64_t value);
+  void AppendString(std::string value);
+  /// Appends a null cell of the column's type.
+  void AppendNull();
+
+  bool IsValid(size_t row) const { return validity_[row]; }
+  size_t null_count() const;
+
+  /// Typed accessors; abort on type mismatch or out-of-range row.
+  /// Reading a null double cell returns NaN; null int64 returns 0; null
+  /// string returns "".
+  double DoubleAt(size_t row) const;
+  int64_t Int64At(size_t row) const;
+  const std::string& StringAt(size_t row) const;
+
+  /// The column values as doubles (int64 widened). Null cells map to NaN.
+  /// Fails with FailedPrecondition for string columns.
+  Result<std::vector<double>> AsDoubles() const;
+
+ private:
+  std::string name_;
+  ColumnType type_;
+  std::variant<std::vector<double>, std::vector<int64_t>,
+               std::vector<std::string>>
+      cells_;
+  std::vector<bool> validity_;
+};
+
+/// A collection of equal-length named columns.
+class Table {
+ public:
+  Table() = default;
+
+  /// Creates a table with the given (name, type) schema and zero rows.
+  /// Fails with InvalidArgument on duplicate column names.
+  static Result<Table> Create(
+      const std::vector<std::pair<std::string, ColumnType>>& schema);
+
+  size_t num_rows() const;
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Adds a column; must match num_rows() unless the table is empty.
+  Status AddColumn(Column column);
+
+  /// Column lookup by name / index.
+  Result<const Column*> GetColumn(const std::string& name) const;
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& mutable_column(size_t i) { return columns_[i]; }
+  /// Index of the named column, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  std::vector<std::string> ColumnNames() const;
+
+  /// Returns the subset of rows for which `predicate(row_index)` is true,
+  /// preserving order.
+  Table Filter(const std::function<bool(size_t)>& predicate) const;
+
+  /// Returns a table with only the named columns, in the given order.
+  Result<Table> Select(const std::vector<std::string>& names) const;
+
+  /// Returns rows [offset, offset+count), clamped.
+  Table Slice(size_t offset, size_t count) const;
+
+  /// Appends all rows of `other`; schemas must match exactly.
+  Status Concat(const Table& other);
+
+  /// Total nulls across all columns.
+  size_t null_count() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace data
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_DATA_TABLE_H_

@@ -1,0 +1,99 @@
+#ifndef NEXTMAINT_ML_DECISION_TREE_H_
+#define NEXTMAINT_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/regressor.h"
+
+/// \file decision_tree.h
+/// CART regression tree: binary axis-aligned splits chosen by exact search
+/// to maximize variance reduction (equivalently, minimize the sum of squared
+/// errors of the two children). The building block of the random forest.
+
+namespace nextmaint {
+namespace ml {
+
+/// A single regression tree.
+class DecisionTreeRegressor final : public Regressor {
+ public:
+  struct Options {
+    /// Maximum tree depth; the root is depth 0. <= 0 means unlimited.
+    int max_depth = -1;
+    /// A node with fewer samples than this becomes a leaf.
+    int min_samples_split = 2;
+    /// Both children of a split must contain at least this many samples.
+    int min_samples_leaf = 1;
+    /// Number of features examined per split; <= 0 means all features.
+    /// Random forests pass ~p/3 for decorrelation.
+    int max_features = -1;
+    /// Seed for feature subsampling (only used when max_features limits
+    /// the candidate set).
+    uint64_t seed = 13;
+  };
+
+  DecisionTreeRegressor() = default;
+  explicit DecisionTreeRegressor(Options options) : options_(options) {}
+
+  /// Recognised ParamMap keys: "max_depth", "min_samples_leaf".
+  static Options OptionsFromParams(const ParamMap& params);
+
+  Status Fit(const Dataset& train) override;
+
+  /// Fits on the subset of `train` given by `indices` (duplicates allowed;
+  /// this is the bootstrap entry point used by the forest).
+  Status FitIndices(const Dataset& train, const std::vector<size_t>& indices);
+
+  Result<double> Predict(std::span<const double> features) const override;
+  std::string name() const override { return "Tree"; }
+  bool is_fitted() const override { return !nodes_.empty(); }
+  std::unique_ptr<Regressor> Clone() const override {
+    return std::make_unique<DecisionTreeRegressor>(*this);
+  }
+  Status Save(std::ostream& out) const override;
+
+  /// Reads a model body serialized by Save (header already consumed).
+  static Result<DecisionTreeRegressor> LoadBody(std::istream& in);
+
+  /// Sum of squared-error reduction contributed by each feature's splits,
+  /// normalized to sum to 1 (all-zeros for a single-leaf tree). The classic
+  /// impurity-based importance.
+  std::vector<double> FeatureImportances() const;
+
+  /// Total node count of the fitted tree.
+  size_t node_count() const { return nodes_.size(); }
+  /// Number of leaves of the fitted tree.
+  size_t leaf_count() const;
+  /// Depth of the fitted tree (0 for a single-leaf tree).
+  int depth() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Node {
+    // Internal node: children indices and split definition.
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t feature = -1;
+    double threshold = 0.0;
+    // Leaf payload (also kept on internal nodes for robustness).
+    double value = 0.0;
+    /// SSE reduction achieved by this split (0 for leaves).
+    double gain = 0.0;
+    bool is_leaf() const { return left < 0; }
+  };
+
+  /// Recursive builder; returns the new node's index.
+  int32_t BuildNode(const Dataset& train, std::vector<size_t>* indices,
+                    size_t begin, size_t end, int depth, uint64_t* rng_state,
+                    size_t expected_features);
+
+  Options options_;
+  size_t num_features_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ml
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_ML_DECISION_TREE_H_

@@ -1,0 +1,415 @@
+#include "ml/hist_gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace ml {
+
+void BinMapper::Fit(const Matrix& x, int max_bins) {
+  NM_CHECK(max_bins >= 2 && max_bins <= 65535);
+  thresholds_.assign(x.cols(), {});
+  std::vector<double> values;
+  for (size_t f = 0; f < x.cols(); ++f) {
+    values = x.Col(f);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+
+    std::vector<double>& bounds = thresholds_[f];
+    if (values.size() <= static_cast<size_t>(max_bins)) {
+      // Few distinct values: one bin per value; boundary is the value.
+      bounds = values;
+    } else {
+      // Quantile boundaries over the distinct values. Using distinct values
+      // (not raw rows) keeps heavily repeated values (zero-usage days!) from
+      // collapsing many bins into one.
+      bounds.reserve(static_cast<size_t>(max_bins));
+      for (int b = 1; b <= max_bins; ++b) {
+        const double q = static_cast<double>(b) /
+                         static_cast<double>(max_bins);
+        const double pos = q * static_cast<double>(values.size() - 1);
+        bounds.push_back(values[static_cast<size_t>(pos)]);
+      }
+      bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    }
+    if (bounds.empty()) bounds.push_back(0.0);
+  }
+}
+
+uint16_t BinMapper::BinOf(size_t feature, double value) const {
+  NM_CHECK(feature < thresholds_.size());
+  const std::vector<double>& bounds = thresholds_[feature];
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  const size_t bin = it == bounds.end()
+                         ? bounds.size() - 1
+                         : static_cast<size_t>(it - bounds.begin());
+  return static_cast<uint16_t>(bin);
+}
+
+double BinMapper::UpperBound(size_t feature, uint16_t bin) const {
+  NM_CHECK(feature < thresholds_.size());
+  NM_CHECK(bin < thresholds_[feature].size());
+  return thresholds_[feature][bin];
+}
+
+size_t BinMapper::BinCount(size_t feature) const {
+  NM_CHECK(feature < thresholds_.size());
+  return thresholds_[feature].size();
+}
+
+HistGradientBoostingRegressor::Options
+HistGradientBoostingRegressor::OptionsFromParams(const ParamMap& params) {
+  Options options;
+  if (auto it = params.find("num_iterations"); it != params.end()) {
+    options.num_iterations = static_cast<int>(it->second);
+  }
+  if (auto it = params.find("max_depth"); it != params.end()) {
+    options.max_depth = static_cast<int>(it->second);
+  }
+  if (auto it = params.find("learning_rate"); it != params.end()) {
+    options.learning_rate = it->second;
+  }
+  if (auto it = params.find("min_samples_leaf"); it != params.end()) {
+    options.min_samples_leaf = static_cast<int>(it->second);
+  }
+  if (auto it = params.find("max_bins"); it != params.end()) {
+    options.max_bins = static_cast<int>(it->second);
+  }
+  return options;
+}
+
+Status HistGradientBoostingRegressor::Fit(const Dataset& train) {
+  fitted_ = false;
+  trees_.clear();
+  train_loss_.clear();
+  if (train.empty()) {
+    return Status::InvalidArgument("cannot fit XGB on an empty dataset");
+  }
+  if (!train.x().AllFinite()) {
+    return Status::InvalidArgument("XGB features contain non-finite values");
+  }
+  if (options_.num_iterations <= 0) {
+    return Status::InvalidArgument("XGB requires num_iterations > 0");
+  }
+  if (options_.learning_rate <= 0.0) {
+    return Status::InvalidArgument("XGB requires learning_rate > 0");
+  }
+  if (options_.max_bins < 2 || options_.max_bins > 65535) {
+    return Status::InvalidArgument("XGB requires 2 <= max_bins <= 65535");
+  }
+  if (options_.min_samples_leaf < 1) {
+    return Status::InvalidArgument("XGB requires min_samples_leaf >= 1");
+  }
+  if (options_.validation_fraction < 0.0 ||
+      options_.validation_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "XGB requires validation_fraction in [0, 1)");
+  }
+  if (options_.early_stopping_rounds < 1) {
+    return Status::InvalidArgument(
+        "XGB requires early_stopping_rounds >= 1");
+  }
+
+  const size_t total_rows = train.num_rows();
+  // Early stopping holds out the chronological tail: the dataset builder
+  // emits time-ordered rows, so the tail is the most recent data.
+  const size_t n =
+      options_.validation_fraction > 0.0
+          ? std::max<size_t>(
+                1, total_rows - static_cast<size_t>(
+                                    options_.validation_fraction *
+                                    static_cast<double>(total_rows)))
+          : total_rows;
+  const size_t valid_rows = total_rows - n;
+  num_features_ = train.num_features();
+
+  bins_.Fit(train.x(), options_.max_bins);
+
+  // Column-major binned representation for cache-friendly histogram fills.
+  std::vector<std::vector<uint16_t>> binned(num_features_,
+                                            std::vector<uint16_t>(n));
+  for (size_t f = 0; f < num_features_; ++f) {
+    for (size_t r = 0; r < n; ++r) {
+      binned[f][r] = bins_.BinOf(f, train.x()(r, f));
+    }
+  }
+
+  // Initial prediction: the target mean (squared-loss optimum).
+  base_score_ = 0.0;
+  for (double y : train.y()) base_score_ += y;
+  base_score_ /= static_cast<double>(n);
+
+  std::vector<double> predictions(n, base_score_);
+  std::vector<double> gradients(n);
+  std::vector<size_t> indices(n);
+  std::vector<double> valid_predictions(valid_rows, base_score_);
+  valid_loss_.clear();
+  double best_valid = std::numeric_limits<double>::infinity();
+  int stale_rounds = 0;
+
+  for (int iter = 0; iter < options_.num_iterations; ++iter) {
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      gradients[i] = predictions[i] - train.y()[i];
+      loss += gradients[i] * gradients[i];
+    }
+    train_loss_.push_back(loss / static_cast<double>(n));
+
+    std::iota(indices.begin(), indices.end(), 0);
+    Tree tree;
+    tree.reserve(64);
+    BuildNode(binned, gradients, &indices, 0, n, 0, &tree);
+    if (tree.size() == 1 && iter > 0) {
+      // Root could not split and contributes a constant; gradients have
+      // plateaued, so further iterations would stack identical constants.
+      trees_.push_back(std::move(tree));
+      for (size_t i = 0; i < n; ++i) predictions[i] += trees_.back()[0].value;
+      break;
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+      predictions[i] += PredictTree(tree, train.x().Row(i));
+    }
+    if (valid_rows > 0) {
+      double valid_mse = 0.0;
+      for (size_t i = 0; i < valid_rows; ++i) {
+        valid_predictions[i] += PredictTree(tree, train.x().Row(n + i));
+        const double err = valid_predictions[i] - train.y()[n + i];
+        valid_mse += err * err;
+      }
+      valid_mse /= static_cast<double>(valid_rows);
+      valid_loss_.push_back(valid_mse);
+      if (valid_mse < best_valid - 1e-12) {
+        best_valid = valid_mse;
+        stale_rounds = 0;
+      } else if (++stale_rounds >= options_.early_stopping_rounds) {
+        trees_.push_back(std::move(tree));
+        break;
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  fitted_ = true;
+  return Status::OK();
+}
+
+int32_t HistGradientBoostingRegressor::BuildNode(
+    const std::vector<std::vector<uint16_t>>& binned,
+    const std::vector<double>& gradients, std::vector<size_t>* indices,
+    size_t begin, size_t end, int depth, Tree* tree) const {
+  const size_t count = end - begin;
+  NM_CHECK(count > 0);
+
+  double grad_sum = 0.0;
+  for (size_t i = begin; i < end; ++i) grad_sum += gradients[(*indices)[i]];
+  const double hess_sum = static_cast<double>(count);  // squared loss: h = 1
+
+  const int32_t node_index = static_cast<int32_t>(tree->size());
+  tree->push_back(TreeNode{});
+  // Newton leaf weight, shrunk by the learning rate.
+  (*tree)[node_index].value =
+      -options_.learning_rate * grad_sum / (hess_sum + options_.l2);
+
+  const bool depth_exhausted =
+      options_.max_depth > 0 && depth >= options_.max_depth;
+  const size_t min_leaf = static_cast<size_t>(options_.min_samples_leaf);
+  if (depth_exhausted || count < 2 * min_leaf) {
+    return node_index;
+  }
+
+  const double parent_score =
+      grad_sum * grad_sum / (hess_sum + options_.l2);
+
+  struct Best {
+    double gain = 0.0;
+    size_t feature = 0;
+    uint16_t bin = 0;
+  } best;
+
+  // Per-feature histograms: accumulate gradient sum and count per bin, then
+  // scan bins left to right evaluating every boundary.
+  std::vector<double> hist_grad;
+  std::vector<uint32_t> hist_count;
+  for (size_t f = 0; f < binned.size(); ++f) {
+    const size_t num_bins = bins_.BinCount(f);
+    if (num_bins < 2) continue;
+    hist_grad.assign(num_bins, 0.0);
+    hist_count.assign(num_bins, 0);
+    const std::vector<uint16_t>& column = binned[f];
+    for (size_t i = begin; i < end; ++i) {
+      const size_t row = (*indices)[i];
+      hist_grad[column[row]] += gradients[row];
+      ++hist_count[column[row]];
+    }
+
+    double left_grad = 0.0;
+    size_t left_count = 0;
+    for (size_t b = 0; b + 1 < num_bins; ++b) {
+      left_grad += hist_grad[b];
+      left_count += hist_count[b];
+      if (left_count < min_leaf) continue;
+      const size_t right_count = count - left_count;
+      if (right_count < min_leaf) break;
+      const double right_grad = grad_sum - left_grad;
+      const double gain =
+          left_grad * left_grad /
+              (static_cast<double>(left_count) + options_.l2) +
+          right_grad * right_grad /
+              (static_cast<double>(right_count) + options_.l2) -
+          parent_score;
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = f;
+        best.bin = static_cast<uint16_t>(b);
+      }
+    }
+  }
+
+  if (best.gain <= options_.min_gain) {
+    return node_index;
+  }
+
+  const std::vector<uint16_t>& split_column = binned[best.feature];
+  auto mid_iter =
+      std::partition(indices->begin() + static_cast<ptrdiff_t>(begin),
+                     indices->begin() + static_cast<ptrdiff_t>(end),
+                     [&](size_t row) { return split_column[row] <= best.bin; });
+  const size_t mid = static_cast<size_t>(mid_iter - indices->begin());
+  NM_CHECK(mid > begin && mid < end);
+
+  (*tree)[node_index].feature = static_cast<int32_t>(best.feature);
+  (*tree)[node_index].threshold = bins_.UpperBound(best.feature, best.bin);
+  (*tree)[node_index].gain = best.gain;
+  const int32_t left =
+      BuildNode(binned, gradients, indices, begin, mid, depth + 1, tree);
+  const int32_t right =
+      BuildNode(binned, gradients, indices, mid, end, depth + 1, tree);
+  (*tree)[node_index].left = left;
+  (*tree)[node_index].right = right;
+  return node_index;
+}
+
+double HistGradientBoostingRegressor::PredictTree(
+    const Tree& tree, std::span<const double> features) const {
+  const TreeNode* node = &tree[0];
+  while (!node->is_leaf()) {
+    node = features[static_cast<size_t>(node->feature)] <= node->threshold
+               ? &tree[static_cast<size_t>(node->left)]
+               : &tree[static_cast<size_t>(node->right)];
+  }
+  return node->value;
+}
+
+std::vector<double> HistGradientBoostingRegressor::FeatureImportances()
+    const {
+  std::vector<double> importances(num_features_, 0.0);
+  double total = 0.0;
+  for (const Tree& tree : trees_) {
+    for (const TreeNode& node : tree) {
+      if (node.is_leaf()) continue;
+      importances[static_cast<size_t>(node.feature)] += node.gain;
+      total += node.gain;
+    }
+  }
+  if (total > 0.0) {
+    for (double& v : importances) v /= total;
+  }
+  return importances;
+}
+
+Result<double> HistGradientBoostingRegressor::Predict(
+    std::span<const double> features) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("XGB model is not fitted");
+  }
+  if (features.size() != num_features_) {
+    return Status::InvalidArgument(
+        "feature count mismatch: got " + std::to_string(features.size()) +
+        ", trained with " + std::to_string(num_features_));
+  }
+  double score = base_score_;
+  for (const Tree& tree : trees_) {
+    score += PredictTree(tree, features);
+  }
+  return score;
+}
+
+
+Status HistGradientBoostingRegressor::Save(std::ostream& out) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("cannot save an unfitted XGB model");
+  }
+  out.precision(17);
+  out << "nextmaint-model v1 XGB\n";
+  out << "base " << base_score_ << "\n";
+  out << "features " << num_features_ << "\n";
+  out << "trees " << trees_.size() << "\n";
+  for (const Tree& tree : trees_) {
+    out << "nodes " << tree.size() << "\n";
+    for (const TreeNode& node : tree) {
+      out << node.left << " " << node.right << " " << node.feature << " "
+          << node.threshold << " " << node.value << "\n";
+    }
+  }
+  out << "end\n";
+  if (!out) return Status::IOError("XGB serialization failed");
+  return Status::OK();
+}
+
+Result<HistGradientBoostingRegressor>
+HistGradientBoostingRegressor::LoadBody(std::istream& in) {
+  std::string token;
+  HistGradientBoostingRegressor model;
+  size_t tree_count = 0;
+  if (!(in >> token >> model.base_score_) || token != "base") {
+    return Status::DataError("XGB: expected 'base <b>'");
+  }
+  if (!(in >> token >> model.num_features_) || token != "features") {
+    return Status::DataError("XGB: expected 'features <p>'");
+  }
+  if (!(in >> token >> tree_count) || token != "trees") {
+    return Status::DataError("XGB: expected 'trees <k>'");
+  }
+  if (tree_count > 1'000'000) {
+    return Status::DataError("XGB: implausible tree count");
+  }
+  model.trees_.reserve(tree_count);
+  for (size_t t = 0; t < tree_count; ++t) {
+    size_t node_count = 0;
+    if (!(in >> token >> node_count) || token != "nodes") {
+      return Status::DataError("XGB: expected 'nodes <n>'");
+    }
+    if (node_count == 0 || node_count > 50'000'000) {
+      return Status::DataError("XGB: implausible node count");
+    }
+    Tree tree(node_count);
+    for (TreeNode& node : tree) {
+      if (!(in >> node.left >> node.right >> node.feature >>
+            node.threshold >> node.value)) {
+        return Status::DataError("XGB: truncated node list");
+      }
+      if (!node.is_leaf() &&
+          (node.left < 0 || node.left >= static_cast<int32_t>(node_count) ||
+           node.right < 0 ||
+           node.right >= static_cast<int32_t>(node_count) ||
+           node.feature < 0 ||
+           node.feature >= static_cast<int32_t>(model.num_features_))) {
+        return Status::DataError("XGB: node indices out of range");
+      }
+    }
+    model.trees_.push_back(std::move(tree));
+  }
+  if (!(in >> token) || token != "end") {
+    return Status::DataError("XGB: missing end marker");
+  }
+  model.fitted_ = true;
+  return model;
+}
+
+}  // namespace ml
+}  // namespace nextmaint

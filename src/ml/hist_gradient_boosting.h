@@ -1,0 +1,153 @@
+#ifndef NEXTMAINT_ML_HIST_GRADIENT_BOOSTING_H_
+#define NEXTMAINT_ML_HIST_GRADIENT_BOOSTING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/regressor.h"
+
+/// \file hist_gradient_boosting.h
+/// Histogram-based gradient boosting regressor — the paper's "XGB" model
+/// ("a popular ensemble method relying on a boosting strategy ... combining
+/// many decision tree regressors"; the authors used a histogram-based
+/// implementation).
+///
+/// Training: feature values are quantized into at most `max_bins` quantile
+/// bins once up front; each boosting stage fits a depth-limited tree to the
+/// current squared-loss gradients by accumulating per-bin gradient
+/// histograms and choosing the split with the largest XGBoost-style gain
+///   gain = GL^2/(HL+l2) + GR^2/(HR+l2) - G^2/(H+l2).
+/// For squared loss the hessian of each sample is 1, so H terms are counts.
+
+namespace nextmaint {
+namespace ml {
+
+/// Quantile binning of a feature matrix; shared by training and ablation
+/// benches (bin-count sensitivity).
+class BinMapper {
+ public:
+  /// Computes per-feature quantile boundaries from `x` (at most
+  /// max_bins bins per feature).
+  void Fit(const Matrix& x, int max_bins);
+
+  /// Bin index of a raw value for feature `feature`.
+  uint16_t BinOf(size_t feature, double value) const;
+
+  /// Upper boundary of `bin` for `feature` — the numeric threshold a split
+  /// at this bin corresponds to.
+  double UpperBound(size_t feature, uint16_t bin) const;
+
+  /// Number of distinct bins actually used by `feature`.
+  size_t BinCount(size_t feature) const;
+
+  size_t num_features() const { return thresholds_.size(); }
+
+ private:
+  // thresholds_[f] holds ascending bin upper-boundaries; value <= t[b]
+  // belongs to the first such bin b; values above the last boundary go to
+  // the final bin.
+  std::vector<std::vector<double>> thresholds_;
+};
+
+/// Gradient-boosted ensemble of histogram trees.
+class HistGradientBoostingRegressor final : public Regressor {
+ public:
+  struct Options {
+    /// Number of boosting stages (trees).
+    int num_iterations = 100;
+    /// Shrinkage applied to each tree's contribution.
+    double learning_rate = 0.1;
+    /// Per-tree depth limit; <= 0 means unlimited (bounded in practice by
+    /// min_samples_leaf).
+    int max_depth = 6;
+    /// Minimum samples in each child of a split.
+    int min_samples_leaf = 20;
+    /// Maximum quantile bins per feature (1..65535; 256 is the classic
+    /// histogram-GBM setting).
+    int max_bins = 256;
+    /// L2 regularization on leaf values.
+    double l2 = 0.0;
+    /// Minimum gain for a split to be kept.
+    double min_gain = 1e-12;
+    /// Early stopping: when positive, this fraction of the training rows
+    /// (the chronological tail) is held out and boosting stops once the
+    /// held-out MSE fails to improve for `early_stopping_rounds` stages.
+    /// The held-out rows are NOT used for tree fitting.
+    double validation_fraction = 0.0;
+    /// Patience for early stopping (only with validation_fraction > 0).
+    int early_stopping_rounds = 10;
+  };
+
+  HistGradientBoostingRegressor() = default;
+  explicit HistGradientBoostingRegressor(Options options)
+      : options_(options) {}
+
+  /// Recognised ParamMap keys: "num_iterations", "max_depth",
+  /// "learning_rate", "min_samples_leaf", "max_bins".
+  static Options OptionsFromParams(const ParamMap& params);
+
+  Status Fit(const Dataset& train) override;
+  Result<double> Predict(std::span<const double> features) const override;
+  std::string name() const override { return "XGB"; }
+  bool is_fitted() const override { return fitted_; }
+  std::unique_ptr<Regressor> Clone() const override {
+    return std::make_unique<HistGradientBoostingRegressor>(*this);
+  }
+  Status Save(std::ostream& out) const override;
+
+  /// Reads a model body serialized by Save (header already consumed).
+  static Result<HistGradientBoostingRegressor> LoadBody(std::istream& in);
+
+  /// Number of trees in the fitted ensemble.
+  size_t tree_count() const { return trees_.size(); }
+  /// Gain-based feature importances accumulated over all boosting stages,
+  /// normalized to sum to 1. Training-time diagnostic: models loaded from
+  /// disk report all-zeros (gains are not persisted).
+  std::vector<double> FeatureImportances() const;
+  /// Training loss (MSE) after each boosting stage; useful for diagnosing
+  /// convergence and for the ablation benches.
+  const std::vector<double>& training_loss_curve() const {
+    return train_loss_;
+  }
+  /// Held-out MSE per stage (empty without early stopping).
+  const std::vector<double>& validation_loss_curve() const {
+    return valid_loss_;
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  struct TreeNode {
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t feature = -1;
+    double threshold = 0.0;  ///< raw-value threshold (bin upper bound)
+    double value = 0.0;      ///< leaf weight (already includes learning rate)
+    double gain = 0.0;       ///< split gain (0 for leaves; not persisted)
+    bool is_leaf() const { return left < 0; }
+  };
+  using Tree = std::vector<TreeNode>;
+
+  /// Builds one tree on the current gradients; `indices` is permuted in
+  /// place. Returns the root index within `tree`.
+  int32_t BuildNode(const std::vector<std::vector<uint16_t>>& binned,
+                    const std::vector<double>& gradients,
+                    std::vector<size_t>* indices, size_t begin, size_t end,
+                    int depth, Tree* tree) const;
+
+  double PredictTree(const Tree& tree, std::span<const double> features) const;
+
+  Options options_;
+  BinMapper bins_;
+  double base_score_ = 0.0;
+  std::vector<Tree> trees_;
+  std::vector<double> train_loss_;
+  std::vector<double> valid_loss_;
+  size_t num_features_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace ml
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_ML_HIST_GRADIENT_BOOSTING_H_

@@ -1,0 +1,124 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace ml {
+
+LinearRegression::Options LinearRegression::OptionsFromParams(
+    const ParamMap& params) {
+  Options options;
+  if (auto it = params.find("l2"); it != params.end()) options.l2 = it->second;
+  return options;
+}
+
+Status LinearRegression::Fit(const Dataset& train) {
+  fitted_ = false;
+  if (train.empty()) {
+    return Status::InvalidArgument("cannot fit LR on an empty dataset");
+  }
+  if (!train.x().AllFinite()) {
+    return Status::InvalidArgument("LR training features contain non-finite");
+  }
+  const size_t n = train.num_rows();
+  const size_t p = train.num_features();
+
+  // Center the targets and (when fitting an intercept) the features so the
+  // intercept stays unpenalized under ridge.
+  std::vector<double> feature_means(p, 0.0);
+  double target_mean = 0.0;
+  if (options_.fit_intercept) {
+    for (size_t r = 0; r < n; ++r) {
+      std::span<const double> row = train.x().Row(r);
+      for (size_t c = 0; c < p; ++c) feature_means[c] += row[c];
+      target_mean += train.y()[r];
+    }
+    for (double& m : feature_means) m /= static_cast<double>(n);
+    target_mean /= static_cast<double>(n);
+  }
+
+  Matrix centered(n, p);
+  std::vector<double> centered_y(n);
+  for (size_t r = 0; r < n; ++r) {
+    std::span<const double> row = train.x().Row(r);
+    for (size_t c = 0; c < p; ++c) {
+      centered(r, c) = row[c] - feature_means[c];
+    }
+    centered_y[r] = train.y()[r] - target_mean;
+  }
+
+  NM_ASSIGN_OR_RETURN(
+      weights_,
+      SolveLeastSquares(
+          centered,
+          std::span<const double>(centered_y.data(), centered_y.size()),
+          options_.l2));
+
+  intercept_ = target_mean;
+  for (size_t c = 0; c < p; ++c) intercept_ -= weights_[c] * feature_means[c];
+  if (!options_.fit_intercept) intercept_ = 0.0;
+
+  for (double w : weights_) {
+    if (!std::isfinite(w)) {
+      return Status::NumericError("LR produced non-finite weights");
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> LinearRegression::Predict(
+    std::span<const double> features) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("LR model is not fitted");
+  }
+  if (features.size() != weights_.size()) {
+    return Status::InvalidArgument(
+        "feature count mismatch: got " + std::to_string(features.size()) +
+        ", trained with " + std::to_string(weights_.size()));
+  }
+  return intercept_ + Dot(features, weights_);
+}
+
+
+Status LinearRegression::Save(std::ostream& out) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("cannot save an unfitted LR model");
+  }
+  out.precision(17);
+  out << "nextmaint-model v1 LR\n";
+  out << "weights " << weights_.size();
+  for (double w : weights_) out << " " << w;
+  out << "\nintercept " << intercept_ << "\nend\n";
+  if (!out) return Status::IOError("LR serialization failed");
+  return Status::OK();
+}
+
+Result<LinearRegression> LinearRegression::LoadBody(std::istream& in) {
+  std::string token;
+  size_t count = 0;
+  if (!(in >> token >> count) || token != "weights") {
+    return Status::DataError("LR: expected 'weights <n>'");
+  }
+  if (count > 1'000'000) {
+    return Status::DataError("LR: implausible weight count");
+  }
+  LinearRegression model;
+  model.weights_.resize(count);
+  for (double& w : model.weights_) {
+    if (!(in >> w)) return Status::DataError("LR: truncated weights");
+  }
+  if (!(in >> token >> model.intercept_) || token != "intercept") {
+    return Status::DataError("LR: expected 'intercept <b>'");
+  }
+  if (!(in >> token) || token != "end") {
+    return Status::DataError("LR: missing end marker");
+  }
+  model.fitted_ = true;
+  return model;
+}
+
+}  // namespace ml
+}  // namespace nextmaint

@@ -1,0 +1,70 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace ml {
+
+namespace {
+
+Status ValidatePair(const std::vector<double>& truth,
+                    const std::vector<double>& predicted) {
+  if (truth.size() != predicted.size()) {
+    return Status::InvalidArgument("metric input lengths differ");
+  }
+  if (truth.empty()) {
+    return Status::InvalidArgument("metric inputs are empty");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> MeanSquaredError(const std::vector<double>& truth,
+                                const std::vector<double>& predicted) {
+  NM_RETURN_NOT_OK(ValidatePair(truth, predicted));
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+Result<double> RootMeanSquaredError(const std::vector<double>& truth,
+                                    const std::vector<double>& predicted) {
+  NM_ASSIGN_OR_RETURN(double mse, MeanSquaredError(truth, predicted));
+  return std::sqrt(mse);
+}
+
+Result<double> MeanAbsoluteError(const std::vector<double>& truth,
+                                 const std::vector<double>& predicted) {
+  NM_RETURN_NOT_OK(ValidatePair(truth, predicted));
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    acc += std::fabs(truth[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+Result<double> R2Score(const std::vector<double>& truth,
+                       const std::vector<double>& predicted) {
+  NM_RETURN_NOT_OK(ValidatePair(truth, predicted));
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot == 0.0) {
+    return Status::NumericError("R^2 undefined for constant truth");
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace ml
+}  // namespace nextmaint

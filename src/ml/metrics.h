@@ -1,0 +1,36 @@
+#ifndef NEXTMAINT_ML_METRICS_H_
+#define NEXTMAINT_ML_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+/// \file metrics.h
+/// Generic regression metrics. The paper-specific error definitions
+/// (E_Global, E_MRE) live in core/errors.h; these are the standard metrics
+/// used inside cross-validation and tests.
+
+namespace nextmaint {
+namespace ml {
+
+/// Mean squared error. Fails on length mismatch or empty input.
+Result<double> MeanSquaredError(const std::vector<double>& truth,
+                                const std::vector<double>& predicted);
+
+/// Root mean squared error.
+Result<double> RootMeanSquaredError(const std::vector<double>& truth,
+                                    const std::vector<double>& predicted);
+
+/// Mean absolute error.
+Result<double> MeanAbsoluteError(const std::vector<double>& truth,
+                                 const std::vector<double>& predicted);
+
+/// Coefficient of determination R^2. Returns NumericError when the truth is
+/// constant (undefined denominator).
+Result<double> R2Score(const std::vector<double>& truth,
+                       const std::vector<double>& predicted);
+
+}  // namespace ml
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_ML_METRICS_H_

@@ -1,0 +1,195 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace nextmaint {
+namespace ml {
+
+RandomForestRegressor::Options RandomForestRegressor::OptionsFromParams(
+    const ParamMap& params) {
+  Options options;
+  if (auto it = params.find("num_estimators"); it != params.end()) {
+    options.num_estimators = static_cast<int>(it->second);
+  }
+  if (auto it = params.find("max_depth"); it != params.end()) {
+    options.max_depth = static_cast<int>(it->second);
+  }
+  if (auto it = params.find("min_samples_leaf"); it != params.end()) {
+    options.min_samples_leaf = static_cast<int>(it->second);
+  }
+  return options;
+}
+
+Status RandomForestRegressor::Fit(const Dataset& train) {
+  trees_.clear();
+  oob_mae_ = std::numeric_limits<double>::quiet_NaN();
+  if (train.empty()) {
+    return Status::InvalidArgument("cannot fit RF on an empty dataset");
+  }
+  if (options_.num_estimators <= 0) {
+    return Status::InvalidArgument("RF requires num_estimators > 0");
+  }
+  if (options_.bootstrap_fraction <= 0.0 ||
+      options_.bootstrap_fraction > 1.0) {
+    return Status::InvalidArgument("bootstrap_fraction must be in (0, 1]");
+  }
+
+  const size_t n = train.num_rows();
+  const size_t p = train.num_features();
+  int max_features = options_.max_features;
+  if (max_features <= 0) {
+    // All features, matching sklearn's RandomForestRegressor default (the
+    // implementation the paper's experiments used); bagging alone
+    // decorrelates the trees.
+    max_features = static_cast<int>(p);
+  }
+
+  Rng rng(options_.seed);
+  const size_t bootstrap_size = std::max<size_t>(
+      1, static_cast<size_t>(options_.bootstrap_fraction *
+                             static_cast<double>(n)));
+
+  // Out-of-bag bookkeeping: accumulated prediction and count per sample.
+  std::vector<double> oob_sum(n, 0.0);
+  std::vector<int> oob_count(n, 0);
+  std::vector<char> in_bag(n);
+
+  trees_.reserve(static_cast<size_t>(options_.num_estimators));
+  for (int t = 0; t < options_.num_estimators; ++t) {
+    std::fill(in_bag.begin(), in_bag.end(), 0);
+    std::vector<size_t> sample(bootstrap_size);
+    for (size_t i = 0; i < bootstrap_size; ++i) {
+      const size_t row = static_cast<size_t>(rng.UniformInt(n));
+      sample[i] = row;
+      in_bag[row] = 1;
+    }
+
+    DecisionTreeRegressor::Options tree_options;
+    tree_options.max_depth = options_.max_depth;
+    tree_options.min_samples_split = options_.min_samples_split;
+    tree_options.min_samples_leaf = options_.min_samples_leaf;
+    tree_options.max_features = max_features;
+    tree_options.seed = rng.NextUint64();
+
+    DecisionTreeRegressor tree(tree_options);
+    NM_RETURN_NOT_OK(tree.FitIndices(train, sample)
+                         .WithContext("tree " + std::to_string(t)));
+
+    for (size_t row = 0; row < n; ++row) {
+      if (in_bag[row]) continue;
+      NM_ASSIGN_OR_RETURN(double pred, tree.Predict(train.x().Row(row)));
+      oob_sum[row] += pred;
+      ++oob_count[row];
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  double abs_err = 0.0;
+  size_t covered = 0;
+  for (size_t row = 0; row < n; ++row) {
+    if (oob_count[row] == 0) continue;
+    abs_err += std::fabs(oob_sum[row] / oob_count[row] - train.y()[row]);
+    ++covered;
+  }
+  if (covered > 0) oob_mae_ = abs_err / static_cast<double>(covered);
+  return Status::OK();
+}
+
+std::vector<double> RandomForestRegressor::FeatureImportances() const {
+  if (trees_.empty()) return {};
+  std::vector<double> total;
+  for (const DecisionTreeRegressor& tree : trees_) {
+    const std::vector<double> imp = tree.FeatureImportances();
+    if (total.empty()) total.assign(imp.size(), 0.0);
+    for (size_t i = 0; i < imp.size(); ++i) total[i] += imp[i];
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+Result<RandomForestRegressor::PredictionInterval>
+RandomForestRegressor::PredictWithSpread(
+    std::span<const double> features) const {
+  if (trees_.empty()) {
+    return Status::FailedPrecondition("RF model is not fitted");
+  }
+  double sum = 0.0, sum_sq = 0.0;
+  for (const DecisionTreeRegressor& tree : trees_) {
+    NM_ASSIGN_OR_RETURN(double pred, tree.Predict(features));
+    sum += pred;
+    sum_sq += pred * pred;
+  }
+  const double n = static_cast<double>(trees_.size());
+  PredictionInterval interval;
+  interval.mean = sum / n;
+  const double variance =
+      std::max(0.0, sum_sq / n - interval.mean * interval.mean);
+  interval.stddev = std::sqrt(variance);
+  return interval;
+}
+
+Result<double> RandomForestRegressor::Predict(
+    std::span<const double> features) const {
+  if (trees_.empty()) {
+    return Status::FailedPrecondition("RF model is not fitted");
+  }
+  double sum = 0.0;
+  for (const DecisionTreeRegressor& tree : trees_) {
+    NM_ASSIGN_OR_RETURN(double pred, tree.Predict(features));
+    sum += pred;
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+
+Status RandomForestRegressor::Save(std::ostream& out) const {
+  if (trees_.empty()) {
+    return Status::FailedPrecondition("cannot save an unfitted RF model");
+  }
+  out << "nextmaint-model v1 RF\n";
+  out << "trees " << trees_.size() << "\n";
+  for (const DecisionTreeRegressor& tree : trees_) {
+    NM_RETURN_NOT_OK(tree.Save(out));
+  }
+  out << "end\n";
+  if (!out) return Status::IOError("RF serialization failed");
+  return Status::OK();
+}
+
+Result<RandomForestRegressor> RandomForestRegressor::LoadBody(
+    std::istream& in) {
+  std::string token;
+  size_t count = 0;
+  if (!(in >> token >> count) || token != "trees") {
+    return Status::DataError("RF: expected 'trees <k>'");
+  }
+  if (count == 0 || count > 1'000'000) {
+    return Status::DataError("RF: implausible tree count");
+  }
+  RandomForestRegressor model;
+  model.trees_.reserve(count);
+  for (size_t t = 0; t < count; ++t) {
+    std::string magic, version, name;
+    if (!(in >> magic >> version >> name) || name != "Tree") {
+      return Status::DataError("RF: expected embedded tree header");
+    }
+    NM_ASSIGN_OR_RETURN(DecisionTreeRegressor tree,
+                        DecisionTreeRegressor::LoadBody(in));
+    model.trees_.push_back(std::move(tree));
+  }
+  if (!(in >> token) || token != "end") {
+    return Status::DataError("RF: missing end marker");
+  }
+  return model;
+}
+
+}  // namespace ml
+}  // namespace nextmaint

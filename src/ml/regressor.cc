@@ -1,0 +1,19 @@
+#include "ml/regressor.h"
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace ml {
+
+Result<std::vector<double>> Regressor::PredictBatch(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    NM_ASSIGN_OR_RETURN(double value, Predict(x.Row(r)));
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace ml
+}  // namespace nextmaint

@@ -1,0 +1,71 @@
+#ifndef NEXTMAINT_ML_REGRESSOR_H_
+#define NEXTMAINT_ML_REGRESSOR_H_
+
+#include <functional>
+#include <istream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+/// \file regressor.h
+/// The common interface implemented by every regression model in the zoo
+/// (LR, LSVR, decision tree, RF, XGB) and by the paper's BL baseline wrapper.
+
+namespace nextmaint {
+namespace ml {
+
+/// Flat hyper-parameter assignment used by the grid-search machinery.
+/// Every tunable of every model is expressible as a double (integer
+/// parameters are rounded by the consumer).
+using ParamMap = std::map<std::string, double>;
+
+/// Abstract regression model.
+///
+/// Lifecycle: construct (possibly from an options struct) -> Fit ->
+/// Predict/PredictBatch. Fitting again discards the previous state.
+/// Predicting before a successful Fit returns FailedPrecondition.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains the model. Returns InvalidArgument for empty or non-finite
+  /// data, NumericError when optimization fails.
+  virtual Status Fit(const Dataset& train) = 0;
+
+  /// Predicts the target for one feature row. The length must equal the
+  /// training feature count.
+  virtual Result<double> Predict(std::span<const double> features) const = 0;
+
+  /// Predicts a batch; default implementation loops over Predict.
+  virtual Result<std::vector<double>> PredictBatch(const Matrix& x) const;
+
+  /// Short identifier, e.g. "LR", "LSVR", "RF", "XGB".
+  virtual std::string name() const = 0;
+
+  /// True after a successful Fit.
+  virtual bool is_fitted() const = 0;
+
+  /// Deep copy carrying the fitted state (used by model selection to keep
+  /// the winning model).
+  virtual std::unique_ptr<Regressor> Clone() const = 0;
+
+  /// Serializes the fitted model to a line-oriented text format that
+  /// ml::LoadRegressor (or core::LoadAnyModel for BL) can read back.
+  /// Fails with FailedPrecondition on unfitted models.
+  virtual Status Save(std::ostream& out) const = 0;
+};
+
+/// Factory signature used by grid search: builds a fresh model for a
+/// hyper-parameter assignment.
+using RegressorFactory =
+    std::function<std::unique_ptr<Regressor>(const ParamMap&)>;
+
+}  // namespace ml
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_ML_REGRESSOR_H_

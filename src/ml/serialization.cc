@@ -1,0 +1,67 @@
+#include "ml/serialization.h"
+
+#include "common/macros.h"
+
+#include "ml/decision_tree.h"
+#include "ml/hist_gradient_boosting.h"
+#include "ml/linear_regression.h"
+#include "ml/linear_svr.h"
+#include "ml/random_forest.h"
+
+namespace nextmaint {
+namespace ml {
+
+Result<std::string> ReadModelHeader(std::istream& in) {
+  std::string magic, version, name;
+  if (!(in >> magic >> version >> name)) {
+    return Status::DataError("truncated model header");
+  }
+  if (magic != kModelMagic) {
+    return Status::DataError("bad model magic: '" + magic + "'");
+  }
+  if (version != kModelVersion) {
+    return Status::DataError("unsupported model format version: " + version);
+  }
+  return name;
+}
+
+Result<std::unique_ptr<Regressor>> LoadRegressor(std::istream& in) {
+  NM_ASSIGN_OR_RETURN(std::string name, ReadModelHeader(in));
+  return LoadRegressorBody(name, in);
+}
+
+Result<std::unique_ptr<Regressor>> LoadRegressorBody(const std::string& name,
+                                                     std::istream& in) {
+  if (name == "LR") {
+    NM_ASSIGN_OR_RETURN(LinearRegression model, LinearRegression::LoadBody(in));
+    return std::unique_ptr<Regressor>(
+        std::make_unique<LinearRegression>(std::move(model)));
+  }
+  if (name == "LSVR") {
+    NM_ASSIGN_OR_RETURN(LinearSvr model, LinearSvr::LoadBody(in));
+    return std::unique_ptr<Regressor>(
+        std::make_unique<LinearSvr>(std::move(model)));
+  }
+  if (name == "Tree") {
+    NM_ASSIGN_OR_RETURN(DecisionTreeRegressor model,
+                        DecisionTreeRegressor::LoadBody(in));
+    return std::unique_ptr<Regressor>(
+        std::make_unique<DecisionTreeRegressor>(std::move(model)));
+  }
+  if (name == "RF") {
+    NM_ASSIGN_OR_RETURN(RandomForestRegressor model,
+                        RandomForestRegressor::LoadBody(in));
+    return std::unique_ptr<Regressor>(
+        std::make_unique<RandomForestRegressor>(std::move(model)));
+  }
+  if (name == "XGB") {
+    NM_ASSIGN_OR_RETURN(HistGradientBoostingRegressor model,
+                        HistGradientBoostingRegressor::LoadBody(in));
+    return std::unique_ptr<Regressor>(
+        std::make_unique<HistGradientBoostingRegressor>(std::move(model)));
+  }
+  return Status::NotFound("unknown serialized model type: '" + name + "'");
+}
+
+}  // namespace ml
+}  // namespace nextmaint

@@ -1,0 +1,49 @@
+#ifndef NEXTMAINT_ML_SERIALIZATION_H_
+#define NEXTMAINT_ML_SERIALIZATION_H_
+
+#include <istream>
+#include <memory>
+
+#include "common/status.h"
+#include "ml/regressor.h"
+
+/// \file serialization.h
+/// Model persistence.
+///
+/// Every fitted model serializes to a line-oriented text format via
+/// Regressor::Save; this header provides the matching reader. The format is
+/// versioned ("nextmaint-model v1 <name>") and deliberately human-auditable
+/// — the deployed system stores per-vehicle models alongside the fleet
+/// database and operators occasionally inspect them.
+///
+/// The reader recognises the generic model zoo (LR, LSVR, Tree, RF, XGB).
+/// The problem-specific BL predictor lives in core; use
+/// core::LoadAnyModel to read files that may contain either kind.
+
+namespace nextmaint {
+namespace ml {
+
+/// Magic first token of every serialized model.
+inline constexpr const char* kModelMagic = "nextmaint-model";
+/// Current format version token.
+inline constexpr const char* kModelVersion = "v1";
+
+/// Reads the "nextmaint-model v1 <name>" header and returns the model name,
+/// leaving the stream positioned at the model body. Fails with DataError on
+/// malformed or version-mismatched headers.
+Result<std::string> ReadModelHeader(std::istream& in);
+
+/// Reconstructs a model serialized by Regressor::Save. Fails with NotFound
+/// for model names this reader does not know (e.g. "BL" — see
+/// core::LoadAnyModel).
+Result<std::unique_ptr<Regressor>> LoadRegressor(std::istream& in);
+
+/// Loads a model whose header has already been consumed (used by
+/// LoadRegressor and by core::LoadAnyModel to dispatch on the name).
+Result<std::unique_ptr<Regressor>> LoadRegressorBody(
+    const std::string& name, std::istream& in);
+
+}  // namespace ml
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_ML_SERIALIZATION_H_

@@ -1,0 +1,107 @@
+#include "telematics/can_bus.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nextmaint {
+namespace telem {
+
+Result<std::vector<CanFrame>> SimulateCanDay(const CanDayOptions& options,
+                                             Rng* rng) {
+  if (options.frequency_hz <= 0.0 || options.frequency_hz > 1000.0) {
+    return Status::InvalidArgument("frequency_hz must be in (0, 1000]");
+  }
+  if (options.working_seconds < 0.0 || options.working_seconds > 86400.0) {
+    return Status::InvalidArgument("working_seconds must be in [0, 86400]");
+  }
+  if (options.mean_bout_seconds <= 0.0) {
+    return Status::InvalidArgument("mean_bout_seconds must be positive");
+  }
+
+  const double tick_seconds = 1.0 / options.frequency_hz;
+  const int64_t ticks_per_day =
+      static_cast<int64_t>(86400.0 * options.frequency_hz);
+  const int64_t working_ticks_target = static_cast<int64_t>(
+      std::llround(options.working_seconds * options.frequency_hz));
+
+  // Lay out the day exactly: draw bout lengths ~ Exp(1/mean_bout) until
+  // they sum to the working budget (last bout truncated), then distribute
+  // the day's idle time over the gaps before/between/after the bouts with
+  // random proportions. The result covers exactly working_ticks_target
+  // ticks and is time-ordered by construction.
+  std::vector<int64_t> bout_lengths;
+  int64_t remaining = working_ticks_target;
+  while (remaining > 0) {
+    int64_t bout_ticks = static_cast<int64_t>(
+        std::ceil(rng->Exponential(1.0 / options.mean_bout_seconds) *
+                  options.frequency_hz));
+    bout_ticks = std::clamp<int64_t>(bout_ticks, 1, remaining);
+    bout_lengths.push_back(bout_ticks);
+    remaining -= bout_ticks;
+  }
+
+  const int64_t idle_ticks = ticks_per_day - working_ticks_target;
+  std::vector<int64_t> gap_lengths(bout_lengths.size() + 1, 0);
+  if (idle_ticks > 0 && !gap_lengths.empty()) {
+    std::vector<double> weights(gap_lengths.size());
+    double weight_sum = 0.0;
+    for (double& w : weights) {
+      w = rng->Exponential(1.0);
+      weight_sum += w;
+    }
+    int64_t assigned = 0;
+    for (size_t g = 0; g + 1 < gap_lengths.size(); ++g) {
+      gap_lengths[g] = static_cast<int64_t>(
+          static_cast<double>(idle_ticks) * weights[g] / weight_sum);
+      assigned += gap_lengths[g];
+    }
+    gap_lengths.back() = idle_ticks - assigned;
+  }
+
+  std::vector<std::pair<int64_t, int64_t>> bouts;  // [start_tick, end_tick)
+  bouts.reserve(bout_lengths.size());
+  int64_t cursor = 0;
+  for (size_t b = 0; b < bout_lengths.size(); ++b) {
+    cursor += gap_lengths[b];
+    bouts.emplace_back(cursor, cursor + bout_lengths[b]);
+    cursor += bout_lengths[b];
+  }
+
+  // Emit frames only while the engine is on (a parked machine is silent on
+  // the working-state channel); this keeps test-scale volumes manageable and
+  // matches how controllers deduplicate idle traffic.
+  std::vector<CanFrame> frames;
+  const SensorModel& s = options.sensors;
+  double temp = s.ambient_temp_c;
+  for (const auto& [begin, end] : bouts) {
+    for (int64_t tick = begin; tick < end; ++tick) {
+      CanFrame frame;
+      frame.timestamp_ms =
+          static_cast<int64_t>(static_cast<double>(tick) * tick_seconds *
+                               1000.0);
+      frame.working = true;
+      frame.engine_speed_rpm =
+          rng->Normal(s.working_rpm_mean, s.working_rpm_stddev);
+      frame.oil_pressure_kpa =
+          rng->Normal(s.working_oil_kpa_mean, s.working_oil_kpa_stddev);
+      temp += s.temp_lag * (s.working_temp_c - temp);
+      frame.coolant_temp_c = temp;
+      frames.push_back(frame);
+    }
+    // Cool toward ambient between bouts (coarse step per gap).
+    temp += 0.5 * (s.ambient_temp_c - temp);
+  }
+  return frames;
+}
+
+double WorkingSecondsOf(const std::vector<CanFrame>& frames,
+                        double frequency_hz) {
+  size_t working = 0;
+  for (const CanFrame& frame : frames) {
+    if (frame.working) ++working;
+  }
+  return static_cast<double>(working) / frequency_hz;
+}
+
+}  // namespace telem
+}  // namespace nextmaint

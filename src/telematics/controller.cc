@@ -1,0 +1,130 @@
+#include "telematics/controller.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/macros.h"
+#include "data/preprocess.h"
+
+namespace nextmaint {
+namespace telem {
+
+Result<std::vector<SummaryReport>> SummarizeDay(
+    const std::string& vehicle_id, Date date,
+    const std::vector<CanFrame>& frames, const ControllerOptions& options) {
+  if (options.report_period_s <= 0.0 || options.report_period_s > 86400.0) {
+    return Status::InvalidArgument("report_period_s must be in (0, 86400]");
+  }
+  if (options.frequency_hz <= 0.0) {
+    return Status::InvalidArgument("frequency_hz must be positive");
+  }
+  for (size_t i = 1; i < frames.size(); ++i) {
+    if (frames[i].timestamp_ms < frames[i - 1].timestamp_ms) {
+      return Status::DataError("CAN frames are not time-ordered at index " +
+                               std::to_string(i));
+    }
+  }
+
+  const double tick_seconds = 1.0 / options.frequency_hz;
+  std::vector<SummaryReport> reports;
+  SummaryReport current;
+  double rpm_sum = 0.0;
+  size_t working_frames = 0;
+  int64_t current_window = -1;
+
+  auto flush = [&]() {
+    if (current.message_count == 0) return;
+    current.mean_engine_rpm =
+        working_frames > 0 ? rpm_sum / static_cast<double>(working_frames)
+                           : 0.0;
+    reports.push_back(current);
+  };
+
+  for (const CanFrame& frame : frames) {
+    const double t_seconds = static_cast<double>(frame.timestamp_ms) / 1000.0;
+    const int64_t window =
+        static_cast<int64_t>(t_seconds / options.report_period_s);
+    if (window != current_window) {
+      flush();
+      current = SummaryReport{};
+      current.vehicle_id = vehicle_id;
+      current.date = date;
+      current.window_start_s =
+          static_cast<double>(window) * options.report_period_s;
+      current.window_end_s = current.window_start_s + options.report_period_s;
+      current.min_oil_pressure_kpa = std::numeric_limits<double>::infinity();
+      current.max_coolant_temp_c = -std::numeric_limits<double>::infinity();
+      rpm_sum = 0.0;
+      working_frames = 0;
+      current_window = window;
+    }
+    ++current.message_count;
+    if (frame.working) {
+      current.working_seconds += tick_seconds;
+      rpm_sum += frame.engine_speed_rpm;
+      ++working_frames;
+      current.max_coolant_temp_c =
+          std::max(current.max_coolant_temp_c, frame.coolant_temp_c);
+      current.min_oil_pressure_kpa =
+          std::min(current.min_oil_pressure_kpa, frame.oil_pressure_kpa);
+    }
+  }
+  flush();
+  return reports;
+}
+
+void ReportCollector::Ingest(const std::vector<SummaryReport>& reports) {
+  reports_.insert(reports_.end(), reports.begin(), reports.end());
+}
+
+std::vector<std::string> ReportCollector::VehicleIds() const {
+  std::set<std::string> ids;
+  for (const SummaryReport& report : reports_) ids.insert(report.vehicle_id);
+  return {ids.begin(), ids.end()};
+}
+
+Result<data::Table> ReportCollector::ReportsTable(
+    const std::string& vehicle_id) const {
+  data::Column date_col("date", data::ColumnType::kString);
+  data::Column window_col("window_start_s", data::ColumnType::kDouble);
+  data::Column seconds_col("working_seconds", data::ColumnType::kDouble);
+  data::Column rpm_col("mean_engine_rpm", data::ColumnType::kDouble);
+  data::Column temp_col("max_coolant_temp_c", data::ColumnType::kDouble);
+  data::Column oil_col("min_oil_pressure_kpa", data::ColumnType::kDouble);
+  data::Column count_col("message_count", data::ColumnType::kInt64);
+
+  bool found = false;
+  for (const SummaryReport& report : reports_) {
+    if (report.vehicle_id != vehicle_id) continue;
+    found = true;
+    date_col.AppendString(report.date.ToString());
+    window_col.AppendDouble(report.window_start_s);
+    seconds_col.AppendDouble(report.working_seconds);
+    rpm_col.AppendDouble(report.mean_engine_rpm);
+    temp_col.AppendDouble(report.max_coolant_temp_c);
+    oil_col.AppendDouble(report.min_oil_pressure_kpa);
+    count_col.AppendInt64(static_cast<int64_t>(report.message_count));
+  }
+  if (!found) {
+    return Status::NotFound("no reports for vehicle '" + vehicle_id + "'");
+  }
+  data::Table table;
+  NM_RETURN_NOT_OK(table.AddColumn(std::move(date_col)));
+  NM_RETURN_NOT_OK(table.AddColumn(std::move(window_col)));
+  NM_RETURN_NOT_OK(table.AddColumn(std::move(seconds_col)));
+  NM_RETURN_NOT_OK(table.AddColumn(std::move(rpm_col)));
+  NM_RETURN_NOT_OK(table.AddColumn(std::move(temp_col)));
+  NM_RETURN_NOT_OK(table.AddColumn(std::move(oil_col)));
+  NM_RETURN_NOT_OK(table.AddColumn(std::move(count_col)));
+  return table;
+}
+
+Result<data::DailySeries> ReportCollector::DailyUtilization(
+    const std::string& vehicle_id) const {
+  NM_ASSIGN_OR_RETURN(data::Table table, ReportsTable(vehicle_id));
+  return data::AggregateDaily(table, "date", "working_seconds");
+}
+
+}  // namespace telem
+}  // namespace nextmaint

@@ -1,0 +1,85 @@
+#ifndef NEXTMAINT_TELEMATICS_CONTROLLER_H_
+#define NEXTMAINT_TELEMATICS_CONTROLLER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/status.h"
+#include "data/table.h"
+#include "data/time_series.h"
+#include "telematics/can_bus.h"
+
+/// \file controller.h
+/// The on-board controller and the cloud-side collector.
+///
+/// Controller: consumes the CAN frame stream of one day, windows it into
+/// periodic summary reports ("a controller which processes it, periodically
+/// generates a summary report, and sends it to a cloud server").
+///
+/// ReportCollector: the cloud side — accumulates reports across vehicles
+/// and days and materializes per-vehicle daily utilization series (via the
+/// data-preparation aggregation step).
+
+namespace nextmaint {
+namespace telem {
+
+/// One summary report uploaded by the controller.
+struct SummaryReport {
+  std::string vehicle_id;
+  Date date;
+  /// Report window within the day, in seconds since midnight.
+  double window_start_s = 0.0;
+  double window_end_s = 0.0;
+  /// Seconds of working time observed in the window.
+  double working_seconds = 0.0;
+  /// Telemetry statistics over working frames in the window.
+  double mean_engine_rpm = 0.0;
+  double max_coolant_temp_c = 0.0;
+  double min_oil_pressure_kpa = 0.0;
+  size_t message_count = 0;
+};
+
+/// Options for the summarization process.
+struct ControllerOptions {
+  /// Report period in seconds (default: hourly reports).
+  double report_period_s = 3600.0;
+  /// CAN frame rate the controller assumes when integrating working time.
+  double frequency_hz = 100.0;
+};
+
+/// Windows one day of CAN frames into summary reports. Windows with no
+/// frames produce no report (the cloud treats absent windows as zero usage).
+/// Frames must be time-ordered; fails with DataError otherwise.
+Result<std::vector<SummaryReport>> SummarizeDay(
+    const std::string& vehicle_id, Date date,
+    const std::vector<CanFrame>& frames, const ControllerOptions& options);
+
+/// Cloud-side accumulator of summary reports.
+class ReportCollector {
+ public:
+  /// Ingests a batch of reports (any vehicle/day order).
+  void Ingest(const std::vector<SummaryReport>& reports);
+
+  /// Vehicles seen so far, sorted.
+  std::vector<std::string> VehicleIds() const;
+
+  /// All reports of one vehicle as a relational table with columns
+  /// (date: string, window_start_s, working_seconds, mean_engine_rpm,
+  /// max_coolant_temp_c, min_oil_pressure_kpa, message_count).
+  Result<data::Table> ReportsTable(const std::string& vehicle_id) const;
+
+  /// Daily utilization series of one vehicle: the aggregation step of the
+  /// preparation pipeline applied to the report table. Days inside the
+  /// observed range with no reports come back as NaN for the cleaning step.
+  Result<data::DailySeries> DailyUtilization(
+      const std::string& vehicle_id) const;
+
+ private:
+  std::vector<SummaryReport> reports_;
+};
+
+}  // namespace telem
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_TELEMATICS_CONTROLLER_H_

@@ -1,0 +1,198 @@
+#include "telematics/fleet.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace telem {
+
+Result<const VehicleHistory*> Fleet::Find(const std::string& id) const {
+  for (const VehicleHistory& vehicle : vehicles) {
+    if (vehicle.profile.id == id) return &vehicle;
+  }
+  return Status::NotFound("no vehicle '" + id + "' in fleet");
+}
+
+std::vector<VehicleProfile> DefaultFleetProfiles(int num_vehicles, Rng* rng) {
+  NM_CHECK(num_vehicles > 0);
+  std::vector<VehicleProfile> profiles;
+  profiles.reserve(static_cast<size_t>(num_vehicles));
+
+  for (int i = 0; i < num_vehicles; ++i) {
+    VehicleProfile p;
+    p.id = "v" + std::to_string(i + 1);
+    // Rotate over five archetypes; jitter decorrelates same-archetype
+    // vehicles so the similarity matching has real work to do.
+    const double jitter = rng->Uniform(0.85, 1.15);
+    switch (i % 5) {
+      case 0:
+        // Steady heavy user: works most days at 20k-30k s with occasional
+        // multi-day pauses (paper's v1).
+        p.model_name = "excavator-22t";
+        p.idle_persistence = 0.93;
+        p.work_persistence = 0.99;
+        p.heavy_share = 0.7;
+        p.heavy_mean_s = 30'000.0 * jitter;
+        p.light_mean_s = 9'000.0 * jitter;
+        p.idle_zero_prob = 0.9;
+        p.weekend_work_prob = 0.05;
+        p.seasonal_amplitude = 0.08;
+        break;
+      case 1:
+        // Bursty: idle for weeks, then sustained full capacity (paper's v2).
+        p.model_name = "crawler-crane";
+        p.idle_persistence = 0.985;
+        p.work_persistence = 0.99;
+        p.heavy_share = 0.8;
+        p.heavy_mean_s = 34'000.0 * jitter;
+        p.light_mean_s = 12'000.0 * jitter;
+        p.idle_zero_prob = 0.93;
+        p.weekend_work_prob = 0.8;
+        p.seasonal_amplitude = 0.05;
+        break;
+      case 2:
+        // Strongly seasonal earth-mover (winter slowdown).
+        p.model_name = "wheel-loader";
+        p.idle_persistence = 0.96;
+        p.work_persistence = 0.985;
+        p.heavy_share = 0.65;
+        p.heavy_mean_s = 28'000.0 * jitter;
+        p.light_mean_s = 8'000.0 * jitter;
+        p.seasonal_amplitude = 0.5;
+        p.seasonal_phase = 0.25;  // peak in summer
+        p.weekend_work_prob = 0.05;
+        break;
+      case 3:
+        // Light-duty utility machine with a wide light/heavy gap.
+        p.model_name = "telehandler";
+        p.idle_persistence = 0.95;
+        p.work_persistence = 0.99;
+        p.heavy_share = 0.5;
+        p.heavy_mean_s = 24'000.0 * jitter;
+        p.light_mean_s = 7'000.0 * jitter;
+        p.light_stddev_s = 1'500.0;
+        p.weekend_work_prob = 0.02;
+        p.seasonal_amplitude = 0.12;
+        break;
+      default:
+        // Weekday-only site machine with moderate intensity.
+        p.model_name = "backhoe-loader";
+        p.idle_persistence = 0.9;
+        p.work_persistence = 0.99;
+        p.heavy_share = 0.65;
+        p.heavy_mean_s = 28'000.0 * jitter;
+        p.light_mean_s = 9'000.0 * jitter;
+        p.weekend_work_prob = 0.02;
+        p.seasonal_amplitude = 0.1;
+        break;
+    }
+    p.seasonal_phase += rng->Uniform(-0.05, 0.05);
+    p.heavy_stddev_s = 0.08 * p.heavy_mean_s;
+    p.light_stddev_s = 0.12 * p.light_mean_s;
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+Result<VehicleHistory> SimulateVehicle(const VehicleProfile& profile,
+                                       Date start_date, int num_days,
+                                       double missing_day_fraction, Rng* rng,
+                                       const WeatherSeries* weather) {
+  NM_RETURN_NOT_OK(profile.Validate().WithContext(profile.id));
+  if (num_days <= 0) {
+    return Status::InvalidArgument("num_days must be positive");
+  }
+  if (missing_day_fraction < 0.0 || missing_day_fraction >= 1.0) {
+    return Status::InvalidArgument("missing_day_fraction must be in [0, 1)");
+  }
+  if (weather != nullptr &&
+      (weather->size() < static_cast<size_t>(num_days) ||
+       weather->start_date != start_date)) {
+    return Status::InvalidArgument(
+        "weather series must cover the simulated period");
+  }
+
+  VehicleHistory history;
+  history.profile = profile;
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(num_days));
+
+  UsageState state;
+  double cycle_usage = 0.0;
+  for (int day = 0; day < num_days; ++day) {
+    const Date date = start_date.AddDays(day);
+    state.first_cycle_progress = cycle_usage / profile.maintenance_interval_s;
+    double seconds = SimulateUsageDay(profile, date, &state, rng);
+    if (weather != nullptr) {
+      seconds *= (*weather)[static_cast<size_t>(day)].WorkabilityFactor();
+    }
+    cycle_usage += seconds;
+    if (cycle_usage >= profile.maintenance_interval_s) {
+      history.maintenance_days.push_back(static_cast<size_t>(day));
+      // The unused remainder above T_v carries into the new cycle: the
+      // machine does not stop mid-shift for scheduled service.
+      cycle_usage -= profile.maintenance_interval_s;
+      state.in_first_cycle = false;
+    }
+    values.push_back(seconds);
+  }
+
+  // Telemetry-outage injection: replace observed days by NaN after the
+  // fact so maintenance bookkeeping reflects true usage, as in reality
+  // (machines work even when the modem is down).
+  if (missing_day_fraction > 0.0) {
+    for (double& v : values) {
+      if (rng->Bernoulli(missing_day_fraction)) {
+        v = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+  }
+
+  history.utilization = data::DailySeries(start_date, std::move(values));
+  return history;
+}
+
+Result<Fleet> SimulateFleetWithProfiles(
+    const FleetOptions& options,
+    const std::vector<VehicleProfile>& profiles) {
+  if (profiles.empty()) {
+    return Status::InvalidArgument("profile list is empty");
+  }
+  Fleet fleet;
+  fleet.start_date = options.start_date;
+  Rng master(options.seed);
+  if (options.with_weather) {
+    Rng weather_rng = master.Fork();
+    NM_ASSIGN_OR_RETURN(
+        fleet.weather,
+        SimulateWeather(options.weather, options.start_date,
+                        options.num_days, &weather_rng));
+  }
+  for (const VehicleProfile& base : profiles) {
+    VehicleProfile profile = base;
+    profile.maintenance_interval_s = options.maintenance_interval_s;
+    Rng vehicle_rng = master.Fork();
+    NM_ASSIGN_OR_RETURN(
+        VehicleHistory history,
+        SimulateVehicle(profile, options.start_date, options.num_days,
+                        options.missing_day_fraction, &vehicle_rng,
+                        options.with_weather ? &fleet.weather : nullptr));
+    fleet.vehicles.push_back(std::move(history));
+  }
+  return fleet;
+}
+
+Result<Fleet> SimulateFleet(const FleetOptions& options) {
+  if (options.num_vehicles <= 0) {
+    return Status::InvalidArgument("num_vehicles must be positive");
+  }
+  Rng profile_rng(options.seed ^ 0xABCDEF);
+  const std::vector<VehicleProfile> profiles =
+      DefaultFleetProfiles(options.num_vehicles, &profile_rng);
+  return SimulateFleetWithProfiles(options, profiles);
+}
+
+}  // namespace telem
+}  // namespace nextmaint

@@ -1,0 +1,98 @@
+#ifndef NEXTMAINT_TELEMATICS_FLEET_H_
+#define NEXTMAINT_TELEMATICS_FLEET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/time_series.h"
+#include "telematics/usage_model.h"
+#include "telematics/weather.h"
+
+/// \file fleet.h
+/// Whole-fleet simulation: the stand-in for the paper's dataset of "24
+/// heterogeneous vehicles acquired over a 4 year period (from January 2015
+/// to September 2019)".
+
+namespace nextmaint {
+namespace telem {
+
+/// Complete simulated history of one vehicle.
+struct VehicleHistory {
+  VehicleProfile profile;
+  /// Daily utilization seconds, gap-free unless missing-data injection is
+  /// enabled (NaN marks telemetry outages).
+  data::DailySeries utilization;
+  /// Day indices (into `utilization`) on which a maintenance operation
+  /// occurred, i.e. cumulative usage since the previous maintenance crossed
+  /// the vehicle's maintenance_interval_s at the end of that day.
+  std::vector<size_t> maintenance_days;
+};
+
+/// A simulated fleet.
+struct Fleet {
+  Date start_date;
+  std::vector<VehicleHistory> vehicles;
+  /// Site weather over the simulated period; empty unless the fleet was
+  /// simulated with_weather.
+  WeatherSeries weather;
+
+  /// Lookup by vehicle id; NotFound when absent.
+  Result<const VehicleHistory*> Find(const std::string& id) const;
+};
+
+/// Options for fleet construction.
+struct FleetOptions {
+  /// Number of vehicles (the paper studies 24).
+  int num_vehicles = 24;
+  /// First day of data acquisition (paper: January 2015).
+  Date start_date;
+  /// Days of history (paper: Jan 2015 - Sep 2019 ~ 1735 days).
+  int num_days = 1735;
+  /// Allowed usage seconds between maintenances, applied to every vehicle
+  /// (the paper considers T_v = 2,000,000 s).
+  double maintenance_interval_s = 2'000'000.0;
+  /// Fraction of days whose telemetry is lost in transit (NaN in the
+  /// series). 0 disables injection; the preparation pipeline repairs them.
+  double missing_day_fraction = 0.0;
+  /// Couple usage to simulated site weather: daily utilization is scaled
+  /// by the day's workability factor (rain / frost suppression). Enables
+  /// the contextual-enrichment extension benches.
+  bool with_weather = false;
+  /// Site climate used when with_weather is true.
+  WeatherModel weather;
+  /// Master seed; each vehicle forks an independent stream.
+  uint64_t seed = 20150101;
+};
+
+/// Builds the default heterogeneous 24-vehicle cohort: a deterministic
+/// rotation over five archetypes (steady heavy user, bursty
+/// idle-then-full-capacity, strongly seasonal, light-duty, weekday-only)
+/// with per-vehicle jitter drawn from `rng`. Vehicle ids are "v1".."vN".
+std::vector<VehicleProfile> DefaultFleetProfiles(int num_vehicles, Rng* rng);
+
+/// Simulates the full history of a fleet with the default profiles.
+Result<Fleet> SimulateFleet(const FleetOptions& options);
+
+/// Simulates the full history of a fleet with caller-provided profiles
+/// (each profile is validated).
+Result<Fleet> SimulateFleetWithProfiles(
+    const FleetOptions& options, const std::vector<VehicleProfile>& profiles);
+
+/// Simulates one vehicle: iterates the usage model day by day, tracks
+/// cumulative usage and emits maintenance events each time it crosses
+/// profile.maintenance_interval_s (the remainder carries into the next
+/// cycle). The first-cycle usage reduction ends at the first event.
+/// When `weather` is non-null (its size must cover num_days) each day's
+/// utilization is scaled by the day's workability factor.
+Result<VehicleHistory> SimulateVehicle(const VehicleProfile& profile,
+                                       Date start_date, int num_days,
+                                       double missing_day_fraction, Rng* rng,
+                                       const WeatherSeries* weather = nullptr);
+
+}  // namespace telem
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_TELEMATICS_FLEET_H_

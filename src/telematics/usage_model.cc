@@ -1,0 +1,120 @@
+#include "telematics/usage_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace telem {
+
+namespace {
+
+Status CheckProbability(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be a probability, got " +
+                                   std::to_string(p));
+  }
+  return Status::OK();
+}
+
+Status CheckPositive(double v, const char* name) {
+  if (v <= 0.0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be positive, got " +
+                                   std::to_string(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VehicleProfile::Validate() const {
+  if (id.empty()) return Status::InvalidArgument("vehicle id is empty");
+  NM_RETURN_NOT_OK(CheckPositive(maintenance_interval_s,
+                                 "maintenance_interval_s"));
+  NM_RETURN_NOT_OK(CheckProbability(idle_persistence, "idle_persistence"));
+  NM_RETURN_NOT_OK(CheckProbability(work_persistence, "work_persistence"));
+  NM_RETURN_NOT_OK(CheckProbability(heavy_share, "heavy_share"));
+  NM_RETURN_NOT_OK(CheckProbability(idle_zero_prob, "idle_zero_prob"));
+  NM_RETURN_NOT_OK(CheckProbability(weekend_work_prob, "weekend_work_prob"));
+  NM_RETURN_NOT_OK(CheckPositive(light_mean_s, "light_mean_s"));
+  NM_RETURN_NOT_OK(CheckPositive(heavy_mean_s, "heavy_mean_s"));
+  if (idle_max_s < 0.0) {
+    return Status::InvalidArgument("idle_max_s must be non-negative");
+  }
+  if (seasonal_amplitude < 0.0 || seasonal_amplitude > 1.0) {
+    return Status::InvalidArgument("seasonal_amplitude must be in [0, 1]");
+  }
+  if (first_cycle_factor <= 0.0 || first_cycle_factor > 1.0) {
+    return Status::InvalidArgument("first_cycle_factor must be in (0, 1]");
+  }
+  if (first_cycle_ramp_end <= 0.0 || first_cycle_ramp_end > 1.0) {
+    return Status::InvalidArgument("first_cycle_ramp_end must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+UsageRegime NextRegime(const VehicleProfile& profile, UsageRegime current,
+                       Rng* rng) {
+  if (current == UsageRegime::kIdle) {
+    if (rng->Bernoulli(profile.idle_persistence)) return UsageRegime::kIdle;
+    return rng->Bernoulli(profile.heavy_share) ? UsageRegime::kHeavy
+                                               : UsageRegime::kLight;
+  }
+  if (rng->Bernoulli(profile.work_persistence)) return current;
+  // Leaving the current working regime: mostly drop to idle, sometimes
+  // switch intensity (split evenly).
+  if (rng->Bernoulli(0.5)) return UsageRegime::kIdle;
+  return rng->Bernoulli(profile.heavy_share) ? UsageRegime::kHeavy
+                                             : UsageRegime::kLight;
+}
+
+double SimulateUsageDay(const VehicleProfile& profile, Date date,
+                        UsageState* state, Rng* rng) {
+  state->regime = NextRegime(profile, state->regime, rng);
+
+  double seconds = 0.0;
+  switch (state->regime) {
+    case UsageRegime::kIdle:
+      seconds = rng->Bernoulli(profile.idle_zero_prob)
+                    ? 0.0
+                    : rng->Uniform(0.0, profile.idle_max_s);
+      break;
+    case UsageRegime::kLight:
+      seconds = rng->Normal(profile.light_mean_s, profile.light_stddev_s);
+      break;
+    case UsageRegime::kHeavy:
+      seconds = rng->Normal(profile.heavy_mean_s, profile.heavy_stddev_s);
+      break;
+  }
+
+  // Weekend gate: most construction work pauses on weekends.
+  if (date.IsWeekend() && !rng->Bernoulli(profile.weekend_work_prob)) {
+    seconds = 0.0;
+  }
+
+  // Annual seasonality (e.g. winter slowdowns for earth-moving machines).
+  const double year_fraction =
+      static_cast<double>(date.DayOfYear()) / 365.25;
+  seconds *= 1.0 + profile.seasonal_amplitude *
+                       std::sin(2.0 * M_PI *
+                                (year_fraction + profile.seasonal_phase));
+
+  if (state->in_first_cycle) {
+    // Ramp-in of a newly delivered machine: factor rises linearly with
+    // first-cycle usage progress and saturates at 1.
+    const double progress =
+        std::clamp(state->first_cycle_progress /
+                       std::max(profile.first_cycle_ramp_end, 1e-9),
+                   0.0, 1.0);
+    seconds *= profile.first_cycle_factor +
+               (1.0 - profile.first_cycle_factor) * progress;
+  }
+
+  return std::clamp(seconds, 0.0, 86400.0);
+}
+
+}  // namespace telem
+}  // namespace nextmaint

@@ -1,0 +1,108 @@
+#ifndef NEXTMAINT_TELEMATICS_USAGE_MODEL_H_
+#define NEXTMAINT_TELEMATICS_USAGE_MODEL_H_
+
+#include <string>
+
+#include "common/date.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+/// \file usage_model.h
+/// Per-vehicle stochastic daily-utilization model.
+///
+/// The closed Tierra dataset is replaced by a generator designed to
+/// reproduce the statistical properties the paper reports:
+///  - heterogeneous vehicles (Fig. 1): steady users with occasional days
+///    off vs. machines idle for weeks that suddenly work at full capacity;
+///  - non-stationary series: regime persistence (idle / light / heavy work
+///    regimes form multi-week runs), weekly and annual seasonality;
+///  - lower usage in the first maintenance cycle (Sec. 4.4: first-cycle
+///    mean 10,676 s vs 13,792 s afterwards, ~30% lower);
+///  - zero-usage runs that create the vertical steps of Fig. 3.
+///
+/// The regime layer is a 3-state Markov chain (kIdle, kLight, kHeavy) whose
+/// self-transition probabilities control run lengths. Given the regime, the
+/// day's utilization seconds are drawn from a regime-specific distribution
+/// and modulated by weekday/season multipliers.
+
+namespace nextmaint {
+namespace telem {
+
+/// Work intensity regime of a vehicle on a given day.
+enum class UsageRegime { kIdle = 0, kLight = 1, kHeavy = 2 };
+
+/// Static description of one vehicle's usage behaviour.
+struct VehicleProfile {
+  std::string id;
+  /// Human-readable machine model, e.g. "excavator-22t".
+  std::string model_name;
+  /// Allowed usage seconds between maintenance operations (T_v).
+  double maintenance_interval_s = 2'000'000.0;
+
+  // --- Markov regime dynamics (rows sum to 1 implicitly; only
+  // self-persistence and the heavy/light balance are parameters). ---
+  /// P(stay idle | idle). High values create multi-week dead periods.
+  double idle_persistence = 0.6;
+  /// P(stay in current working regime | working).
+  double work_persistence = 0.9;
+  /// P(heavy | leaving idle or switching working regime).
+  double heavy_share = 0.5;
+
+  // --- Conditional daily utilization (seconds). ---
+  /// P(an idle-regime day has exactly zero usage).
+  double idle_zero_prob = 0.85;
+  /// Upper bound of residual idle-day usage (short repositioning etc.).
+  double idle_max_s = 2'000.0;
+  double light_mean_s = 9'000.0;
+  double light_stddev_s = 2'500.0;
+  double heavy_mean_s = 26'000.0;
+  double heavy_stddev_s = 4'500.0;
+
+  // --- Calendar modulation. ---
+  /// P(a weekend day is worked at all); failed draws give zero usage.
+  double weekend_work_prob = 0.25;
+  /// Relative amplitude of the annual sinusoid (0 = none).
+  double seasonal_amplitude = 0.15;
+  /// Phase of the annual sinusoid in fractions of a year.
+  double seasonal_phase = 0.0;
+
+  /// Usage multiplier at the very start of the first maintenance cycle.
+  /// A new machine ramps into service: usage starts at this fraction of
+  /// normal and rises linearly (in cycle progress) until
+  /// `first_cycle_ramp_end`, after which it is at full level. Averaged over
+  /// the cycle this reproduces the ~30% first-cycle deficit the paper
+  /// reports (10,676 s vs 13,792 s mean daily usage) while making the
+  /// first-half average a poor predictor of the end-of-cycle rate — the
+  /// reason the semi-new BL baseline degrades so badly (Table 3).
+  double first_cycle_factor = 0.35;
+  /// Fraction of first-cycle usage progress at which the ramp completes.
+  double first_cycle_ramp_end = 0.75;
+
+  /// Validates ranges (probabilities in [0,1], positive scales).
+  Status Validate() const;
+};
+
+/// Evolving state of one vehicle's generator.
+struct UsageState {
+  UsageRegime regime = UsageRegime::kIdle;
+  /// True until the first maintenance event completes.
+  bool in_first_cycle = true;
+  /// Fraction of the first cycle's allowed usage already consumed
+  /// (cumulative usage / T_v, in [0, 1]); maintained by the caller and used
+  /// to position the ramp. Ignored once in_first_cycle is false.
+  double first_cycle_progress = 0.0;
+};
+
+/// Draws the next day's regime given the current one.
+UsageRegime NextRegime(const VehicleProfile& profile, UsageRegime current,
+                       Rng* rng);
+
+/// Draws one day of utilization seconds and advances `state->regime`.
+/// The result is clamped to [0, 86400].
+double SimulateUsageDay(const VehicleProfile& profile, Date date,
+                        UsageState* state, Rng* rng);
+
+}  // namespace telem
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_TELEMATICS_USAGE_MODEL_H_

@@ -1,0 +1,103 @@
+#include "telematics/weather.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace telem {
+
+double WeatherDay::WorkabilityFactor() const {
+  double factor = 1.0;
+  // Rain: light rain barely matters; beyond ~20 mm sites shut down.
+  if (precipitation_mm > 2.0) {
+    factor *= std::max(0.0, 1.0 - (precipitation_mm - 2.0) / 18.0);
+  }
+  // Frost: productivity degrades below 0C and stops near -15C.
+  if (temperature_c < 0.0) {
+    factor *= std::max(0.0, 1.0 + temperature_c / 15.0);
+  }
+  return std::clamp(factor, 0.0, 1.0);
+}
+
+Status WeatherModel::Validate() const {
+  if (seasonal_swing_c < 0.0 || temperature_noise_c < 0.0) {
+    return Status::InvalidArgument("temperature scales must be >= 0");
+  }
+  if (temperature_persistence < 0.0 || temperature_persistence >= 1.0) {
+    return Status::InvalidArgument(
+        "temperature_persistence must be in [0, 1)");
+  }
+  if (wet_probability < 0.0 || wet_probability > 1.0) {
+    return Status::InvalidArgument("wet_probability must be in [0, 1]");
+  }
+  if (wet_persistence_boost < 0.0 ||
+      wet_probability + wet_persistence_boost > 1.0) {
+    return Status::InvalidArgument(
+        "wet_persistence_boost must keep P(wet|wet) within [0, 1]");
+  }
+  if (mean_rain_mm <= 0.0) {
+    return Status::InvalidArgument("mean_rain_mm must be positive");
+  }
+  return Status::OK();
+}
+
+Result<WeatherSeries> SimulateWeather(const WeatherModel& model,
+                                      Date start_date, int num_days,
+                                      Rng* rng) {
+  NM_RETURN_NOT_OK(model.Validate());
+  if (num_days <= 0) {
+    return Status::InvalidArgument("num_days must be positive");
+  }
+
+  WeatherSeries series;
+  series.start_date = start_date;
+  series.days.reserve(static_cast<size_t>(num_days));
+
+  double noise = 0.0;
+  bool yesterday_wet = false;
+  for (int d = 0; d < num_days; ++d) {
+    const Date date = start_date.AddDays(d);
+    WeatherDay day;
+
+    // Annual sinusoid peaking mid-July (northern-hemisphere site).
+    const double year_fraction =
+        static_cast<double>(date.DayOfYear()) / 365.25;
+    const double seasonal =
+        model.mean_temperature_c +
+        model.seasonal_swing_c *
+            std::sin(2.0 * M_PI * (year_fraction - 0.29));
+    noise = model.temperature_persistence * noise +
+            rng->Normal(0.0, model.temperature_noise_c);
+    day.temperature_c = seasonal + noise;
+
+    // Wet/dry Markov chain; winters are a little wetter.
+    const double seasonal_wet_shift =
+        0.08 * std::cos(2.0 * M_PI * (year_fraction - 0.05));
+    double p_wet = model.wet_probability + seasonal_wet_shift +
+                   (yesterday_wet ? model.wet_persistence_boost : 0.0);
+    p_wet = std::clamp(p_wet, 0.0, 1.0);
+    if (rng->Bernoulli(p_wet)) {
+      day.precipitation_mm = rng->Exponential(1.0 / model.mean_rain_mm);
+      yesterday_wet = true;
+    } else {
+      day.precipitation_mm = 0.0;
+      yesterday_wet = false;
+    }
+    series.days.push_back(day);
+  }
+  return series;
+}
+
+std::vector<double> WeatherSeries::WorkabilityFactors() const {
+  std::vector<double> factors;
+  factors.reserve(days.size());
+  for (const WeatherDay& day : days) {
+    factors.push_back(day.WorkabilityFactor());
+  }
+  return factors;
+}
+
+}  // namespace telem
+}  // namespace nextmaint

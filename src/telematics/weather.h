@@ -1,0 +1,74 @@
+#ifndef NEXTMAINT_TELEMATICS_WEATHER_H_
+#define NEXTMAINT_TELEMATICS_WEATHER_H_
+
+#include <vector>
+
+#include "common/date.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+/// \file weather.h
+/// Synthetic site weather — the contextual signal the paper's conclusions
+/// propose to exploit ("we plan to enrich regression models using
+/// contextual information (e.g., meteorological data, fleet movements)").
+///
+/// Daily weather per site: temperature follows an annual sinusoid with
+/// autocorrelated noise; precipitation follows a two-state (wet/dry)
+/// Markov chain with seasonal wet-probability. Construction work degrades
+/// in heavy rain and hard frost, so weather feeds the usage model
+/// (usage_model.h) and, in deployment, the *forecast* for the next days is
+/// a legitimate model input (weather is known ahead, unlike usage).
+
+namespace nextmaint {
+namespace telem {
+
+/// Weather observed (or forecast) for one day at one site.
+struct WeatherDay {
+  double temperature_c = 15.0;
+  double precipitation_mm = 0.0;
+
+  /// Fraction of a normal work day achievable under these conditions,
+  /// in [0, 1]: heavy rain and frost suppress outdoor machine work.
+  double WorkabilityFactor() const;
+};
+
+/// Parameters of the site climate.
+struct WeatherModel {
+  double mean_temperature_c = 12.0;
+  /// Amplitude of the annual temperature sinusoid.
+  double seasonal_swing_c = 10.0;
+  /// Day-to-day temperature noise (AR(1) innovation std dev).
+  double temperature_noise_c = 2.5;
+  /// Autocorrelation of the temperature noise.
+  double temperature_persistence = 0.7;
+  /// Base probability a day is wet, before seasonality.
+  double wet_probability = 0.3;
+  /// P(wet | yesterday wet) - P(wet | yesterday dry) boost.
+  double wet_persistence_boost = 0.35;
+  /// Mean rainfall on wet days (exponential), in mm.
+  double mean_rain_mm = 8.0;
+
+  Status Validate() const;
+};
+
+/// A contiguous daily weather series for one site.
+struct WeatherSeries {
+  Date start_date;
+  std::vector<WeatherDay> days;
+
+  size_t size() const { return days.size(); }
+  const WeatherDay& operator[](size_t i) const { return days[i]; }
+
+  /// Per-day workability factors (convenience for feature building).
+  std::vector<double> WorkabilityFactors() const;
+};
+
+/// Simulates `num_days` of site weather. Deterministic given the rng seed.
+Result<WeatherSeries> SimulateWeather(const WeatherModel& model,
+                                      Date start_date, int num_days,
+                                      Rng* rng);
+
+}  // namespace telem
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_TELEMATICS_WEATHER_H_

@@ -1,0 +1,177 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace nextmaint {
+namespace cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ParseArgsTest, FlagForms) {
+  const ParsedArgs args = ParseArgs(
+      {"simulate", "--out", "/tmp/x", "--days=42", "--weather", "--seed",
+       "7", "extra"});
+  EXPECT_EQ(args.positional, (std::vector<std::string>{"simulate", "extra"}));
+  EXPECT_EQ(args.FlagOr("out", ""), "/tmp/x");
+  EXPECT_EQ(args.FlagOr("days", ""), "42");
+  EXPECT_TRUE(args.HasFlag("weather"));
+  EXPECT_EQ(args.flags.at("weather"), "");
+  EXPECT_EQ(args.FlagOr("seed", ""), "7");
+  EXPECT_FALSE(args.HasFlag("absent"));
+  EXPECT_EQ(args.FlagOr("absent", "fallback"), "fallback");
+}
+
+TEST(ParseArgsTest, SwitchFollowedByFlag) {
+  const ParsedArgs args = ParseArgs({"--weather", "--out", "dir"});
+  EXPECT_EQ(args.flags.at("weather"), "");
+  EXPECT_EQ(args.flags.at("out"), "dir");
+}
+
+TEST(ParseArgsTest, TypedFlagAccessors) {
+  const ParsedArgs args = ParseArgs({"--n", "5", "--x", "2.5", "--bad", "z"});
+  EXPECT_EQ(args.IntFlagOr("n", 0).ValueOrDie(), 5);
+  EXPECT_EQ(args.IntFlagOr("missing", 9).ValueOrDie(), 9);
+  EXPECT_DOUBLE_EQ(args.DoubleFlagOr("x", 0.0).ValueOrDie(), 2.5);
+  EXPECT_FALSE(args.IntFlagOr("bad", 0).ok());
+  EXPECT_FALSE(args.DoubleFlagOr("bad", 0.0).ok());
+}
+
+TEST(RunCommandTest, MissingOrUnknownCommand) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCommand({}, out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCommand({"teleport"}, out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_NE(RunCommand({"teleport"}, out).message().find("usage"),
+            std::string::npos);
+}
+
+TEST(RunCommandTest, CommandsValidateRequiredFlags) {
+  std::ostringstream out;
+  EXPECT_FALSE(RunCommand({"simulate"}, out).ok());
+  EXPECT_FALSE(RunCommand({"forecast"}, out).ok());
+  EXPECT_FALSE(RunCommand({"plan"}, out).ok());
+  EXPECT_FALSE(RunCommand({"evaluate"}, out).ok());
+}
+
+class CliPipelineTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(testing::TempDir()) / "nextmaint_cli_test";
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(CliPipelineTest, SimulateWritesFleetCsvs) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "3",
+                          "--days", "400", "--tv", "500000"},
+                         out)
+                  .ok());
+  EXPECT_NE(out.str().find("wrote 3 vehicle series"), std::string::npos);
+  EXPECT_TRUE(fs::exists(dir_ / "v1.csv"));
+  EXPECT_TRUE(fs::exists(dir_ / "v3.csv"));
+  EXPECT_TRUE(fs::exists(dir_ / "fleet.csv"));
+
+  // The per-vehicle CSV has the documented schema.
+  std::ifstream file(dir_ / "v1.csv");
+  std::string header;
+  std::getline(file, header);
+  EXPECT_EQ(header, "date,utilization_s");
+}
+
+TEST_F(CliPipelineTest, SimulateForecastRoundTrip) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "3",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  std::ostringstream forecast_out;
+  ASSERT_TRUE(RunCommand({"forecast", "--data", Dir(), "--tv", "500000",
+                          "--window", "3"},
+                         forecast_out)
+                  .ok());
+  const std::string text = forecast_out.str();
+  EXPECT_NE(text.find("v1"), std::string::npos);
+  EXPECT_NE(text.find("v3"), std::string::npos);
+  EXPECT_NE(text.find("old"), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, ForecastSavesModels) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "2",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  const std::string model_path = (dir_ / "models.txt").string();
+  std::ostringstream forecast_out;
+  ASSERT_TRUE(RunCommand({"forecast", "--data", Dir(), "--tv", "500000",
+                          "--window", "3", "--save-models", model_path},
+                         forecast_out)
+                  .ok());
+  std::ifstream models(model_path);
+  std::string first_token;
+  models >> first_token;
+  EXPECT_EQ(first_token, "vehicle");
+}
+
+TEST_F(CliPipelineTest, PlanBooksEveryVehicle) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "3",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  std::ostringstream plan_out;
+  ASSERT_TRUE(RunCommand({"plan", "--data", Dir(), "--tv", "500000",
+                          "--window", "3", "--capacity", "2", "--horizon",
+                          "120", "--weekends"},
+                         plan_out)
+                  .ok());
+  EXPECT_NE(plan_out.str().find("workshop plan"), std::string::npos);
+  EXPECT_NE(plan_out.str().find("total cost"), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, EvaluateComparesAlgorithms) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "1",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  std::ostringstream eval_out;
+  ASSERT_TRUE(RunCommand({"evaluate", "--data", Dir(), "--tv", "500000",
+                          "--window", "3", "--last29"},
+                         eval_out)
+                  .ok());
+  for (const char* algorithm : {"BL", "LR", "LSVR", "RF", "XGB"}) {
+    EXPECT_NE(eval_out.str().find(algorithm), std::string::npos);
+  }
+}
+
+TEST_F(CliPipelineTest, ForecastOnMissingDirectoryFails) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCommand({"forecast", "--data", Dir() + "/nope"}, out).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CliPipelineTest, CorruptCsvSurfacesDataError) {
+  fs::create_directories(dir_);
+  std::ofstream bad(dir_ / "vbad.csv");
+  bad << "date,utilization_s\n2015-01-01,10,EXTRA\n";
+  bad.close();
+  std::ostringstream out;
+  const Status status = RunCommand({"forecast", "--data", Dir()}, out);
+  EXPECT_EQ(status.code(), StatusCode::kDataError);
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace nextmaint

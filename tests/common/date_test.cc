@@ -1,0 +1,126 @@
+#include "common/date.h"
+
+#include <gtest/gtest.h>
+
+namespace nextmaint {
+namespace {
+
+TEST(DateTest, EpochIsDayZero) {
+  const Date epoch;
+  EXPECT_EQ(epoch.day_number(), 0);
+  EXPECT_EQ(epoch.ToString(), "1970-01-01");
+  EXPECT_EQ(epoch.weekday(), Weekday::kThursday);
+}
+
+TEST(DateTest, FromYmdRoundTrips) {
+  const Date date = Date::FromYmd(2015, 1, 1).ValueOrDie();
+  EXPECT_EQ(date.year(), 2015);
+  EXPECT_EQ(date.month(), 1);
+  EXPECT_EQ(date.day(), 1);
+  EXPECT_EQ(date.ToString(), "2015-01-01");
+}
+
+TEST(DateTest, KnownDayNumbers) {
+  EXPECT_EQ(Date::FromYmd(1970, 1, 2).ValueOrDie().day_number(), 1);
+  EXPECT_EQ(Date::FromYmd(1969, 12, 31).ValueOrDie().day_number(), -1);
+  // 2000-03-01 is a classic leap-year boundary check.
+  EXPECT_EQ(Date::FromYmd(2000, 3, 1).ValueOrDie().day_number(), 11017);
+}
+
+TEST(DateTest, RejectsInvalidDates) {
+  EXPECT_FALSE(Date::FromYmd(2020, 13, 1).ok());
+  EXPECT_FALSE(Date::FromYmd(2020, 0, 1).ok());
+  EXPECT_FALSE(Date::FromYmd(2020, 2, 30).ok());
+  EXPECT_FALSE(Date::FromYmd(2019, 2, 29).ok());  // not a leap year
+  EXPECT_TRUE(Date::FromYmd(2020, 2, 29).ok());   // leap year
+  EXPECT_FALSE(Date::FromYmd(2020, 4, 31).ok());  // April has 30 days
+}
+
+TEST(DateTest, CenturyLeapRules) {
+  EXPECT_TRUE(Date::FromYmd(2000, 2, 29).ok());   // divisible by 400
+  EXPECT_FALSE(Date::FromYmd(1900, 2, 29).ok());  // divisible by 100 only
+}
+
+TEST(DateTest, ParseAcceptsIsoFormat) {
+  const Date date = Date::Parse("2019-09-30").ValueOrDie();
+  EXPECT_EQ(date.ToString(), "2019-09-30");
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Date::Parse("").ok());
+  EXPECT_FALSE(Date::Parse("yesterday").ok());
+  EXPECT_FALSE(Date::Parse("2019-13-01").ok());
+  EXPECT_FALSE(Date::Parse("2019-02-30").ok());
+}
+
+TEST(DateTest, AddDaysCrossesMonthAndYear) {
+  const Date date = Date::FromYmd(2015, 12, 31).ValueOrDie();
+  EXPECT_EQ(date.AddDays(1).ToString(), "2016-01-01");
+  EXPECT_EQ(date.AddDays(-31).ToString(), "2015-11-30");
+  EXPECT_EQ(date.AddDays(366).ToString(), "2016-12-31");  // 2016 is leap
+}
+
+TEST(DateTest, DaysSinceIsSigned) {
+  const Date a = Date::FromYmd(2015, 1, 1).ValueOrDie();
+  const Date b = Date::FromYmd(2015, 3, 1).ValueOrDie();
+  EXPECT_EQ(b.DaysSince(a), 59);
+  EXPECT_EQ(a.DaysSince(b), -59);
+  EXPECT_EQ(a.DaysSince(a), 0);
+}
+
+TEST(DateTest, WeekdayCycle) {
+  // 2015-01-01 was a Thursday.
+  Date date = Date::FromYmd(2015, 1, 1).ValueOrDie();
+  EXPECT_EQ(date.weekday(), Weekday::kThursday);
+  EXPECT_EQ(date.AddDays(1).weekday(), Weekday::kFriday);
+  EXPECT_EQ(date.AddDays(2).weekday(), Weekday::kSaturday);
+  EXPECT_EQ(date.AddDays(3).weekday(), Weekday::kSunday);
+  EXPECT_EQ(date.AddDays(4).weekday(), Weekday::kMonday);
+  EXPECT_EQ(date.AddDays(7).weekday(), Weekday::kThursday);
+}
+
+TEST(DateTest, IsWeekend) {
+  const Date saturday = Date::FromYmd(2015, 1, 3).ValueOrDie();
+  EXPECT_TRUE(saturday.IsWeekend());
+  EXPECT_TRUE(saturday.AddDays(1).IsWeekend());    // Sunday
+  EXPECT_FALSE(saturday.AddDays(2).IsWeekend());   // Monday
+  EXPECT_FALSE(saturday.AddDays(-1).IsWeekend());  // Friday
+}
+
+TEST(DateTest, WeekdayBeforeEpochIsCorrect) {
+  // 1969-12-31 was a Wednesday.
+  EXPECT_EQ(Date::FromYmd(1969, 12, 31).ValueOrDie().weekday(),
+            Weekday::kWednesday);
+}
+
+TEST(DateTest, DayOfYear) {
+  EXPECT_EQ(Date::FromYmd(2015, 1, 1).ValueOrDie().DayOfYear(), 1);
+  EXPECT_EQ(Date::FromYmd(2015, 12, 31).ValueOrDie().DayOfYear(), 365);
+  EXPECT_EQ(Date::FromYmd(2016, 12, 31).ValueOrDie().DayOfYear(), 366);
+  EXPECT_EQ(Date::FromYmd(2016, 3, 1).ValueOrDie().DayOfYear(), 61);
+}
+
+TEST(DateTest, ComparisonOperators) {
+  const Date a = Date::FromYmd(2015, 5, 1).ValueOrDie();
+  const Date b = Date::FromYmd(2015, 5, 2).ValueOrDie();
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, Date::FromYmd(2015, 5, 1).ValueOrDie());
+  EXPECT_NE(a, b);
+  EXPECT_LE(a, a);
+}
+
+TEST(DateTest, RoundTripOverFourYears) {
+  // Every day of the study period round-trips through civil conversion.
+  Date date = Date::FromYmd(2015, 1, 1).ValueOrDie();
+  for (int i = 0; i < 1735; ++i) {
+    const Date current = date.AddDays(i);
+    const Date rebuilt =
+        Date::FromYmd(current.year(), current.month(), current.day())
+            .ValueOrDie();
+    ASSERT_EQ(rebuilt.day_number(), current.day_number());
+  }
+}
+
+}  // namespace
+}  // namespace nextmaint

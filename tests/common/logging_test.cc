@@ -1,0 +1,76 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace nextmaint {
+namespace {
+
+/// Captures stderr around a callback (gtest's capture facility).
+template <typename Fn>
+std::string CaptureStderr(Fn&& fn) {
+  testing::internal::CaptureStderr();
+  fn();
+  return testing::internal::GetCapturedStderr();
+}
+
+class LoggingTest : public testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogThreshold(); }
+  void TearDown() override { SetLogThreshold(previous_); }
+  LogLevel previous_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, DefaultThresholdSuppressesInfo) {
+  SetLogThreshold(LogLevel::kWarning);
+  const std::string output =
+      CaptureStderr([] { NM_LOG(Info) << "hidden message"; });
+  EXPECT_TRUE(output.empty());
+}
+
+TEST_F(LoggingTest, WarningsAreEmittedWithMetadata) {
+  SetLogThreshold(LogLevel::kWarning);
+  const std::string output =
+      CaptureStderr([] { NM_LOG(Warning) << "disk almost full: " << 93 << "%"; });
+  EXPECT_NE(output.find("disk almost full: 93%"), std::string::npos);
+  EXPECT_NE(output.find("[WARN"), std::string::npos);
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ThresholdChangeTakesEffect) {
+  SetLogThreshold(LogLevel::kDebug);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kDebug);
+  const std::string output =
+      CaptureStderr([] { NM_LOG(Debug) << "now visible"; });
+  EXPECT_NE(output.find("now visible"), std::string::npos);
+  EXPECT_NE(output.find("[DEBUG"), std::string::npos);
+
+  SetLogThreshold(LogLevel::kError);
+  const std::string suppressed =
+      CaptureStderr([] { NM_LOG(Warning) << "quiet"; });
+  EXPECT_TRUE(suppressed.empty());
+}
+
+TEST_F(LoggingTest, ErrorAlwaysEmitted) {
+  SetLogThreshold(LogLevel::kError);
+  const std::string output =
+      CaptureStderr([] { NM_LOG(Error) << "fatal-ish"; });
+  EXPECT_NE(output.find("[ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamedValuesNotEvaluatedWhenDisabled) {
+  SetLogThreshold(LogLevel::kError);
+  // Values are still evaluated (stream semantics), but nothing is emitted;
+  // this documents the contract.
+  int calls = 0;
+  auto count = [&calls]() {
+    ++calls;
+    return 1;
+  };
+  const std::string output =
+      CaptureStderr([&] { NM_LOG(Info) << count(); });
+  EXPECT_TRUE(output.empty());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace nextmaint

@@ -1,0 +1,116 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nextmaint {
+namespace {
+
+TEST(MeanTest, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({5}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-2, 2}), 0.0);
+}
+
+TEST(VarianceTest, PopulationVariance) {
+  EXPECT_DOUBLE_EQ(Variance({2, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1, 3}), 1.0);     // mean 2, deviations +-1
+  EXPECT_DOUBLE_EQ(Variance({0, 0, 6}), 8.0);  // mean 2: 4+4+16 over 3
+}
+
+TEST(SampleStdDevTest, BesselCorrection) {
+  EXPECT_DOUBLE_EQ(SampleStdDev({1, 3}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(SampleStdDev({7}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({}), 0.0);
+}
+
+TEST(MinMaxTest, Basic) {
+  EXPECT_DOUBLE_EQ(Min({3, -1, 2}), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3, -1, 2}), 3.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  const std::vector<double> values = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2}, 0.5), 1.5);
+}
+
+TEST(QuantileTest, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({5, 1, 3, 2, 4}, 0.5), 3.0);
+}
+
+TEST(MedianTest, EvenAndOdd) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}).ValueOrDie(), 1.0,
+              1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}).ValueOrDie(), -1.0,
+              1e-12);
+}
+
+TEST(PearsonTest, IndependentIsNearZero) {
+  // Orthogonal patterns.
+  EXPECT_NEAR(PearsonCorrelation({1, -1, 1, -1}, {1, 1, -1, -1}).ValueOrDie(),
+              0.0, 1e-12);
+}
+
+TEST(PearsonTest, ErrorCases) {
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1}, {2}).ok());
+  EXPECT_FALSE(PearsonCorrelation({2, 2, 2}, {1, 2, 3}).ok());  // constant
+}
+
+TEST(PointwiseAverageDistanceTest, Basic) {
+  EXPECT_DOUBLE_EQ(PointwiseAverageDistance({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PointwiseAverageDistance({0, 0}, {3, 5}), 4.0);
+}
+
+TEST(PointwiseAverageDistanceTest, UsesCommonPrefix) {
+  EXPECT_DOUBLE_EQ(PointwiseAverageDistance({1, 1, 1, 100}, {2, 2, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(PointwiseAverageDistance({}, {1, 2}), 0.0);
+}
+
+TEST(NormalizedEuclideanTest, Basic) {
+  EXPECT_DOUBLE_EQ(NormalizedEuclideanDistance({0, 0}, {3, 4}),
+                   std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(NormalizedEuclideanDistance({1, 2}, {1, 2}), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics) {
+  const std::vector<double> values = {4.0, -2.0, 7.5, 0.0, 3.25};
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_NEAR(stats.mean(), Mean(values), 1e-12);
+  EXPECT_NEAR(stats.variance(), Variance(values), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.5);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace nextmaint

@@ -1,0 +1,143 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::DataError("x").code(), StatusCode::kDataError);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NumericError("x").code(), StatusCode::kNumericError);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unknown("x").code(), StatusCode::kUnknown);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+  EXPECT_FALSE(Status::InvalidArgument("bad").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("vehicle v9").ToString(),
+            "not-found: vehicle v9");
+}
+
+TEST(StatusTest, WithContextPrependsOnError) {
+  const Status inner = Status::IOError("disk full");
+  const Status outer = inner.WithContext("writing report");
+  EXPECT_EQ(outer.code(), StatusCode::kIOError);
+  EXPECT_EQ(outer.message(), "writing report: disk full");
+}
+
+TEST(StatusTest, WithContextIsNoOpOnOk) {
+  const Status ok = Status::OK().WithContext("anything");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.message(), "");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  const Status original = Status::DataError("row 7");
+  const Status copy = original;  // NOLINT(performance-unnecessary-copy...)
+  EXPECT_EQ(copy, original);
+  EXPECT_EQ(copy.message(), "row 7");
+}
+
+TEST(StatusTest, MovedFromStatusStaysValid) {
+  Status original = Status::DataError("row 7");
+  const Status moved = std::move(original);
+  EXPECT_EQ(moved.code(), StatusCode::kDataError);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::DataError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusCodeTest, EveryCodeHasAName) {
+  for (int code = 0; code <= 8; ++code) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(code)),
+                 "invalid-code");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<int> error(Status::NotFound("nope"));
+  EXPECT_EQ(error.ValueOr(-1), -1);
+  Result<int> value(5);
+  EXPECT_EQ(value.ValueOr(-1), 5);
+}
+
+TEST(ResultTest, MoveValueOrDieTransfersOwnership) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(9));
+  std::unique_ptr<int> value = result.MoveValueOrDie();
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 9);
+}
+
+TEST(ResultTest, ValueOrDieOnErrorAborts) {
+  Result<int> error(Status::DataError("boom"));
+  EXPECT_DEATH(error.ValueOrDie(), "boom");
+}
+
+// Helpers exercising the propagation macros.
+Status FailingStep() { return Status::IOError("inner failure"); }
+
+Status UsesReturnNotOk() {
+  NM_RETURN_NOT_OK(FailingStep());
+  return Status::OK();
+}
+
+Result<int> ProducesValue() { return 21; }
+
+Result<int> UsesAssignOrReturn() {
+  NM_ASSIGN_OR_RETURN(int value, ProducesValue());
+  return value * 2;
+}
+
+Result<int> PropagatesError() {
+  NM_ASSIGN_OR_RETURN(int value, Result<int>(Status::NotFound("gone")));
+  return value;
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kIOError);
+}
+
+TEST(MacrosTest, AssignOrReturnBindsValue) {
+  EXPECT_EQ(UsesAssignOrReturn().ValueOrDie(), 42);
+}
+
+TEST(MacrosTest, AssignOrReturnPropagatesError) {
+  EXPECT_EQ(PropagatesError().status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace nextmaint

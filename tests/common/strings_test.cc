@@ -1,0 +1,102 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace nextmaint {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  EXPECT_EQ(Split("a,b,", ','), (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(SplitTest, AlternativeDelimiter) {
+  EXPECT_EQ(Split("1;2;3", ';'), (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim("nothing"), "nothing");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(TrimTest, KeepsInteriorWhitespace) {
+  EXPECT_EQ(Trim(" a b "), "a b");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").ValueOrDie(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").ValueOrDie(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("  7 ").ValueOrDie(), 7.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("0").ValueOrDie(), 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("   ").ok());
+  EXPECT_FALSE(ParseDouble("12abc").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  EXPECT_EQ(ParseInt64("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt64("-17").ValueOrDie(), -17);
+  EXPECT_EQ(ParseInt64(" 100 ").ValueOrDie(), 100);
+}
+
+TEST(ParseInt64Test, RejectsInvalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("3.5").ok());
+  EXPECT_FALSE(ParseInt64("ten").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());  // overflow
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("nextmaint", "next"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(StartsWith("abc", "abc"));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_FALSE(StartsWith("abc", "b"));
+}
+
+TEST(FormatDoubleTest, RespectsPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d items, %.1f s", 3, 2.5), "3 items, 2.5 s");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(StrFormatTest, HandlesLongOutput) {
+  const std::string long_arg(1000, 'x');
+  const std::string result = StrFormat("<%s>", long_arg.c_str());
+  EXPECT_EQ(result.size(), 1002u);
+  EXPECT_EQ(result.front(), '<');
+  EXPECT_EQ(result.back(), '>');
+}
+
+}  // namespace
+}  // namespace nextmaint

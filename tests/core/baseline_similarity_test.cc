@@ -1,0 +1,148 @@
+// Tests for the BL baseline predictor (Eqs. 5-6) and the vehicle
+// similarity machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baseline.h"
+#include "core/similarity.h"
+
+namespace nextmaint {
+namespace core {
+namespace {
+
+Date Day(int offset) {
+  return Date::FromYmd(2015, 1, 1).ValueOrDie().AddDays(offset);
+}
+
+TEST(BaselinePredictorTest, PredictsLOverAvg) {
+  BaselinePredictor model(/*avg_utilization_s=*/100.0);
+  const std::vector<double> features = {500.0};  // L in column 0
+  EXPECT_DOUBLE_EQ(
+      model.Predict(std::span<const double>(features.data(), 1)).ValueOrDie(),
+      5.0);
+}
+
+TEST(BaselinePredictorTest, IgnoresExtraFeatures) {
+  BaselinePredictor model(100.0);
+  const std::vector<double> features = {500.0, 42.0, -7.0};
+  EXPECT_DOUBLE_EQ(
+      model.Predict(std::span<const double>(features.data(), 3)).ValueOrDie(),
+      5.0);
+}
+
+TEST(BaselinePredictorTest, UndoesNormalizationScale) {
+  // If the dataset builder scaled L by 1/T_v, BL must divide it back out.
+  const double t_v = 1000.0;
+  BaselinePredictor model(100.0, /*l_scale=*/1.0 / t_v);
+  const std::vector<double> features = {500.0 / t_v};
+  EXPECT_DOUBLE_EQ(
+      model.Predict(std::span<const double>(features.data(), 1)).ValueOrDie(),
+      5.0);
+}
+
+TEST(BaselinePredictorTest, FitIsANoOp) {
+  BaselinePredictor model(100.0);
+  EXPECT_TRUE(model.Fit(ml::Dataset()).ok());
+  EXPECT_TRUE(model.is_fitted());
+  EXPECT_EQ(model.name(), "BL");
+}
+
+TEST(BaselinePredictorTest, EmptyFeatureRowFails) {
+  BaselinePredictor model(100.0);
+  EXPECT_FALSE(model.Predict(std::span<const double>()).ok());
+}
+
+TEST(BaselinePredictorTest, InvalidConstructionAborts) {
+  EXPECT_DEATH(BaselinePredictor(0.0), "AVG");
+  EXPECT_DEATH(BaselinePredictor(-5.0), "AVG");
+  EXPECT_DEATH(BaselinePredictor(10.0, 0.0), "l_scale");
+}
+
+TEST(BaselinePredictorTest, CloneKeepsAvg) {
+  BaselinePredictor model(250.0);
+  const auto clone = model.Clone();
+  const std::vector<double> features = {500.0};
+  EXPECT_DOUBLE_EQ(
+      clone->Predict(std::span<const double>(features.data(), 1))
+          .ValueOrDie(),
+      2.0);
+}
+
+TEST(AverageUtilizationTest, WholeSeriesAndPrefix) {
+  data::DailySeries u(Day(0), {100, 200, 300, 400});
+  EXPECT_DOUBLE_EQ(AverageUtilization(u).ValueOrDie(), 250.0);
+  EXPECT_DOUBLE_EQ(AverageUtilization(u, 2).ValueOrDie(), 150.0);
+}
+
+TEST(AverageUtilizationTest, ErrorOnEmptyOrZero) {
+  EXPECT_FALSE(AverageUtilization(data::DailySeries()).ok());
+  data::DailySeries zero(Day(0), {0.0, 0.0});
+  EXPECT_EQ(AverageUtilization(zero).status().code(),
+            StatusCode::kNumericError);
+}
+
+TEST(SimilarityMeasuresTest, AverageDistanceComparesMeans) {
+  const SimilarityMeasure measure = AverageDistanceMeasure();
+  // Same mean, different shape: distance 0 (the paper compares AVG usage).
+  EXPECT_DOUBLE_EQ(measure({0, 20}, {10, 10}), 0.0);
+  EXPECT_DOUBLE_EQ(measure({10, 10}, {16, 16}), 6.0);
+}
+
+TEST(SimilarityMeasuresTest, PointwiseDistanceSeesShape) {
+  const SimilarityMeasure measure = PointwiseDistanceMeasure();
+  EXPECT_DOUBLE_EQ(measure({0, 20}, {10, 10}), 10.0);
+  EXPECT_DOUBLE_EQ(measure({5, 5}, {5, 5}), 0.0);
+}
+
+TEST(SimilarityMeasuresTest, CorrelationMeasureTracksShape) {
+  const SimilarityMeasure measure = CorrelationMeasure();
+  // Perfectly correlated series: distance ~0 regardless of scale.
+  EXPECT_NEAR(measure({1, 2, 3}, {10, 20, 30}), 0.0, 1e-12);
+  // Anti-correlated: distance ~2.
+  EXPECT_NEAR(measure({1, 2, 3}, {3, 2, 1}), 2.0, 1e-12);
+}
+
+TEST(SimilarityMeasuresTest, CorrelationFallsBackOnConstantSeries) {
+  const SimilarityMeasure measure = CorrelationMeasure();
+  // Constant candidate: Pearson undefined; falls back to avg distance,
+  // which is finite.
+  const double d = measure({5, 5, 5}, {1, 2, 3});
+  EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(MostSimilarTest, PicksMinimumDistance) {
+  const std::vector<SimilarityCandidate> candidates = {
+      {"a", {100, 100}},
+      {"b", {55, 45}},
+      {"c", {10, 10}},
+  };
+  const SimilarityMatch match =
+      MostSimilar({50, 50}, candidates, AverageDistanceMeasure())
+          .ValueOrDie();
+  EXPECT_EQ(match.id, "b");
+  EXPECT_EQ(match.index, 1u);
+  EXPECT_DOUBLE_EQ(match.distance, 0.0);
+}
+
+TEST(MostSimilarTest, TieBreaksTowardEarlierCandidate) {
+  const std::vector<SimilarityCandidate> candidates = {
+      {"first", {10}},
+      {"second", {10}},
+  };
+  EXPECT_EQ(MostSimilar({10}, candidates, AverageDistanceMeasure())
+                .ValueOrDie()
+                .id,
+            "first");
+}
+
+TEST(MostSimilarTest, ErrorCases) {
+  EXPECT_FALSE(MostSimilar({}, {{"a", {1}}}, AverageDistanceMeasure()).ok());
+  EXPECT_FALSE(MostSimilar({1}, {}, AverageDistanceMeasure()).ok());
+  EXPECT_FALSE(MostSimilar({1}, {{"a", {1}}}, SimilarityMeasure()).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nextmaint

@@ -1,0 +1,187 @@
+#include "core/cold_start.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "telematics/fleet.h"
+
+namespace nextmaint {
+namespace core {
+namespace {
+
+constexpr double kTv = 500'000.0;
+
+Date Day(int offset) {
+  return Date::FromYmd(2015, 1, 1).ValueOrDie().AddDays(offset);
+}
+
+data::DailySeries SimulatedVehicle(uint64_t seed, int days = 400) {
+  Rng rng(seed);
+  telem::VehicleProfile profile = telem::DefaultFleetProfiles(1, &rng)[0];
+  profile.maintenance_interval_s = kTv;
+  Rng sim_rng(seed * 31 + 1);
+  return telem::SimulateVehicle(profile, Day(0), days, 0.0, &sim_rng)
+      .ValueOrDie()
+      .utilization;
+}
+
+std::vector<FirstCycleData> MakeCorpus(int vehicles) {
+  ColdStartOptions options;
+  std::vector<FirstCycleData> corpus;
+  for (int v = 0; v < vehicles; ++v) {
+    auto data = ExtractFirstCycle("t" + std::to_string(v),
+                                  SimulatedVehicle(100 + v), kTv, options);
+    if (data.ok()) corpus.push_back(std::move(data).ValueOrDie());
+  }
+  return corpus;
+}
+
+TEST(FirstHalfCycleUsageTest, StopsAtHalfInterval) {
+  data::DailySeries u(Day(0), std::vector<double>(10, 100.0));
+  const std::vector<double> half =
+      FirstHalfCycleUsage(u, 1000.0).ValueOrDie();
+  // Cumulative crosses 500 on day 4 (5 * 100).
+  EXPECT_EQ(half.size(), 5u);
+}
+
+TEST(FirstHalfCycleUsageTest, FailsForNewVehicle) {
+  data::DailySeries u(Day(0), {10.0, 10.0});
+  EXPECT_FALSE(FirstHalfCycleUsage(u, 1000.0).ok());
+}
+
+TEST(ExtractFirstCycleTest, ProducesDatasetAndKey) {
+  ColdStartOptions options;
+  const FirstCycleData data =
+      ExtractFirstCycle("v1", SimulatedVehicle(1), kTv, options)
+          .ValueOrDie();
+  EXPECT_EQ(data.vehicle_id, "v1");
+  EXPECT_GT(data.dataset.num_rows(), 0u);
+  EXPECT_FALSE(data.first_half_usage.empty());
+  // Every target lies within the first cycle (D bounded by its length).
+  for (double y : data.dataset.y()) {
+    EXPECT_GE(y, 0.0);
+    EXPECT_LT(y, 1000.0);
+  }
+}
+
+TEST(ExtractFirstCycleTest, FailsWithoutCompletedCycle) {
+  data::DailySeries u(Day(0), std::vector<double>(10, 10.0));
+  ColdStartOptions options;
+  EXPECT_FALSE(ExtractFirstCycle("v1", u, kTv, options).ok());
+}
+
+TEST(TrainUnifiedModelTest, TrainsOnMergedCorpus) {
+  const std::vector<FirstCycleData> corpus = MakeCorpus(4);
+  ASSERT_GE(corpus.size(), 2u);
+  ColdStartOptions options;
+  const auto model = TrainUnifiedModel("RF", corpus, options).ValueOrDie();
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(model->is_fitted());
+}
+
+TEST(TrainUnifiedModelTest, ForwardsModelParams) {
+  const std::vector<FirstCycleData> corpus = MakeCorpus(2);
+  ASSERT_GE(corpus.size(), 1u);
+  ColdStartOptions options;
+  options.model_params = {{"num_estimators", 3}};
+  const auto model = TrainUnifiedModel("RF", corpus, options).ValueOrDie();
+  EXPECT_TRUE(model->is_fitted());
+}
+
+TEST(TrainUnifiedModelTest, EmptyCorpusFails) {
+  ColdStartOptions options;
+  EXPECT_FALSE(TrainUnifiedModel("RF", {}, options).ok());
+}
+
+TEST(TrainSimilarityModelTest, PicksAndTrainsOnMatch) {
+  const std::vector<FirstCycleData> corpus = MakeCorpus(4);
+  ASSERT_GE(corpus.size(), 2u);
+  ColdStartOptions options;
+  const std::vector<double> target = corpus[1].first_half_usage;
+  const SimilarityModel sim =
+      TrainSimilarityModel("LR", target, corpus, options).ValueOrDie();
+  // Matching the corpus entry against itself must select it.
+  EXPECT_EQ(sim.match.id, corpus[1].vehicle_id);
+  EXPECT_NEAR(sim.match.distance, 0.0, 1e-9);
+  EXPECT_TRUE(sim.model->is_fitted());
+}
+
+TEST(TrainSimilarityModelTest, CustomMeasureIsUsed) {
+  const std::vector<FirstCycleData> corpus = MakeCorpus(3);
+  ASSERT_GE(corpus.size(), 2u);
+  ColdStartOptions options;
+  // A degenerate measure that always prefers the last candidate.
+  size_t calls = 0;
+  options.similarity = [&calls, &corpus](const std::vector<double>&,
+                                         const std::vector<double>& b) {
+    ++calls;
+    return b == corpus.back().first_half_usage ? 0.0 : 1.0;
+  };
+  const SimilarityModel sim =
+      TrainSimilarityModel("LR", {1, 2, 3}, corpus, options).ValueOrDie();
+  EXPECT_EQ(sim.match.id, corpus.back().vehicle_id);
+  EXPECT_EQ(calls, corpus.size());
+}
+
+TEST(MakeSemiNewBaselineTest, UsesFirstHalfAverage) {
+  data::DailySeries u(Day(0), std::vector<double>(20, 100.0));
+  ColdStartOptions options;
+  options.normalize_features = false;
+  const auto model = MakeSemiNewBaseline(u, 1000.0, options).ValueOrDie();
+  const std::vector<double> features = {300.0};
+  EXPECT_DOUBLE_EQ(
+      model->Predict(std::span<const double>(features.data(), 1))
+          .ValueOrDie(),
+      3.0);
+}
+
+TEST(MakeSemiNewBaselineTest, FailsForNewVehicle) {
+  data::DailySeries u(Day(0), {1.0, 1.0});
+  ColdStartOptions options;
+  EXPECT_FALSE(MakeSemiNewBaseline(u, 1000.0, options).ok());
+}
+
+TEST(EvaluateColdStartTest, EvaluatesOverFirstCycle) {
+  const std::vector<FirstCycleData> corpus = MakeCorpus(4);
+  ASSERT_GE(corpus.size(), 2u);
+  ColdStartOptions options;
+  const auto model = TrainUnifiedModel("RF", corpus, options).ValueOrDie();
+  const ColdStartEvaluation eval =
+      EvaluateColdStartModel(*model, SimulatedVehicle(999), kTv, options,
+                             /*compute_emre=*/true)
+          .ValueOrDie();
+  EXPECT_FALSE(eval.truth.empty());
+  EXPECT_EQ(eval.truth.size(), eval.predicted.size());
+  EXPECT_GE(eval.emre, 0.0);
+  EXPECT_GE(eval.eglobal, 0.0);
+  EXPECT_FALSE(std::isnan(eval.emre));
+}
+
+TEST(EvaluateColdStartTest, SkipsEmreWhenNotRequested) {
+  const std::vector<FirstCycleData> corpus = MakeCorpus(2);
+  ASSERT_GE(corpus.size(), 1u);
+  ColdStartOptions options;
+  const auto model = TrainUnifiedModel("LR", corpus, options).ValueOrDie();
+  const ColdStartEvaluation eval =
+      EvaluateColdStartModel(*model, SimulatedVehicle(888), kTv, options,
+                             /*compute_emre=*/false)
+          .ValueOrDie();
+  EXPECT_TRUE(std::isnan(eval.emre));
+  EXPECT_GE(eval.eglobal, 0.0);
+}
+
+TEST(EvaluateColdStartTest, FailsWithoutGroundTruth) {
+  const std::vector<FirstCycleData> corpus = MakeCorpus(2);
+  ASSERT_GE(corpus.size(), 1u);
+  ColdStartOptions options;
+  const auto model = TrainUnifiedModel("LR", corpus, options).ValueOrDie();
+  // A vehicle with no completed cycle has no ground truth to compare to.
+  data::DailySeries incomplete(Day(0), std::vector<double>(20, 10.0));
+  EXPECT_FALSE(EvaluateColdStartModel(*model, incomplete, kTv, options, true)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nextmaint

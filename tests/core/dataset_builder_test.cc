@@ -1,0 +1,285 @@
+#include "core/dataset_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nextmaint {
+namespace core {
+namespace {
+
+Date Day(int offset) {
+  return Date::FromYmd(2015, 1, 1).ValueOrDie().AddDays(offset);
+}
+
+// 12 days at 100 s/day with T = 300: four 3-day cycles, D sawtooth 2,1,0.
+VehicleSeries MakeSeries() {
+  data::DailySeries u(Day(0), std::vector<double>(12, 100.0));
+  return DeriveSeries(u, 300.0).ValueOrDie();
+}
+
+TEST(BuildFeatureRowTest, UnivariateLayout) {
+  const VehicleSeries s = MakeSeries();
+  DatasetOptions options;
+  options.window = 0;
+  options.normalize_features = false;
+  const std::vector<double> row = BuildFeatureRow(s, 1, options).ValueOrDie();
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_DOUBLE_EQ(row[0], 200.0);  // L(1)
+}
+
+TEST(BuildFeatureRowTest, MultivariateLayout) {
+  const VehicleSeries s = MakeSeries();
+  DatasetOptions options;
+  options.window = 3;
+  options.normalize_features = false;
+  const std::vector<double> row = BuildFeatureRow(s, 5, options).ValueOrDie();
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_DOUBLE_EQ(row[0], s.l[5]);
+  EXPECT_DOUBLE_EQ(row[1], 100.0);  // U(4)
+  EXPECT_DOUBLE_EQ(row[2], 100.0);  // U(3)
+  EXPECT_DOUBLE_EQ(row[3], 100.0);  // U(2)
+}
+
+TEST(BuildFeatureRowTest, NormalizationScalesLAndU) {
+  const VehicleSeries s = MakeSeries();
+  DatasetOptions options;
+  options.window = 1;
+  options.normalize_features = true;
+  const std::vector<double> row = BuildFeatureRow(s, 1, options).ValueOrDie();
+  EXPECT_DOUBLE_EQ(row[0], 200.0 / 300.0);   // L / T_v
+  EXPECT_DOUBLE_EQ(row[1], 100.0 / 86400.0);  // U / day
+}
+
+TEST(BuildFeatureRowTest, ErrorCases) {
+  const VehicleSeries s = MakeSeries();
+  DatasetOptions options;
+  options.window = 3;
+  EXPECT_FALSE(BuildFeatureRow(s, 2, options).ok());   // t < W
+  EXPECT_FALSE(BuildFeatureRow(s, 99, options).ok());  // out of range
+  options.window = -1;
+  EXPECT_FALSE(BuildFeatureRow(s, 5, options).ok());
+}
+
+TEST(BuildDatasetTest, RowPerTargetedDay) {
+  const VehicleSeries s = MakeSeries();
+  DatasetOptions options;
+  options.window = 0;
+  const ml::Dataset dataset = BuildDataset(s, options).ValueOrDie();
+  // All 12 days have targets (four complete cycles).
+  EXPECT_EQ(dataset.num_rows(), 12u);
+  EXPECT_EQ(dataset.num_features(), 1u);
+  EXPECT_EQ(dataset.feature_names()[0], "L");
+}
+
+TEST(BuildDatasetTest, WindowReducesRowsAndAddsNames) {
+  const VehicleSeries s = MakeSeries();
+  DatasetOptions options;
+  options.window = 4;
+  const ml::Dataset dataset = BuildDataset(s, options).ValueOrDie();
+  EXPECT_EQ(dataset.num_rows(), 8u);  // days 4..11
+  EXPECT_EQ(dataset.num_features(), 5u);
+  EXPECT_EQ(dataset.feature_names()[1], "U(t-1)");
+  EXPECT_EQ(dataset.feature_names()[4], "U(t-4)");
+}
+
+TEST(BuildDatasetTest, TargetFilterKeepsLast29Style) {
+  const VehicleSeries s = MakeSeries();
+  DatasetOptions options;
+  options.window = 0;
+  options.target_filter = DaySet::Range(1, 1);  // only D == 1 days
+  const ml::Dataset dataset = BuildDataset(s, options).ValueOrDie();
+  EXPECT_EQ(dataset.num_rows(), 4u);  // one D=1 day per cycle
+  for (double y : dataset.y()) {
+    EXPECT_DOUBLE_EQ(y, 1.0);
+  }
+}
+
+TEST(BuildDatasetTest, SkipsTrailingUndefinedTargets) {
+  data::DailySeries u(Day(0), std::vector<double>(10, 100.0));
+  // T=300: cycles end at days 2,5,8; day 9 has no target.
+  const VehicleSeries s = DeriveSeries(u, 300.0).ValueOrDie();
+  DatasetOptions options;
+  options.window = 0;
+  const ml::Dataset dataset = BuildDataset(s, options).ValueOrDie();
+  EXPECT_EQ(dataset.num_rows(), 9u);
+}
+
+TEST(BuildDatasetTest, FailsWhenNothingSurvives) {
+  const VehicleSeries s = MakeSeries();
+  DatasetOptions options;
+  options.window = 50;  // longer than the series
+  EXPECT_FALSE(BuildDataset(s, options).ok());
+  options.window = 0;
+  options.target_filter = DaySet::Range(100, 200);  // no such targets
+  EXPECT_FALSE(BuildDataset(s, options).ok());
+}
+
+TEST(BuildResampledDatasetTest, ZeroShiftsEqualsPlainDataset) {
+  data::DailySeries u(Day(0), std::vector<double>(12, 100.0));
+  DatasetOptions options;
+  options.window = 0;
+  ResamplingOptions resampling;
+  resampling.num_shifts = 0;
+  const ml::Dataset resampled =
+      BuildResampledDataset(u, 300.0, options, resampling).ValueOrDie();
+  const ml::Dataset plain =
+      BuildDataset(DeriveSeries(u, 300.0).ValueOrDie(), options)
+          .ValueOrDie();
+  EXPECT_EQ(resampled.num_rows(), plain.num_rows());
+}
+
+TEST(BuildResampledDatasetTest, ShiftsAddRows) {
+  data::DailySeries u(Day(0), std::vector<double>(60, 100.0));
+  DatasetOptions options;
+  options.window = 0;
+  ResamplingOptions resampling;
+  resampling.num_shifts = 3;
+  const ml::Dataset resampled =
+      BuildResampledDataset(u, 300.0, options, resampling).ValueOrDie();
+  const ml::Dataset plain =
+      BuildDataset(DeriveSeries(u, 300.0).ValueOrDie(), options)
+          .ValueOrDie();
+  EXPECT_GT(resampled.num_rows(), plain.num_rows());
+}
+
+TEST(BuildResampledDatasetTest, AugmentedRowsAreConsistent) {
+  // Every augmented record must still satisfy the constant-usage relation
+  // D = L/100 - 1 (L counts the current day's upcoming usage).
+  data::DailySeries u(Day(0), std::vector<double>(60, 100.0));
+  DatasetOptions options;
+  options.window = 0;
+  options.normalize_features = false;
+  ResamplingOptions resampling;
+  resampling.num_shifts = 5;
+  const ml::Dataset resampled =
+      BuildResampledDataset(u, 300.0, options, resampling).ValueOrDie();
+  for (size_t r = 0; r < resampled.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(resampled.y()[r], resampled.x()(r, 0) / 100.0 - 1.0);
+  }
+}
+
+TEST(BuildResampledDatasetTest, DeterministicGivenSeed) {
+  data::DailySeries u(Day(0), std::vector<double>(60, 100.0));
+  DatasetOptions options;
+  ResamplingOptions resampling;
+  resampling.num_shifts = 4;
+  const auto a =
+      BuildResampledDataset(u, 300.0, options, resampling).ValueOrDie();
+  const auto b =
+      BuildResampledDataset(u, 300.0, options, resampling).ValueOrDie();
+  EXPECT_EQ(a.num_rows(), b.num_rows());
+}
+
+TEST(BuildResampledDatasetTest, InvalidOptionsRejected) {
+  data::DailySeries u(Day(0), std::vector<double>(12, 100.0));
+  DatasetOptions options;
+  ResamplingOptions resampling;
+  resampling.num_shifts = -1;
+  EXPECT_FALSE(BuildResampledDataset(u, 300.0, options, resampling).ok());
+  resampling.num_shifts = 1;
+  resampling.max_shift_fraction = 1.0;
+  EXPECT_FALSE(BuildResampledDataset(u, 300.0, options, resampling).ok());
+}
+
+
+TEST(ContextFeaturesTest, ForwardContextAppended) {
+  const VehicleSeries s = MakeSeries();
+  std::vector<double> context(12);
+  for (size_t i = 0; i < context.size(); ++i) {
+    context[i] = static_cast<double>(i) / 10.0;
+  }
+  DatasetOptions options;
+  options.window = 1;
+  options.context = &context;
+  options.context_forecast_days = 3;
+  const std::vector<double> row = BuildFeatureRow(s, 5, options).ValueOrDie();
+  ASSERT_EQ(row.size(), 5u);  // L + U(t-1) + 3 context
+  EXPECT_DOUBLE_EQ(row[2], 0.5);  // context[5]
+  EXPECT_DOUBLE_EQ(row[3], 0.6);  // context[6]
+  EXPECT_DOUBLE_EQ(row[4], 0.7);  // context[7]
+}
+
+TEST(ContextFeaturesTest, PastEndRepeatsLastValue) {
+  const VehicleSeries s = MakeSeries();
+  std::vector<double> context(12, 0.0);
+  context.back() = 9.0;
+  DatasetOptions options;
+  options.context = &context;
+  options.context_forecast_days = 3;
+  const std::vector<double> row =
+      BuildFeatureRow(s, 11, options).ValueOrDie();
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_DOUBLE_EQ(row[1], 9.0);  // context[11]
+  EXPECT_DOUBLE_EQ(row[2], 9.0);  // clamped
+  EXPECT_DOUBLE_EQ(row[3], 9.0);  // clamped
+}
+
+TEST(ContextFeaturesTest, DatasetGetsContextNamesAndColumns) {
+  const VehicleSeries s = MakeSeries();
+  std::vector<double> context(12, 0.5);
+  DatasetOptions options;
+  options.window = 2;
+  options.context = &context;
+  options.context_forecast_days = 2;
+  const ml::Dataset dataset = BuildDataset(s, options).ValueOrDie();
+  EXPECT_EQ(dataset.num_features(), 5u);
+  EXPECT_EQ(dataset.feature_names()[3], "CTX(t+0)");
+  EXPECT_EQ(dataset.feature_names()[4], "CTX(t+1)");
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(dataset.x()(r, 3), 0.5);
+  }
+}
+
+TEST(ContextFeaturesTest, MissingContextSeriesRejected) {
+  const VehicleSeries s = MakeSeries();
+  DatasetOptions options;
+  options.context_forecast_days = 2;  // but no context series
+  EXPECT_FALSE(BuildFeatureRow(s, 5, options).ok());
+}
+
+TEST(ContextFeaturesTest, ResamplingShiftsContextWithSeries) {
+  // Context equal to the original day index. Correct behaviour shifts the
+  // context with the time reference, so a row from a block shifted by
+  // offset o carries CTX = o + t while its in-cycle position is t mod 3.
+  data::DailySeries u(Day(0), std::vector<double>(60, 100.0));
+  std::vector<double> context(60);
+  for (size_t i = 0; i < 60; ++i) context[i] = static_cast<double>(i);
+  DatasetOptions options;
+  options.window = 0;
+  options.normalize_features = false;
+  options.context = &context;
+  options.context_forecast_days = 1;
+  ResamplingOptions resampling;
+  resampling.num_shifts = 4;
+  const ml::Dataset dataset =
+      BuildResampledDataset(u, 300.0, options, resampling).ValueOrDie();
+
+  size_t phase_mismatches = 0;
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    const double l = dataset.x()(r, 0);
+    const double ctx = dataset.x()(r, 1);
+    // Context values are always genuine day indices (integers in range),
+    // never interpolated or recycled garbage.
+    EXPECT_DOUBLE_EQ(ctx, std::floor(ctx));
+    EXPECT_GE(ctx, 0.0);
+    EXPECT_LT(ctx, 60.0);
+    const double in_cycle_day = (300.0 - l) / 100.0;
+    // The unshifted block (first 60 rows) keeps ctx == absolute day, so
+    // phase matches exactly.
+    if (r < 60) {
+      EXPECT_DOUBLE_EQ(std::fmod(ctx, 3.0), in_cycle_day) << "row " << r;
+    } else if (std::fmod(ctx, 3.0) != in_cycle_day) {
+      // Shifted blocks: ctx = offset + t, so the phases differ whenever
+      // the offset is not a multiple of the cycle length.
+      ++phase_mismatches;
+    }
+  }
+  // If the context had NOT been shifted along with the series, every row
+  // would phase-match; with 4 random offsets at least one block must not.
+  EXPECT_GT(phase_mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nextmaint

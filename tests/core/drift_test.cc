@@ -1,0 +1,142 @@
+#include "core/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace nextmaint {
+namespace core {
+namespace {
+
+Date Day(int offset) {
+  return Date::FromYmd(2015, 1, 1).ValueOrDie().AddDays(offset);
+}
+
+/// Gaussian usage around `mean` with mild noise.
+std::vector<double> Noisy(size_t days, double mean, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(days);
+  for (double& v : values) v = rng.Normal(mean, mean * 0.1);
+  return values;
+}
+
+TEST(DriftDetectorTest, CreateValidatesInputs) {
+  EXPECT_TRUE(DriftDetector::Create(100.0, 10.0).ok());
+  EXPECT_FALSE(DriftDetector::Create(100.0, 0.0).ok());
+  EXPECT_FALSE(DriftDetector::Create(100.0, -5.0).ok());
+  EXPECT_FALSE(
+      DriftDetector::Create(std::nan(""), 1.0).ok());
+  DriftOptions bad;
+  bad.threshold = 0.0;
+  EXPECT_FALSE(DriftDetector::Create(100.0, 10.0, bad).ok());
+  bad = DriftOptions();
+  bad.slack = -1.0;
+  EXPECT_FALSE(DriftDetector::Create(100.0, 10.0, bad).ok());
+}
+
+TEST(DriftDetectorTest, StableStreamNeverAlarms) {
+  auto detector = DriftDetector::Create(10'000.0, 1'000.0).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 5'000; ++i) {
+    EXPECT_FALSE(detector.Observe(rng.Normal(10'000.0, 1'000.0)));
+  }
+  EXPECT_FALSE(detector.drifted());
+  EXPECT_EQ(detector.direction(), 0);
+}
+
+TEST(DriftDetectorTest, UpwardShiftDetected) {
+  auto detector = DriftDetector::Create(10'000.0, 1'000.0).ValueOrDie();
+  Rng rng(2);
+  // A 2-sigma upward shift: alarm within a couple of weeks.
+  int alarm_day = -1;
+  for (int i = 0; i < 60; ++i) {
+    if (detector.Observe(rng.Normal(12'000.0, 1'000.0))) {
+      alarm_day = i;
+      break;
+    }
+  }
+  ASSERT_GE(alarm_day, 0);
+  EXPECT_LT(alarm_day, 20);
+  EXPECT_EQ(detector.direction(), +1);
+}
+
+TEST(DriftDetectorTest, DownwardShiftDetected) {
+  auto detector = DriftDetector::Create(10'000.0, 1'000.0).ValueOrDie();
+  Rng rng(3);
+  bool alarmed = false;
+  for (int i = 0; i < 60 && !alarmed; ++i) {
+    alarmed = detector.Observe(rng.Normal(7'000.0, 1'000.0));
+  }
+  EXPECT_TRUE(alarmed);
+  EXPECT_EQ(detector.direction(), -1);
+}
+
+TEST(DriftDetectorTest, ResetClearsState) {
+  auto detector = DriftDetector::Create(10.0, 1.0).ValueOrDie();
+  for (int i = 0; i < 50; ++i) detector.Observe(20.0);
+  ASSERT_TRUE(detector.drifted());
+  detector.Reset();
+  EXPECT_FALSE(detector.drifted());
+  EXPECT_DOUBLE_EQ(detector.positive_sum(), 0.0);
+  EXPECT_EQ(detector.direction(), 0);
+}
+
+TEST(DetectUsageDriftTest, RegimeChangeInTailIsFound) {
+  // 200 stable days, then the vehicle moves to a busy site.
+  std::vector<double> values = Noisy(200, 10'000.0, 4);
+  const std::vector<double> busy = Noisy(100, 16'000.0, 5);
+  values.insert(values.end(), busy.begin(), busy.end());
+  const data::DailySeries series(Day(0), values);
+
+  const DriftReport report =
+      DetectUsageDrift(series, /*train_days=*/200).ValueOrDie();
+  EXPECT_TRUE(report.drift_detected);
+  EXPECT_EQ(report.direction, +1);
+  EXPECT_GE(report.first_alarm_day, 200u);
+  EXPECT_LT(report.first_alarm_day, 215u);  // found within ~2 weeks
+}
+
+TEST(DetectUsageDriftTest, NoChangeNoAlarm) {
+  const data::DailySeries series(Day(0), Noisy(400, 10'000.0, 6));
+  const DriftReport report =
+      DetectUsageDrift(series, /*train_days=*/200).ValueOrDie();
+  EXPECT_FALSE(report.drift_detected);
+  EXPECT_EQ(report.direction, 0);
+  EXPECT_LT(report.peak_statistic, 8.0);
+}
+
+TEST(DetectUsageDriftTest, SlackSuppressesSmallShifts) {
+  // A 0.5-sigma shift sits inside the default slack band.
+  std::vector<double> values = Noisy(300, 10'000.0, 7);
+  const std::vector<double> slight = Noisy(200, 10'300.0, 8);
+  values.insert(values.end(), slight.begin(), slight.end());
+  const data::DailySeries series(Day(0), values);
+  DriftOptions options;
+  options.slack = 0.8;
+  const DriftReport report =
+      DetectUsageDrift(series, 300, options).ValueOrDie();
+  EXPECT_FALSE(report.drift_detected);
+}
+
+TEST(DetectUsageDriftTest, ErrorCases) {
+  const data::DailySeries series(Day(0), Noisy(10, 100.0, 9));
+  EXPECT_FALSE(DetectUsageDrift(series, 0).ok());
+  EXPECT_FALSE(DetectUsageDrift(series, 10).ok());
+  EXPECT_FALSE(DetectUsageDrift(series, 1).ok());
+  // Constant training window: no reference variance.
+  data::DailySeries constant(Day(0), std::vector<double>(20, 5'000.0));
+  EXPECT_EQ(DetectUsageDrift(constant, 10).status().code(),
+            StatusCode::kNumericError);
+  // Unclean data rejected.
+  data::DailySeries dirty(
+      Day(0), {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0});
+  EXPECT_EQ(DetectUsageDrift(dirty, 2).status().code(),
+            StatusCode::kDataError);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nextmaint

@@ -1,0 +1,173 @@
+#include "core/old_vehicle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "telematics/fleet.h"
+
+namespace nextmaint {
+namespace core {
+namespace {
+
+Date Day(int offset) {
+  return Date::FromYmd(2015, 1, 1).ValueOrDie().AddDays(offset);
+}
+
+/// Perfectly regular vehicle: 100 s/day, T = 1000 -> 10-day cycles. All
+/// models should predict almost exactly.
+data::DailySeries RegularVehicle(size_t days = 200) {
+  return data::DailySeries(Day(0), std::vector<double>(days, 100.0));
+}
+
+/// A realistic simulated vehicle (long history, several cycles).
+data::DailySeries SimulatedVehicle(uint64_t seed) {
+  Rng rng(seed);
+  telem::VehicleProfile profile = telem::DefaultFleetProfiles(1, &rng)[0];
+  profile.maintenance_interval_s = 500'000.0;
+  Rng sim_rng(seed + 1);
+  return telem::SimulateVehicle(profile, Day(0), 900, 0.0, &sim_rng)
+      .ValueOrDie()
+      .utilization;
+}
+
+OldVehicleOptions FastOptions() {
+  OldVehicleOptions options;
+  options.tune = false;
+  options.resampling_shifts = 0;
+  return options;
+}
+
+TEST(EvaluateAlgorithmTest, RegularVehicleIsEasyForAllModels) {
+  for (const char* algorithm : {"BL", "LR", "LSVR", "RF", "XGB"}) {
+    const VehicleEvaluation eval =
+        EvaluateAlgorithmOnVehicle(algorithm, RegularVehicle(), 1000.0,
+                                   FastOptions())
+            .ValueOrDie();
+    EXPECT_LT(eval.emre, 1.5) << algorithm;
+    EXPECT_EQ(eval.algorithm, algorithm);
+    EXPECT_FALSE(eval.test_truth.empty());
+    EXPECT_EQ(eval.test_truth.size(), eval.test_predicted.size());
+    EXPECT_GE(eval.train_seconds, 0.0);
+    EXPECT_NE(eval.model, nullptr);
+  }
+}
+
+TEST(EvaluateAlgorithmTest, TestPeriodIsHeldOutTail) {
+  const VehicleEvaluation eval =
+      EvaluateAlgorithmOnVehicle("LR", RegularVehicle(), 1000.0,
+                                 FastOptions())
+          .ValueOrDie();
+  // 200 days, 70% train -> 60 test days, all with defined targets.
+  EXPECT_EQ(eval.test_truth.size(), 60u);
+}
+
+TEST(EvaluateAlgorithmTest, WindowConsumesLeadingTestDays) {
+  OldVehicleOptions options = FastOptions();
+  options.window = 5;
+  const VehicleEvaluation eval =
+      EvaluateAlgorithmOnVehicle("LR", RegularVehicle(), 1000.0, options)
+          .ValueOrDie();
+  EXPECT_EQ(eval.test_truth.size(), 60u);  // split=140 > W, no reduction
+}
+
+TEST(EvaluateAlgorithmTest, Last29FilterWorksOnSimulatedVehicle) {
+  const data::DailySeries u = SimulatedVehicle(10);
+  OldVehicleOptions all_data = FastOptions();
+  OldVehicleOptions last29 = FastOptions();
+  last29.train_on_last29_only = true;
+  const double emre_all =
+      EvaluateAlgorithmOnVehicle("RF", u, 500'000.0, all_data)
+          .ValueOrDie()
+          .emre;
+  const double emre_29 =
+      EvaluateAlgorithmOnVehicle("RF", u, 500'000.0, last29)
+          .ValueOrDie()
+          .emre;
+  // The paper's central finding: the filter reduces near-deadline error.
+  EXPECT_LT(emre_29, emre_all * 1.05);
+}
+
+TEST(EvaluateAlgorithmTest, BaselineUsesTrainingAverageOnly) {
+  // A vehicle that doubles its usage rate in the test period: BL, anchored
+  // to the training average, must overestimate D substantially.
+  std::vector<double> values(140, 100.0);
+  values.insert(values.end(), 60, 200.0);
+  data::DailySeries u(Day(0), std::move(values));
+  const VehicleEvaluation eval =
+      EvaluateAlgorithmOnVehicle("BL", u, 1000.0, FastOptions())
+          .ValueOrDie();
+  // True cycles in the test period are 5 days; BL predicts ~2x.
+  EXPECT_GT(eval.eglobal, 1.0);
+}
+
+TEST(EvaluateAlgorithmTest, TuningRunsGridSearch) {
+  OldVehicleOptions options = FastOptions();
+  options.tune = true;
+  options.grid_budget = 0;
+  const VehicleEvaluation eval =
+      EvaluateAlgorithmOnVehicle("RF", SimulatedVehicle(20), 500'000.0,
+                                 options)
+          .ValueOrDie();
+  EXPECT_FALSE(eval.best_params.empty());
+  EXPECT_GT(eval.best_params.count("max_depth"), 0u);
+}
+
+TEST(EvaluateAlgorithmTest, ErrorCases) {
+  // Unknown algorithm.
+  EXPECT_FALSE(EvaluateAlgorithmOnVehicle("GBM", RegularVehicle(), 1000.0,
+                                          FastOptions())
+                   .ok());
+  // Degenerate split.
+  OldVehicleOptions bad = FastOptions();
+  bad.train_fraction = 1.5;
+  EXPECT_FALSE(
+      EvaluateAlgorithmOnVehicle("LR", RegularVehicle(), 1000.0, bad).ok());
+  // Too little data: no completed cycle anywhere.
+  data::DailySeries tiny(Day(0), {10.0, 10.0, 10.0});
+  EXPECT_FALSE(EvaluateAlgorithmOnVehicle("LR", tiny, 1'000'000.0,
+                                          FastOptions())
+                   .ok());
+}
+
+TEST(SelectBestModelTest, PicksMinEmre) {
+  const ModelSelectionResult result =
+      SelectBestModelForVehicle({"BL", "LR", "RF"}, SimulatedVehicle(30),
+                                500'000.0, FastOptions())
+          .ValueOrDie();
+  ASSERT_EQ(result.evaluations.size(), 3u);
+  const double best = result.evaluations[result.best_index].emre;
+  for (const VehicleEvaluation& eval : result.evaluations) {
+    EXPECT_LE(best, eval.emre);
+  }
+}
+
+TEST(SelectBestModelTest, EmptyListFails) {
+  EXPECT_FALSE(
+      SelectBestModelForVehicle({}, RegularVehicle(), 1000.0, FastOptions())
+          .ok());
+}
+
+TEST(PerDayResidualsTest, ComputesCurve) {
+  VehicleEvaluation eval;
+  eval.test_truth = {3, 2, 1, 3, 2, 1};
+  eval.test_predicted = {4, 2, 1, 5, 2, 1};
+  const std::vector<double> curve = PerDayResiduals(eval, 1, 3);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0], 0.0);  // d=1
+  EXPECT_DOUBLE_EQ(curve[1], 0.0);  // d=2
+  EXPECT_DOUBLE_EQ(curve[2], 1.5);  // d=3
+}
+
+TEST(PerDayResidualsTest, MissingDaysAreNaN) {
+  VehicleEvaluation eval;
+  eval.test_truth = {1.0};
+  eval.test_predicted = {1.0};
+  const std::vector<double> curve = PerDayResiduals(eval, 1, 2);
+  EXPECT_DOUBLE_EQ(curve[0], 0.0);
+  EXPECT_TRUE(std::isnan(curve[1]));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nextmaint

@@ -1,0 +1,280 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telematics/fleet.h"
+
+namespace nextmaint {
+namespace core {
+namespace {
+
+constexpr double kTv = 500'000.0;
+
+Date Day(int offset) {
+  return Date::FromYmd(2015, 1, 1).ValueOrDie().AddDays(offset);
+}
+
+SchedulerOptions FastOptions() {
+  SchedulerOptions options;
+  options.maintenance_interval_s = kTv;
+  options.window = 3;
+  options.algorithms = {"BL", "LR"};
+  options.unified_algorithm = "LR";
+  options.selection.tune = false;
+  options.selection.resampling_shifts = 0;
+  return options;
+}
+
+data::DailySeries SimulatedVehicle(uint64_t seed, int days) {
+  Rng rng(seed);
+  telem::VehicleProfile profile = telem::DefaultFleetProfiles(1, &rng)[0];
+  profile.maintenance_interval_s = kTv;
+  Rng sim_rng(seed * 7 + 3);
+  return telem::SimulateVehicle(profile, Day(0), days, 0.0, &sim_rng)
+      .ValueOrDie()
+      .utilization;
+}
+
+TEST(FleetSchedulerTest, RegisterAndIngestDayByDay) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  EXPECT_EQ(scheduler.RegisterVehicle("v1", Day(0)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(scheduler.IngestUsage("v1", Day(0), 1000.0).ok());
+  EXPECT_TRUE(scheduler.IngestUsage("v1", Day(1), 2000.0).ok());
+  // Gaps and reordering are rejected.
+  EXPECT_FALSE(scheduler.IngestUsage("v1", Day(3), 100.0).ok());
+  EXPECT_FALSE(scheduler.IngestUsage("v1", Day(1), 100.0).ok());
+  // Unknown vehicle.
+  EXPECT_EQ(scheduler.IngestUsage("ghost", Day(0), 1.0).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FleetSchedulerTest, IngestValidatesRange) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  EXPECT_FALSE(scheduler.IngestUsage("v1", Day(0), -1.0).ok());
+  EXPECT_FALSE(scheduler.IngestUsage("v1", Day(0), 90'000.0).ok());
+  EXPECT_FALSE(scheduler.IngestUsage("v1", Day(0),
+                                     std::nan(""))
+                   .ok());
+}
+
+TEST(FleetSchedulerTest, CategoryTracksUsage) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  EXPECT_EQ(scheduler.CategoryOf("v1").ValueOrDie(), VehicleCategory::kNew);
+  // Bulk-ingest past the old threshold.
+  ASSERT_TRUE(
+      scheduler
+          .IngestSeries("v1", data::DailySeries(
+                                  Day(0), std::vector<double>(30, 20'000.0)))
+          .ok());
+  EXPECT_EQ(scheduler.CategoryOf("v1").ValueOrDie(), VehicleCategory::kOld);
+}
+
+TEST(FleetSchedulerTest, IngestSeriesRejectsMissingValues) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  data::DailySeries dirty(
+      Day(0), {1.0, std::numeric_limits<double>::quiet_NaN()});
+  EXPECT_EQ(scheduler.IngestSeries("v1", dirty).code(),
+            StatusCode::kDataError);
+}
+
+TEST(FleetSchedulerTest, TrainAllAndForecastOldVehicle) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(1, 600)).ok());
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+
+  const MaintenanceForecast forecast =
+      scheduler.Forecast("v1").ValueOrDie();
+  EXPECT_EQ(forecast.vehicle_id, "v1");
+  EXPECT_EQ(forecast.category, VehicleCategory::kOld);
+  EXPECT_FALSE(forecast.model_name.empty());
+  EXPECT_GE(forecast.days_left, 0.0);
+  EXPECT_GT(forecast.usage_seconds_left, 0.0);
+  EXPECT_LE(forecast.usage_seconds_left, kTv);
+  EXPECT_GE(forecast.predicted_date.day_number(), Day(599).day_number());
+}
+
+TEST(FleetSchedulerTest, ForecastBeforeTrainingFails) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(2, 600)).ok());
+  EXPECT_EQ(scheduler.Forecast("v1").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FleetSchedulerTest, NewVehicleServedByUnifiedModel) {
+  FleetScheduler scheduler(FastOptions());
+  // Two old vehicles provide the first-cycle corpus.
+  for (int v = 0; v < 2; ++v) {
+    const std::string id = "old" + std::to_string(v);
+    ASSERT_TRUE(scheduler.RegisterVehicle(id, Day(0)).ok());
+    ASSERT_TRUE(
+        scheduler.IngestSeries(id, SimulatedVehicle(10 + v, 600)).ok());
+  }
+  // A brand-new vehicle with a few low-usage days.
+  ASSERT_TRUE(scheduler.RegisterVehicle("fresh", Day(0)).ok());
+  ASSERT_TRUE(
+      scheduler
+          .IngestSeries("fresh", data::DailySeries(
+                                     Day(0), std::vector<double>(10, 500.0)))
+          .ok());
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+
+  const MaintenanceForecast forecast =
+      scheduler.Forecast("fresh").ValueOrDie();
+  EXPECT_EQ(forecast.category, VehicleCategory::kNew);
+  EXPECT_NE(forecast.model_name.find("_Uni"), std::string::npos);
+}
+
+TEST(FleetSchedulerTest, NewVehicleAloneHasNoModel) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("only", Day(0)).ok());
+  ASSERT_TRUE(
+      scheduler
+          .IngestSeries("only", data::DailySeries(
+                                    Day(0), std::vector<double>(5, 100.0)))
+          .ok());
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+  EXPECT_EQ(scheduler.Forecast("only").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FleetSchedulerTest, SemiNewVehicleGetsSimModel) {
+  FleetScheduler scheduler(FastOptions());
+  for (int v = 0; v < 2; ++v) {
+    const std::string id = "old" + std::to_string(v);
+    ASSERT_TRUE(scheduler.RegisterVehicle(id, Day(0)).ok());
+    ASSERT_TRUE(
+        scheduler.IngestSeries(id, SimulatedVehicle(20 + v, 600)).ok());
+  }
+  // Semi-new: more than T_v/2 = 250k seconds but no completed cycle.
+  ASSERT_TRUE(scheduler.RegisterVehicle("semi", Day(0)).ok());
+  ASSERT_TRUE(scheduler
+                  .IngestSeries("semi",
+                                data::DailySeries(
+                                    Day(0),
+                                    std::vector<double>(20, 15'000.0)))
+                  .ok());
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+  EXPECT_EQ(scheduler.CategoryOf("semi").ValueOrDie(),
+            VehicleCategory::kSemiNew);
+  const MaintenanceForecast forecast =
+      scheduler.Forecast("semi").ValueOrDie();
+  EXPECT_NE(forecast.model_name.find("_Sim"), std::string::npos);
+}
+
+TEST(FleetSchedulerTest, FleetForecastSortsByUrgency) {
+  FleetScheduler scheduler(FastOptions());
+  for (int v = 0; v < 3; ++v) {
+    const std::string id = "v" + std::to_string(v);
+    ASSERT_TRUE(scheduler.RegisterVehicle(id, Day(0)).ok());
+    ASSERT_TRUE(
+        scheduler.IngestSeries(id, SimulatedVehicle(30 + v, 700)).ok());
+  }
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+  const std::vector<MaintenanceForecast> forecasts =
+      scheduler.FleetForecast().ValueOrDie();
+  ASSERT_GE(forecasts.size(), 2u);
+  for (size_t i = 1; i < forecasts.size(); ++i) {
+    EXPECT_LE(forecasts[i - 1].predicted_date.day_number(),
+              forecasts[i].predicted_date.day_number());
+  }
+}
+
+TEST(FleetSchedulerTest, VehicleIdsSorted) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("b", Day(0)).ok());
+  ASSERT_TRUE(scheduler.RegisterVehicle("a", Day(0)).ok());
+  EXPECT_EQ(scheduler.VehicleIds(), (std::vector<std::string>{"a", "b"}));
+}
+
+
+TEST(FleetSchedulerTest, ModelsRoundTripThroughSaveLoad) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(41, 600)).ok());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v2", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v2", SimulatedVehicle(42, 600)).ok());
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+  const MaintenanceForecast before = scheduler.Forecast("v1").ValueOrDie();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(scheduler.SaveModels(buffer).ok());
+
+  // A fresh scheduler with the same data but no training: loading the
+  // models must reproduce the forecasts exactly.
+  FleetScheduler restored(FastOptions());
+  ASSERT_TRUE(restored.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(restored.IngestSeries("v1", SimulatedVehicle(41, 600)).ok());
+  ASSERT_TRUE(restored.RegisterVehicle("v2", Day(0)).ok());
+  ASSERT_TRUE(restored.IngestSeries("v2", SimulatedVehicle(42, 600)).ok());
+  ASSERT_TRUE(restored.LoadModels(buffer).ok());
+
+  const MaintenanceForecast after = restored.Forecast("v1").ValueOrDie();
+  EXPECT_DOUBLE_EQ(after.days_left, before.days_left);
+  EXPECT_EQ(after.model_name, before.model_name);
+  EXPECT_EQ(after.predicted_date, before.predicted_date);
+}
+
+TEST(FleetSchedulerTest, LoadModelsRejectsUnknownVehicle) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(43, 600)).ok());
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(scheduler.SaveModels(buffer).ok());
+
+  FleetScheduler other(FastOptions());  // no vehicles registered
+  EXPECT_EQ(other.LoadModels(buffer).code(), StatusCode::kNotFound);
+}
+
+TEST(FleetSchedulerTest, LoadModelsRejectsTruncatedStream) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(44, 600)).ok());
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(scheduler.SaveModels(buffer).ok());
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() * 2 / 3));
+  EXPECT_FALSE(scheduler.LoadModels(truncated).ok());
+}
+
+
+TEST(FleetSchedulerTest, CheckDriftFlagsRegimeChange) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  // 300 quiet days then 120 busy days: the monitor must flag the shift.
+  Rng rng(91);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.Normal(8'000, 800));
+  for (int i = 0; i < 120; ++i) values.push_back(rng.Normal(16'000, 800));
+  ASSERT_TRUE(
+      scheduler.IngestSeries("v1", data::DailySeries(Day(0), values)).ok());
+  const DriftReport report =
+      scheduler.CheckDrift("v1", /*reference_fraction=*/0.7).ValueOrDie();
+  EXPECT_TRUE(report.drift_detected);
+  EXPECT_EQ(report.direction, +1);
+
+  // A stable vehicle raises nothing.
+  ASSERT_TRUE(scheduler.RegisterVehicle("v2", Day(0)).ok());
+  std::vector<double> stable;
+  for (int i = 0; i < 420; ++i) stable.push_back(rng.Normal(8'000, 800));
+  ASSERT_TRUE(
+      scheduler.IngestSeries("v2", data::DailySeries(Day(0), stable)).ok());
+  EXPECT_FALSE(scheduler.CheckDrift("v2").ValueOrDie().drift_detected);
+
+  // Bad fraction rejected.
+  EXPECT_FALSE(scheduler.CheckDrift("v1", 1.5).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nextmaint

@@ -1,0 +1,185 @@
+#include "core/workshop_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nextmaint {
+namespace core {
+namespace {
+
+// 2015-01-05 is a Monday: weekday arithmetic below stays simple.
+Date Day(int offset) {
+  return Date::FromYmd(2015, 1, 5).ValueOrDie().AddDays(offset);
+}
+
+MaintenanceForecast Forecast(const std::string& id, int due_offset) {
+  MaintenanceForecast f;
+  f.vehicle_id = id;
+  f.predicted_date = Day(due_offset);
+  f.days_left = due_offset;
+  return f;
+}
+
+WorkshopOptions WeekendOptions() {
+  WorkshopOptions options;
+  options.weekend_service = true;  // every day bookable: simpler arithmetic
+  return options;
+}
+
+TEST(WorkshopPlannerTest, OnTimeWhenCapacityAllows) {
+  const std::vector<MaintenanceForecast> forecasts = {
+      Forecast("a", 3), Forecast("b", 7), Forecast("c", 12)};
+  const ServicePlan plan =
+      PlanWorkshop(forecasts, Day(0), WeekendOptions()).ValueOrDie();
+  ASSERT_EQ(plan.assignments.size(), 3u);
+  for (const ServiceAssignment& assignment : plan.assignments) {
+    EXPECT_EQ(assignment.slack_days, 0) << assignment.vehicle_id;
+  }
+  EXPECT_DOUBLE_EQ(plan.total_cost, 0.0);
+}
+
+TEST(WorkshopPlannerTest, CapacityConflictPushesOneVehicleEarly) {
+  // Two vehicles due the same day, capacity 1: one serviced a day early
+  // (earliness is 10x cheaper than lateness by default).
+  const std::vector<MaintenanceForecast> forecasts = {Forecast("a", 5),
+                                                      Forecast("b", 5)};
+  const ServicePlan plan =
+      PlanWorkshop(forecasts, Day(0), WeekendOptions()).ValueOrDie();
+  ASSERT_EQ(plan.assignments.size(), 2u);
+  std::multiset<int64_t> slacks;
+  for (const auto& assignment : plan.assignments) {
+    slacks.insert(assignment.slack_days);
+  }
+  EXPECT_EQ(slacks, (std::multiset<int64_t>{-1, 0}));
+  EXPECT_EQ(plan.total_early_days, 1);
+  EXPECT_EQ(plan.total_late_days, 0);
+}
+
+TEST(WorkshopPlannerTest, HigherCapacityRemovesConflicts) {
+  WorkshopOptions options = WeekendOptions();
+  options.daily_capacity = 2;
+  const std::vector<MaintenanceForecast> forecasts = {Forecast("a", 5),
+                                                      Forecast("b", 5)};
+  const ServicePlan plan =
+      PlanWorkshop(forecasts, Day(0), options).ValueOrDie();
+  EXPECT_DOUBLE_EQ(plan.total_cost, 0.0);
+}
+
+TEST(WorkshopPlannerTest, OverdueVehicleBookedImmediately) {
+  const std::vector<MaintenanceForecast> forecasts = {Forecast("late", -4)};
+  const ServicePlan plan =
+      PlanWorkshop(forecasts, Day(0), WeekendOptions()).ValueOrDie();
+  ASSERT_EQ(plan.assignments.size(), 1u);
+  EXPECT_EQ(plan.assignments[0].scheduled_date, Day(0));
+  EXPECT_EQ(plan.assignments[0].slack_days, 4);
+  EXPECT_EQ(plan.total_late_days, 4);
+}
+
+TEST(WorkshopPlannerTest, BeyondHorizonReported) {
+  WorkshopOptions options = WeekendOptions();
+  options.horizon_days = 30;
+  const std::vector<MaintenanceForecast> forecasts = {Forecast("soon", 10),
+                                                      Forecast("far", 60)};
+  const ServicePlan plan =
+      PlanWorkshop(forecasts, Day(0), options).ValueOrDie();
+  EXPECT_EQ(plan.assignments.size(), 1u);
+  EXPECT_EQ(plan.beyond_horizon, (std::vector<std::string>{"far"}));
+}
+
+TEST(WorkshopPlannerTest, WeekendsExcludedByDefault) {
+  WorkshopOptions options;  // weekend_service = false
+  // Due on Saturday (Day(5) from Monday): must be serviced Friday.
+  const std::vector<MaintenanceForecast> forecasts = {Forecast("a", 5)};
+  const ServicePlan plan =
+      PlanWorkshop(forecasts, Day(0), options).ValueOrDie();
+  ASSERT_EQ(plan.assignments.size(), 1u);
+  EXPECT_FALSE(plan.assignments[0].scheduled_date.IsWeekend());
+  EXPECT_EQ(plan.assignments[0].slack_days, -1);  // Friday, one day early
+}
+
+TEST(WorkshopPlannerTest, EarliestDeadlineFirstUnderScarcity) {
+  // Three vehicles, capacity 1, all due within two days: the most urgent
+  // one gets its due date, others spread around it.
+  const std::vector<MaintenanceForecast> forecasts = {
+      Forecast("c", 2), Forecast("a", 1), Forecast("b", 2)};
+  const ServicePlan plan =
+      PlanWorkshop(forecasts, Day(0), WeekendOptions()).ValueOrDie();
+  ASSERT_EQ(plan.assignments.size(), 3u);
+  // All three days 0..2 are used exactly once.
+  std::set<int64_t> days;
+  for (const auto& assignment : plan.assignments) {
+    days.insert(assignment.scheduled_date.DaysSince(Day(0)));
+  }
+  EXPECT_EQ(days.size(), 3u);
+  EXPECT_EQ(plan.total_late_days, 0);
+}
+
+TEST(WorkshopPlannerTest, AsymmetricCostsPreferEarliness) {
+  // Due tomorrow but tomorrow is taken by a same-deadline vehicle: the
+  // competitor lands today (early, cost 1) rather than the day after
+  // (late, cost 10).
+  const std::vector<MaintenanceForecast> forecasts = {Forecast("a", 1),
+                                                      Forecast("b", 1)};
+  const ServicePlan plan =
+      PlanWorkshop(forecasts, Day(0), WeekendOptions()).ValueOrDie();
+  EXPECT_EQ(plan.total_late_days, 0);
+  EXPECT_EQ(plan.total_early_days, 1);
+}
+
+TEST(WorkshopPlannerTest, LatenessPreferredWhenCheaper) {
+  WorkshopOptions options = WeekendOptions();
+  options.earliness_cost_per_day = 10.0;
+  options.lateness_cost_per_day = 1.0;
+  const std::vector<MaintenanceForecast> forecasts = {Forecast("a", 1),
+                                                      Forecast("b", 1)};
+  const ServicePlan plan =
+      PlanWorkshop(forecasts, Day(0), options).ValueOrDie();
+  EXPECT_EQ(plan.total_late_days, 1);
+  EXPECT_EQ(plan.total_early_days, 0);
+}
+
+TEST(WorkshopPlannerTest, PlanCostRecomputesUnderNewWeights) {
+  const std::vector<MaintenanceForecast> forecasts = {Forecast("a", 5),
+                                                      Forecast("b", 5)};
+  const ServicePlan plan =
+      PlanWorkshop(forecasts, Day(0), WeekendOptions()).ValueOrDie();
+  WorkshopOptions doubled = WeekendOptions();
+  doubled.earliness_cost_per_day = 2.0;
+  EXPECT_DOUBLE_EQ(PlanCost(plan, doubled), 2.0 * plan.total_cost);
+}
+
+TEST(WorkshopPlannerTest, FullyBookedHorizonReportsOverflow) {
+  WorkshopOptions options = WeekendOptions();
+  options.horizon_days = 2;  // two slots total at capacity 1
+  const std::vector<MaintenanceForecast> forecasts = {
+      Forecast("a", 0), Forecast("b", 0), Forecast("c", 1)};
+  const ServicePlan plan =
+      PlanWorkshop(forecasts, Day(0), options).ValueOrDie();
+  EXPECT_EQ(plan.assignments.size(), 2u);
+  EXPECT_EQ(plan.beyond_horizon.size(), 1u);
+}
+
+TEST(WorkshopPlannerTest, InvalidOptionsRejected) {
+  const std::vector<MaintenanceForecast> forecasts = {Forecast("a", 1)};
+  WorkshopOptions options = WeekendOptions();
+  options.daily_capacity = 0;
+  EXPECT_FALSE(PlanWorkshop(forecasts, Day(0), options).ok());
+  options = WeekendOptions();
+  options.horizon_days = 0;
+  EXPECT_FALSE(PlanWorkshop(forecasts, Day(0), options).ok());
+  options = WeekendOptions();
+  options.lateness_cost_per_day = -1.0;
+  EXPECT_FALSE(PlanWorkshop(forecasts, Day(0), options).ok());
+}
+
+TEST(WorkshopPlannerTest, EmptyForecastsYieldEmptyPlan) {
+  const ServicePlan plan =
+      PlanWorkshop({}, Day(0), WeekendOptions()).ValueOrDie();
+  EXPECT_TRUE(plan.assignments.empty());
+  EXPECT_DOUBLE_EQ(plan.total_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nextmaint

@@ -1,0 +1,152 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace nextmaint {
+namespace data {
+namespace {
+
+Result<Table> Parse(const std::string& text, CsvReadOptions options = {}) {
+  std::istringstream stream(text);
+  return ReadCsv(stream, options);
+}
+
+TEST(CsvReadTest, ParsesHeaderAndTypes) {
+  const Table table =
+      Parse("id,usage,label\n1,10.5,alpha\n2,20.25,beta\n").ValueOrDie();
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.ColumnNames(),
+            (std::vector<std::string>{"id", "usage", "label"}));
+  EXPECT_EQ(table.GetColumn("id").ValueOrDie()->type(), ColumnType::kInt64);
+  EXPECT_EQ(table.GetColumn("usage").ValueOrDie()->type(),
+            ColumnType::kDouble);
+  EXPECT_EQ(table.GetColumn("label").ValueOrDie()->type(),
+            ColumnType::kString);
+  EXPECT_EQ(table.GetColumn("id").ValueOrDie()->Int64At(1), 2);
+  EXPECT_DOUBLE_EQ(table.GetColumn("usage").ValueOrDie()->DoubleAt(0), 10.5);
+  EXPECT_EQ(table.GetColumn("label").ValueOrDie()->StringAt(1), "beta");
+}
+
+TEST(CsvReadTest, MixedIntAndDoubleWidensToDouble) {
+  const Table table = Parse("x\n1\n2.5\n").ValueOrDie();
+  EXPECT_EQ(table.column(0).type(), ColumnType::kDouble);
+  EXPECT_DOUBLE_EQ(table.column(0).DoubleAt(0), 1.0);
+}
+
+TEST(CsvReadTest, NullTokensBecomeNulls) {
+  const Table table = Parse("a,b\n1,x\n,y\nNaN,z\n").ValueOrDie();
+  const Column* a = table.GetColumn("a").ValueOrDie();
+  EXPECT_EQ(a->type(), ColumnType::kInt64);  // non-null cells are ints
+  EXPECT_TRUE(a->IsValid(0));
+  EXPECT_FALSE(a->IsValid(1));
+  EXPECT_FALSE(a->IsValid(2));
+  EXPECT_EQ(table.null_count(), 2u);
+}
+
+TEST(CsvReadTest, CustomNullTokens) {
+  CsvReadOptions options;
+  options.null_tokens = {"-"};
+  const Table table = Parse("a\n-\n5\n", options).ValueOrDie();
+  EXPECT_FALSE(table.column(0).IsValid(0));
+  EXPECT_TRUE(table.column(0).IsValid(1));
+}
+
+TEST(CsvReadTest, NoHeaderGeneratesNames) {
+  CsvReadOptions options;
+  options.has_header = false;
+  const Table table = Parse("1,2\n3,4\n", options).ValueOrDie();
+  EXPECT_EQ(table.ColumnNames(), (std::vector<std::string>{"c0", "c1"}));
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(CsvReadTest, CustomDelimiter) {
+  CsvReadOptions options;
+  options.delimiter = ';';
+  const Table table = Parse("a;b\n1;2\n", options).ValueOrDie();
+  EXPECT_EQ(table.num_columns(), 2u);
+}
+
+TEST(CsvReadTest, RaggedRowFails) {
+  const Result<Table> result = Parse("a,b\n1,2\n3\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataError);
+  // The error message pinpoints the offending line.
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvReadTest, HandlesCrLfLineEndings) {
+  const Table table = Parse("a,b\r\n1,2\r\n").ValueOrDie();
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.column(1).Int64At(0), 2);
+}
+
+TEST(CsvReadTest, EmptyInputYieldsEmptyTable) {
+  const Table table = Parse("").ValueOrDie();
+  EXPECT_EQ(table.num_columns(), 0u);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(CsvReadTest, HeaderOnly) {
+  const Table table = Parse("a,b\n").ValueOrDie();
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(CsvReadFileTest, MissingFileFails) {
+  const Result<Table> result = ReadCsvFile("/nonexistent/path.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvWriteTest, RoundTripsThroughText) {
+  const Table original =
+      Parse("id,usage,label\n1,10.5,alpha\n2,,beta\n").ValueOrDie();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(original, out).ok());
+  const Table reparsed = Parse(out.str()).ValueOrDie();
+  EXPECT_EQ(reparsed.num_rows(), original.num_rows());
+  EXPECT_EQ(reparsed.ColumnNames(), original.ColumnNames());
+  EXPECT_FALSE(reparsed.GetColumn("usage").ValueOrDie()->IsValid(1));
+  EXPECT_DOUBLE_EQ(reparsed.GetColumn("usage").ValueOrDie()->DoubleAt(0),
+                   10.5);
+}
+
+TEST(CsvWriteTest, PrecisionOption) {
+  const Table table = Parse("x\n1.23456789\n").ValueOrDie();
+  std::ostringstream out;
+  CsvWriteOptions options;
+  options.double_precision = 2;
+  ASSERT_TRUE(WriteCsv(table, out).ok());
+  CsvWriteOptions two;
+  two.double_precision = 2;
+  std::ostringstream out2;
+  ASSERT_TRUE(WriteCsv(table, out2, two).ok());
+  EXPECT_NE(out2.str().find("1.23"), std::string::npos);
+  EXPECT_EQ(out2.str().find("1.2345"), std::string::npos);
+}
+
+TEST(CsvWriteTest, NoHeaderOption) {
+  const Table table = Parse("a\n1\n").ValueOrDie();
+  CsvWriteOptions options;
+  options.write_header = false;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(table, out, options).ok());
+  EXPECT_EQ(out.str(), "1\n");
+}
+
+TEST(CsvWriteFileTest, RoundTripsThroughDisk) {
+  const Table table = Parse("a,b\n1,x\n2,y\n").ValueOrDie();
+  const std::string path = testing::TempDir() + "/nextmaint_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  const Table reloaded = ReadCsvFile(path).ValueOrDie();
+  EXPECT_EQ(reloaded.num_rows(), 2u);
+  EXPECT_EQ(reloaded.GetColumn("b").ValueOrDie()->StringAt(1), "y");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace nextmaint

@@ -1,0 +1,210 @@
+#include "data/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace nextmaint {
+namespace data {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Date Day(int offset) {
+  return Date::FromYmd(2015, 1, 1).ValueOrDie().AddDays(offset);
+}
+
+TEST(CleanTest, ZeroPolicyFillsGaps) {
+  DailySeries series(Day(0), {1.0, kNaN, 3.0});
+  const CleaningReport report = Clean(&series, MissingValuePolicy::kZero);
+  EXPECT_EQ(report.missing_filled, 1u);
+  EXPECT_TRUE(series.IsComplete());
+  EXPECT_DOUBLE_EQ(series[1], 0.0);
+}
+
+TEST(CleanTest, MeanPolicyUsesObservedMean) {
+  DailySeries series(Day(0), {2.0, kNaN, 4.0});
+  Clean(&series, MissingValuePolicy::kMean);
+  EXPECT_DOUBLE_EQ(series[1], 3.0);
+}
+
+TEST(CleanTest, ForwardFillCarriesLastValue) {
+  DailySeries series(Day(0), {kNaN, 5.0, kNaN, kNaN, 7.0});
+  Clean(&series, MissingValuePolicy::kForwardFill);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);  // leading gap has nothing to carry
+  EXPECT_DOUBLE_EQ(series[2], 5.0);
+  EXPECT_DOUBLE_EQ(series[3], 5.0);
+  EXPECT_DOUBLE_EQ(series[4], 7.0);
+}
+
+TEST(CleanTest, InterpolatePolicyIsLinear) {
+  DailySeries series(Day(0), {0.0, kNaN, kNaN, 9.0});
+  Clean(&series, MissingValuePolicy::kInterpolate);
+  EXPECT_DOUBLE_EQ(series[1], 3.0);
+  EXPECT_DOUBLE_EQ(series[2], 6.0);
+}
+
+TEST(CleanTest, InterpolateBoundaryGapsUseNearestValue) {
+  DailySeries series(Day(0), {kNaN, 4.0, kNaN});
+  Clean(&series, MissingValuePolicy::kInterpolate);
+  EXPECT_DOUBLE_EQ(series[0], 4.0);
+  EXPECT_DOUBLE_EQ(series[2], 4.0);
+}
+
+TEST(CleanTest, InterpolateAllNaNBecomesZero) {
+  DailySeries series(Day(0), {kNaN, kNaN});
+  Clean(&series, MissingValuePolicy::kInterpolate);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.0);
+}
+
+TEST(CleanTest, ClampsInconsistentValues) {
+  // 100000 s/day is physically impossible; -5 likewise.
+  DailySeries series(Day(0), {100'000.0, -5.0, 40'000.0});
+  const CleaningReport report = Clean(&series);
+  EXPECT_EQ(report.clamped_high, 1u);
+  EXPECT_EQ(report.clamped_low, 1u);
+  EXPECT_DOUBLE_EQ(series[0], 86'400.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.0);
+  EXPECT_DOUBLE_EQ(series[2], 40'000.0);
+}
+
+TEST(CleanTest, ClampBeforeFillKeepsMeanUnbiased) {
+  // The glitch (1e9) must not leak into the mean used to fill the gap.
+  DailySeries series(Day(0), {1e9, kNaN, 10.0});
+  Clean(&series, MissingValuePolicy::kMean);
+  EXPECT_DOUBLE_EQ(series[1], (86'400.0 + 10.0) / 2.0);
+}
+
+TEST(CleanTest, CustomLimits) {
+  ConsistencyLimits limits;
+  limits.max_daily_seconds = 50'000.0;
+  DailySeries series(Day(0), {60'000.0});
+  Clean(&series, MissingValuePolicy::kZero, limits);
+  EXPECT_DOUBLE_EQ(series[0], 50'000.0);
+}
+
+TEST(NormalizeMinMaxTest, ScalesToUnitInterval) {
+  DailySeries series(Day(0), {10.0, 20.0, 30.0});
+  const MinMaxParams params = NormalizeMinMax(&series);
+  EXPECT_DOUBLE_EQ(params.min, 10.0);
+  EXPECT_DOUBLE_EQ(params.max, 30.0);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.5);
+  EXPECT_DOUBLE_EQ(series[2], 1.0);
+}
+
+TEST(NormalizeMinMaxTest, InverseRecoversOriginal) {
+  DailySeries series(Day(0), {3.0, 7.0, 11.0});
+  const MinMaxParams params = NormalizeMinMax(&series);
+  EXPECT_DOUBLE_EQ(params.Inverse(series[1]), 7.0);
+}
+
+TEST(NormalizeMinMaxTest, ConstantSeriesMapsToZero) {
+  DailySeries series(Day(0), {5.0, 5.0});
+  NormalizeMinMax(&series);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.0);
+}
+
+TEST(NormalizeMinMaxTest, SkipsNaN) {
+  DailySeries series(Day(0), {0.0, kNaN, 10.0});
+  NormalizeMinMax(&series);
+  EXPECT_TRUE(std::isnan(series[1]));
+  EXPECT_DOUBLE_EQ(series[2], 1.0);
+}
+
+TEST(ApplyMinMaxTest, UsesTrainedParams) {
+  MinMaxParams params{0.0, 10.0};
+  DailySeries test(Day(0), {5.0, 20.0});
+  ApplyMinMax(params, &test);
+  EXPECT_DOUBLE_EQ(test[0], 0.5);
+  EXPECT_DOUBLE_EQ(test[1], 2.0);  // out-of-range values extrapolate
+}
+
+TEST(AggregateDailyTest, SumsReportsPerDay) {
+  Table table = Table::Create({{"date", ColumnType::kString},
+                               {"seconds", ColumnType::kDouble}})
+                    .ValueOrDie();
+  auto& date = table.mutable_column(0);
+  auto& seconds = table.mutable_column(1);
+  date.AppendString("2015-01-01");
+  seconds.AppendDouble(100.0);
+  date.AppendString("2015-01-01");
+  seconds.AppendDouble(50.0);
+  date.AppendString("2015-01-03");
+  seconds.AppendDouble(75.0);
+
+  const DailySeries series =
+      AggregateDaily(table, "date", "seconds").ValueOrDie();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.start_date(), Day(0));
+  EXPECT_DOUBLE_EQ(series[0], 150.0);
+  EXPECT_TRUE(std::isnan(series[1]));  // no report for Jan 2
+  EXPECT_DOUBLE_EQ(series[2], 75.0);
+}
+
+TEST(AggregateDailyTest, AcceptsIntegerDayNumbers) {
+  Table table = Table::Create({{"day", ColumnType::kInt64},
+                               {"seconds", ColumnType::kInt64}})
+                    .ValueOrDie();
+  table.mutable_column(0).AppendInt64(Day(5).day_number());
+  table.mutable_column(1).AppendInt64(42);
+  const DailySeries series =
+      AggregateDaily(table, "day", "seconds").ValueOrDie();
+  EXPECT_EQ(series.start_date(), Day(5));
+  EXPECT_DOUBLE_EQ(series[0], 42.0);
+}
+
+TEST(AggregateDailyTest, NullDurationMarksDayObserved) {
+  Table table = Table::Create({{"date", ColumnType::kString},
+                               {"seconds", ColumnType::kDouble}})
+                    .ValueOrDie();
+  table.mutable_column(0).AppendString("2015-01-01");
+  table.mutable_column(1).AppendNull();
+  const DailySeries series =
+      AggregateDaily(table, "date", "seconds").ValueOrDie();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);  // observed, contributes nothing
+}
+
+TEST(AggregateDailyTest, ErrorCases) {
+  Table empty = Table::Create({{"date", ColumnType::kString},
+                               {"seconds", ColumnType::kDouble}})
+                    .ValueOrDie();
+  EXPECT_FALSE(AggregateDaily(empty, "date", "seconds").ok());
+  EXPECT_FALSE(AggregateDaily(empty, "ghost", "seconds").ok());
+
+  Table bad = Table::Create({{"date", ColumnType::kString},
+                             {"seconds", ColumnType::kString}})
+                  .ValueOrDie();
+  bad.mutable_column(0).AppendString("2015-01-01");
+  bad.mutable_column(1).AppendString("lots");
+  EXPECT_FALSE(AggregateDaily(bad, "date", "seconds").ok());
+
+  Table bad_date = Table::Create({{"date", ColumnType::kString},
+                                  {"seconds", ColumnType::kDouble}})
+                       .ValueOrDie();
+  bad_date.mutable_column(0).AppendString("not-a-date");
+  bad_date.mutable_column(1).AppendDouble(1.0);
+  EXPECT_FALSE(AggregateDaily(bad_date, "date", "seconds").ok());
+}
+
+TEST(SeriesToTableTest, RoundTripsThroughAggregate) {
+  DailySeries series(Day(0), {10.0, kNaN, 30.0});
+  const Table table = SeriesToTable(series, "usage").ValueOrDie();
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_EQ(table.GetColumn("date").ValueOrDie()->StringAt(0), "2015-01-01");
+  EXPECT_FALSE(table.GetColumn("usage").ValueOrDie()->IsValid(1));
+
+  const DailySeries rebuilt =
+      AggregateDaily(table, "date", "usage").ValueOrDie();
+  EXPECT_EQ(rebuilt.size(), series.size());
+  EXPECT_DOUBLE_EQ(rebuilt[0], 10.0);
+  EXPECT_DOUBLE_EQ(rebuilt[2], 30.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace nextmaint

@@ -1,0 +1,167 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nextmaint {
+namespace data {
+namespace {
+
+Table MakeSampleTable() {
+  Column id("id", ColumnType::kInt64);
+  id.AppendInt64(1);
+  id.AppendInt64(2);
+  id.AppendInt64(3);
+  Column usage("usage", ColumnType::kDouble);
+  usage.AppendDouble(100.5);
+  usage.AppendNull();
+  usage.AppendDouble(300.0);
+  Column name("name", ColumnType::kString);
+  name.AppendString("a");
+  name.AppendString("b");
+  name.AppendString("c");
+  Table table;
+  EXPECT_TRUE(table.AddColumn(std::move(id)).ok());
+  EXPECT_TRUE(table.AddColumn(std::move(usage)).ok());
+  EXPECT_TRUE(table.AddColumn(std::move(name)).ok());
+  return table;
+}
+
+TEST(ColumnTest, TypedAppendAndRead) {
+  Column column("x", ColumnType::kDouble);
+  column.AppendDouble(1.5);
+  column.AppendNull();
+  EXPECT_EQ(column.size(), 2u);
+  EXPECT_DOUBLE_EQ(column.DoubleAt(0), 1.5);
+  EXPECT_TRUE(std::isnan(column.DoubleAt(1)));
+  EXPECT_TRUE(column.IsValid(0));
+  EXPECT_FALSE(column.IsValid(1));
+  EXPECT_EQ(column.null_count(), 1u);
+}
+
+TEST(ColumnTest, TypeMismatchAborts) {
+  Column column("x", ColumnType::kDouble);
+  EXPECT_DEATH(column.AppendInt64(1), "x");
+}
+
+TEST(ColumnTest, AsDoublesWidensInt64) {
+  Column column("n", ColumnType::kInt64);
+  column.AppendInt64(4);
+  column.AppendNull();
+  const std::vector<double> values = column.AsDoubles().ValueOrDie();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 4.0);
+  EXPECT_TRUE(std::isnan(values[1]));
+}
+
+TEST(ColumnTest, AsDoublesFailsForStrings) {
+  Column column("s", ColumnType::kString);
+  column.AppendString("x");
+  EXPECT_FALSE(column.AsDoubles().ok());
+}
+
+TEST(TableTest, CreateFromSchema) {
+  const Table table = Table::Create({{"a", ColumnType::kDouble},
+                                     {"b", ColumnType::kInt64}})
+                          .ValueOrDie();
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableTest, CreateRejectsDuplicateNames) {
+  EXPECT_FALSE(Table::Create({{"a", ColumnType::kDouble},
+                              {"a", ColumnType::kInt64}})
+                   .ok());
+}
+
+TEST(TableTest, AddColumnValidatesRowCount) {
+  Table table = MakeSampleTable();
+  Column short_column("bad", ColumnType::kDouble);
+  short_column.AppendDouble(1.0);
+  EXPECT_FALSE(table.AddColumn(std::move(short_column)).ok());
+}
+
+TEST(TableTest, AddColumnRejectsDuplicateName) {
+  Table table = MakeSampleTable();
+  Column dup("id", ColumnType::kDouble);
+  dup.AppendDouble(1);
+  dup.AppendDouble(2);
+  dup.AppendDouble(3);
+  EXPECT_EQ(table.AddColumn(std::move(dup)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, GetColumnByName) {
+  const Table table = MakeSampleTable();
+  const Column* usage = table.GetColumn("usage").ValueOrDie();
+  EXPECT_EQ(usage->name(), "usage");
+  EXPECT_FALSE(table.GetColumn("absent").ok());
+  EXPECT_EQ(table.ColumnIndex("name").ValueOrDie(), 2u);
+}
+
+TEST(TableTest, ColumnNames) {
+  EXPECT_EQ(MakeSampleTable().ColumnNames(),
+            (std::vector<std::string>{"id", "usage", "name"}));
+}
+
+TEST(TableTest, FilterKeepsMatchingRows) {
+  const Table table = MakeSampleTable();
+  const Table filtered = table.Filter([](size_t row) { return row != 1; });
+  EXPECT_EQ(filtered.num_rows(), 2u);
+  EXPECT_EQ(filtered.GetColumn("id").ValueOrDie()->Int64At(1), 3);
+  EXPECT_EQ(filtered.GetColumn("name").ValueOrDie()->StringAt(0), "a");
+}
+
+TEST(TableTest, FilterPreservesNulls) {
+  const Table table = MakeSampleTable();
+  const Table filtered = table.Filter([](size_t row) { return row == 1; });
+  EXPECT_EQ(filtered.num_rows(), 1u);
+  EXPECT_FALSE(filtered.GetColumn("usage").ValueOrDie()->IsValid(0));
+}
+
+TEST(TableTest, SelectReordersColumns) {
+  const Table table = MakeSampleTable();
+  const Table selected = table.Select({"name", "id"}).ValueOrDie();
+  EXPECT_EQ(selected.ColumnNames(),
+            (std::vector<std::string>{"name", "id"}));
+  EXPECT_EQ(selected.num_rows(), 3u);
+  EXPECT_FALSE(table.Select({"ghost"}).ok());
+}
+
+TEST(TableTest, SliceClampsRange) {
+  const Table table = MakeSampleTable();
+  EXPECT_EQ(table.Slice(1, 1).num_rows(), 1u);
+  EXPECT_EQ(table.Slice(1, 99).num_rows(), 2u);
+  EXPECT_EQ(table.Slice(9, 2).num_rows(), 0u);
+  EXPECT_EQ(table.Slice(1, 1).GetColumn("id").ValueOrDie()->Int64At(0), 2);
+}
+
+TEST(TableTest, ConcatAppendsRows) {
+  Table a = MakeSampleTable();
+  const Table b = MakeSampleTable();
+  ASSERT_TRUE(a.Concat(b).ok());
+  EXPECT_EQ(a.num_rows(), 6u);
+  EXPECT_EQ(a.GetColumn("id").ValueOrDie()->Int64At(3), 1);
+}
+
+TEST(TableTest, ConcatRejectsSchemaMismatch) {
+  Table a = MakeSampleTable();
+  Table b = Table::Create({{"other", ColumnType::kDouble}}).ValueOrDie();
+  EXPECT_FALSE(a.Concat(b).ok());
+}
+
+TEST(TableTest, NullCountAggregates) {
+  EXPECT_EQ(MakeSampleTable().null_count(), 1u);
+}
+
+TEST(TableTest, EmptyTableBasics) {
+  Table table;
+  EXPECT_EQ(table.num_rows(), 0u);
+  EXPECT_EQ(table.num_columns(), 0u);
+  EXPECT_EQ(table.null_count(), 0u);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace nextmaint

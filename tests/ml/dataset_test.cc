@@ -1,0 +1,104 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace nextmaint {
+namespace ml {
+namespace {
+
+Dataset MakeDataset() {
+  Matrix x = Matrix::FromRows({{1, 10}, {2, 20}, {3, 30}, {4, 40}});
+  return Dataset::Create(std::move(x), {1, 2, 3, 4}, {"a", "b"})
+      .ValueOrDie();
+}
+
+TEST(DatasetTest, CreateValidatesShapes) {
+  Matrix x = Matrix::FromRows({{1}, {2}});
+  EXPECT_TRUE(Dataset::Create(x, {1, 2}).ok());
+  EXPECT_FALSE(Dataset::Create(x, {1, 2, 3}).ok());
+  EXPECT_FALSE(Dataset::Create(x, {1, 2}, {"a", "b"}).ok());  // 1 feature
+}
+
+TEST(DatasetTest, Accessors) {
+  const Dataset d = MakeDataset();
+  EXPECT_EQ(d.num_rows(), 4u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.feature_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_DOUBLE_EQ(d.y()[2], 3.0);
+  EXPECT_DOUBLE_EQ(d.x()(2, 1), 30.0);
+}
+
+TEST(DatasetTest, AddRow) {
+  Dataset d = MakeDataset();
+  const std::vector<double> row = {5, 50};
+  d.AddRow(std::span<const double>(row.data(), 2), 5.0);
+  EXPECT_EQ(d.num_rows(), 5u);
+  EXPECT_DOUBLE_EQ(d.y().back(), 5.0);
+}
+
+TEST(DatasetTest, SelectRowsWithDuplicates) {
+  const Dataset d = MakeDataset();
+  const Dataset sub = d.SelectRows({3, 3, 0});
+  EXPECT_EQ(sub.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(sub.y()[0], 4.0);
+  EXPECT_DOUBLE_EQ(sub.y()[1], 4.0);
+  EXPECT_DOUBLE_EQ(sub.y()[2], 1.0);
+  EXPECT_EQ(sub.feature_names(), d.feature_names());
+}
+
+TEST(DatasetTest, SplitAtIsChronological) {
+  const Dataset d = MakeDataset();
+  const auto [head, tail] = d.SplitAt(3);
+  EXPECT_EQ(head.num_rows(), 3u);
+  EXPECT_EQ(tail.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(tail.y()[0], 4.0);
+}
+
+TEST(DatasetTest, SplitAtClampsToSize) {
+  const Dataset d = MakeDataset();
+  const auto [head, tail] = d.SplitAt(99);
+  EXPECT_EQ(head.num_rows(), 4u);
+  EXPECT_TRUE(tail.empty());
+}
+
+TEST(DatasetTest, ConcatAppendsRows) {
+  Dataset a = MakeDataset();
+  const Dataset b = MakeDataset();
+  ASSERT_TRUE(a.Concat(b).ok());
+  EXPECT_EQ(a.num_rows(), 8u);
+  EXPECT_DOUBLE_EQ(a.y()[4], 1.0);
+}
+
+TEST(DatasetTest, ConcatIntoEmptyAdopts) {
+  Dataset empty;
+  ASSERT_TRUE(empty.Concat(MakeDataset()).ok());
+  EXPECT_EQ(empty.num_rows(), 4u);
+  EXPECT_EQ(empty.num_features(), 2u);
+}
+
+TEST(DatasetTest, ConcatRejectsFeatureMismatch) {
+  Dataset a = MakeDataset();
+  Matrix x = Matrix::FromRows({{1}});
+  Dataset b = Dataset::Create(std::move(x), {1}).ValueOrDie();
+  EXPECT_FALSE(a.Concat(b).ok());
+}
+
+TEST(DatasetTest, ShuffledIsPermutation) {
+  const Dataset d = MakeDataset();
+  Rng rng(5);
+  const Dataset shuffled = d.Shuffled(&rng);
+  EXPECT_EQ(shuffled.num_rows(), d.num_rows());
+  double sum = 0.0;
+  for (double y : shuffled.y()) sum += y;
+  EXPECT_DOUBLE_EQ(sum, 10.0);  // same multiset of targets
+  // Feature rows stay attached to their targets.
+  for (size_t r = 0; r < shuffled.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(shuffled.x()(r, 0), shuffled.y()[r]);
+    EXPECT_DOUBLE_EQ(shuffled.x()(r, 1), 10.0 * shuffled.y()[r]);
+  }
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace nextmaint

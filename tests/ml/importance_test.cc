@@ -1,0 +1,125 @@
+// Tests for feature importances (tree, RF, XGB) and the random forest's
+// ensemble-spread prediction interval.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/hist_gradient_boosting.h"
+#include "ml/random_forest.h"
+
+namespace nextmaint {
+namespace ml {
+namespace {
+
+/// Feature 0 drives the target; feature 1 is pure noise.
+Dataset MakeSignalNoiseData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  for (size_t i = 0; i < n; ++i) {
+    const double signal = rng.Uniform(0, 10);
+    const double noise = rng.Uniform(0, 10);
+    const std::vector<double> row = {signal, noise};
+    d.AddRow(std::span<const double>(row.data(), 2),
+             signal > 5.0 ? 10.0 + signal : signal);
+  }
+  return d;
+}
+
+TEST(TreeImportanceTest, SignalFeatureDominates) {
+  DecisionTreeRegressor tree;
+  ASSERT_TRUE(tree.Fit(MakeSignalNoiseData(500, 1)).ok());
+  const std::vector<double> importances = tree.FeatureImportances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_GT(importances[0], 0.9);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+}
+
+TEST(TreeImportanceTest, StumpHasZeroImportance) {
+  Dataset d;
+  for (double x = 0; x < 10; ++x) {
+    const std::vector<double> row = {x};
+    d.AddRow(std::span<const double>(row.data(), 1), 1.0);  // constant y
+  }
+  DecisionTreeRegressor tree;
+  ASSERT_TRUE(tree.Fit(d).ok());
+  const std::vector<double> importances = tree.FeatureImportances();
+  ASSERT_EQ(importances.size(), 1u);
+  EXPECT_DOUBLE_EQ(importances[0], 0.0);
+}
+
+TEST(ForestImportanceTest, SignalFeatureDominatesAndNormalizes) {
+  RandomForestRegressor::Options options;
+  options.num_estimators = 20;
+  RandomForestRegressor forest(options);
+  ASSERT_TRUE(forest.Fit(MakeSignalNoiseData(500, 2)).ok());
+  const std::vector<double> importances = forest.FeatureImportances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_GT(importances[0], 0.8);
+  EXPECT_NEAR(std::accumulate(importances.begin(), importances.end(), 0.0),
+              1.0, 1e-9);
+}
+
+TEST(ForestImportanceTest, UnfittedReturnsEmpty) {
+  RandomForestRegressor forest;
+  EXPECT_TRUE(forest.FeatureImportances().empty());
+}
+
+TEST(XgbImportanceTest, SignalFeatureDominates) {
+  HistGradientBoostingRegressor model;
+  ASSERT_TRUE(model.Fit(MakeSignalNoiseData(500, 3)).ok());
+  const std::vector<double> importances = model.FeatureImportances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_GT(importances[0], 0.8);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+}
+
+TEST(PredictWithSpreadTest, MeanMatchesPredict) {
+  RandomForestRegressor::Options options;
+  options.num_estimators = 25;
+  RandomForestRegressor forest(options);
+  const Dataset data = MakeSignalNoiseData(300, 4);
+  ASSERT_TRUE(forest.Fit(data).ok());
+  const std::vector<double> probe = {3.0, 5.0};
+  const auto span = std::span<const double>(probe.data(), 2);
+  const auto interval = forest.PredictWithSpread(span).ValueOrDie();
+  EXPECT_DOUBLE_EQ(interval.mean, forest.Predict(span).ValueOrDie());
+  EXPECT_GE(interval.stddev, 0.0);
+}
+
+TEST(PredictWithSpreadTest, SpreadGrowsNearDecisionBoundary) {
+  // Right at the step (signal = 5) trees disagree; far from it they agree.
+  RandomForestRegressor::Options options;
+  options.num_estimators = 40;
+  RandomForestRegressor forest(options);
+  ASSERT_TRUE(forest.Fit(MakeSignalNoiseData(400, 5)).ok());
+  const std::vector<double> at_boundary = {5.0, 5.0};
+  const std::vector<double> far_away = {1.0, 5.0};
+  const double boundary_spread =
+      forest
+          .PredictWithSpread(
+              std::span<const double>(at_boundary.data(), 2))
+          .ValueOrDie()
+          .stddev;
+  const double far_spread =
+      forest
+          .PredictWithSpread(std::span<const double>(far_away.data(), 2))
+          .ValueOrDie()
+          .stddev;
+  EXPECT_GT(boundary_spread, far_spread);
+}
+
+TEST(PredictWithSpreadTest, UnfittedFails) {
+  RandomForestRegressor forest;
+  const std::vector<double> probe = {1.0};
+  EXPECT_FALSE(
+      forest.PredictWithSpread(std::span<const double>(probe.data(), 1))
+          .ok());
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace nextmaint

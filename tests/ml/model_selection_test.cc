@@ -1,0 +1,220 @@
+// Tests for k-fold splitting, parameter grids and grid search, plus the
+// model registry.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "ml/linear_regression.h"
+#include "ml/model_selection.h"
+#include "ml/registry.h"
+
+namespace nextmaint {
+namespace ml {
+namespace {
+
+TEST(KFoldTest, PartitionsAllIndicesExactlyOnce) {
+  const auto splits = KFoldSplits(23, 5, /*shuffle=*/true, 42).ValueOrDie();
+  ASSERT_EQ(splits.size(), 5u);
+  std::set<size_t> seen;
+  size_t total = 0;
+  for (const FoldSplit& split : splits) {
+    for (size_t i : split.test_indices) {
+      EXPECT_TRUE(seen.insert(i).second) << "index " << i << " repeated";
+    }
+    total += split.test_indices.size();
+    // Train + test partition [0, n).
+    EXPECT_EQ(split.train_indices.size() + split.test_indices.size(), 23u);
+  }
+  EXPECT_EQ(total, 23u);
+  EXPECT_EQ(*seen.rbegin(), 22u);
+}
+
+TEST(KFoldTest, FoldSizesDifferByAtMostOne) {
+  const auto splits = KFoldSplits(23, 5, true, 1).ValueOrDie();
+  size_t min_size = 99, max_size = 0;
+  for (const FoldSplit& split : splits) {
+    min_size = std::min(min_size, split.test_indices.size());
+    max_size = std::max(max_size, split.test_indices.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(KFoldTest, TrainAndTestDisjoint) {
+  const auto splits = KFoldSplits(20, 4, true, 7).ValueOrDie();
+  for (const FoldSplit& split : splits) {
+    std::set<size_t> train(split.train_indices.begin(),
+                           split.train_indices.end());
+    for (size_t i : split.test_indices) {
+      EXPECT_EQ(train.count(i), 0u);
+    }
+  }
+}
+
+TEST(KFoldTest, UnshuffledIsContiguous) {
+  const auto splits = KFoldSplits(10, 2, /*shuffle=*/false).ValueOrDie();
+  EXPECT_EQ(splits[0].test_indices,
+            (std::vector<size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(splits[1].test_indices,
+            (std::vector<size_t>{5, 6, 7, 8, 9}));
+}
+
+TEST(KFoldTest, ShuffleIsSeedDeterministic) {
+  const auto a = KFoldSplits(50, 5, true, 9).ValueOrDie();
+  const auto b = KFoldSplits(50, 5, true, 9).ValueOrDie();
+  EXPECT_EQ(a[0].test_indices, b[0].test_indices);
+  const auto c = KFoldSplits(50, 5, true, 10).ValueOrDie();
+  EXPECT_NE(a[0].test_indices, c[0].test_indices);
+}
+
+TEST(KFoldTest, ErrorCases) {
+  EXPECT_FALSE(KFoldSplits(10, 1, true).ok());
+  EXPECT_FALSE(KFoldSplits(3, 5, true).ok());
+}
+
+TEST(ParamGridTest, ExpandIsCartesianProduct) {
+  ParamGrid grid;
+  grid.Add("a", {1, 2}).Add("b", {10, 20, 30});
+  const std::vector<ParamMap> points = grid.Expand();
+  EXPECT_EQ(points.size(), 6u);
+  std::set<std::pair<double, double>> combos;
+  for (const ParamMap& p : points) {
+    combos.insert({p.at("a"), p.at("b")});
+  }
+  EXPECT_EQ(combos.size(), 6u);
+}
+
+TEST(ParamGridTest, EmptyGridExpandsToOneEmptyPoint) {
+  ParamGrid grid;
+  const std::vector<ParamMap> points = grid.Expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_TRUE(points[0].empty());
+}
+
+TEST(ParamGridTest, AddOverwritesDimension) {
+  ParamGrid grid;
+  grid.Add("a", {1, 2, 3});
+  grid.Add("a", {9});
+  EXPECT_EQ(grid.Expand().size(), 1u);
+  EXPECT_DOUBLE_EQ(grid.Expand()[0].at("a"), 9.0);
+}
+
+/// Quadratic data where ridge strength matters: the grid search should
+/// prefer small l2 on clean linear data.
+Dataset MakeSearchData() {
+  Rng rng(3);
+  Dataset d;
+  for (int i = 0; i < 120; ++i) {
+    const double x = rng.Uniform(-2, 2);
+    const std::vector<double> row = {x};
+    d.AddRow(std::span<const double>(row.data(), 1), 4.0 * x + 1.0);
+  }
+  return d;
+}
+
+TEST(GridSearchTest, PicksBestHyperparameter) {
+  const Dataset data = MakeSearchData();
+  RegressorFactory factory = [](const ParamMap& params) {
+    return std::make_unique<LinearRegression>(
+        LinearRegression::OptionsFromParams(params));
+  };
+  ParamGrid grid;
+  grid.Add("l2", {0.0, 1000.0});
+  const GridSearchResult result =
+      GridSearchCV(factory, grid, data).ValueOrDie();
+  EXPECT_DOUBLE_EQ(result.best_params.at("l2"), 0.0);
+  EXPECT_EQ(result.all_points.size(), 2u);
+  EXPECT_LT(result.best_score, 1e-6);
+  // Every point records one score per fold.
+  for (const GridPointResult& point : result.all_points) {
+    EXPECT_EQ(point.fold_scores.size(), 5u);
+  }
+}
+
+TEST(GridSearchTest, EmptyGridRunsPlainCv) {
+  const Dataset data = MakeSearchData();
+  RegressorFactory factory = [](const ParamMap&) {
+    return std::make_unique<LinearRegression>();
+  };
+  const GridSearchResult result =
+      GridSearchCV(factory, ParamGrid(), data).ValueOrDie();
+  EXPECT_EQ(result.all_points.size(), 1u);
+  EXPECT_TRUE(result.best_params.empty());
+}
+
+TEST(GridSearchTest, CustomScorer) {
+  const Dataset data = MakeSearchData();
+  RegressorFactory factory = [](const ParamMap&) {
+    return std::make_unique<LinearRegression>();
+  };
+  size_t scorer_calls = 0;
+  ScoreFunction scorer = [&scorer_calls](const std::vector<double>& truth,
+                                         const std::vector<double>& pred)
+      -> Result<double> {
+    ++scorer_calls;
+    double worst = 0.0;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      worst = std::max(worst, std::abs(truth[i] - pred[i]));
+    }
+    return worst;
+  };
+  GridSearchOptions options;
+  options.folds = 3;
+  ASSERT_TRUE(
+      GridSearchCV(factory, ParamGrid(), data, options, scorer).ok());
+  EXPECT_EQ(scorer_calls, 3u);
+}
+
+TEST(GridSearchTest, ErrorCases) {
+  const Dataset data = MakeSearchData();
+  EXPECT_FALSE(GridSearchCV(nullptr, ParamGrid(), data).ok());
+  RegressorFactory factory = [](const ParamMap&) {
+    return std::make_unique<LinearRegression>();
+  };
+  EXPECT_FALSE(GridSearchCV(factory, ParamGrid(), Dataset()).ok());
+  RegressorFactory null_factory = [](const ParamMap&) {
+    return std::unique_ptr<Regressor>();
+  };
+  EXPECT_FALSE(GridSearchCV(null_factory, ParamGrid(), data).ok());
+}
+
+TEST(RegistryTest, BuildsEveryRegisteredModel) {
+  for (const std::string& name : RegisteredModelNames()) {
+    const auto model = MakeRegressor(name);
+    ASSERT_TRUE(model.ok()) << name;
+    EXPECT_EQ(model.ValueOrDie()->name() == "Tree" ? "Tree" : name,
+              model.ValueOrDie()->name());
+  }
+}
+
+TEST(RegistryTest, UnknownNameFails) {
+  EXPECT_EQ(MakeRegressor("SVM").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(MakeFactory("nope").ok());
+}
+
+TEST(RegistryTest, FactoryAppliesParams) {
+  const RegressorFactory factory = MakeFactory("RF").ValueOrDie();
+  const auto model = factory({{"num_estimators", 3}});
+  ASSERT_NE(model, nullptr);
+  Dataset d;
+  const std::vector<double> row = {1.0};
+  d.AddRow(std::span<const double>(row.data(), 1), 1.0);
+  d.AddRow(std::span<const double>(row.data(), 1), 2.0);
+  ASSERT_TRUE(model->Fit(d).ok());
+}
+
+TEST(RegistryTest, DefaultGridsHaveExpectedDimensions) {
+  EXPECT_EQ(DefaultGridFor("LR").Expand().size(), 1u);  // no tunables
+  EXPECT_GT(DefaultGridFor("RF").Expand().size(), 1u);
+  EXPECT_GT(DefaultGridFor("XGB").Expand().size(), 1u);
+  EXPECT_GT(DefaultGridFor("LSVR").Expand().size(), 1u);
+  // Full-fidelity grids are strictly larger than the coarse ones.
+  EXPECT_GT(DefaultGridFor("RF", 1).Expand().size(),
+            DefaultGridFor("RF", 0).Expand().size());
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace nextmaint

@@ -1,0 +1,119 @@
+#include "telematics/can_bus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nextmaint {
+namespace telem {
+namespace {
+
+TEST(SimulateCanDayTest, WorkingTimeMatchesTarget) {
+  Rng rng(1);
+  CanDayOptions options;
+  options.frequency_hz = 1.0;  // 1 Hz keeps the test fast
+  options.working_seconds = 14'400.0;  // 4 hours
+  const std::vector<CanFrame> frames =
+      SimulateCanDay(options, &rng).ValueOrDie();
+  EXPECT_NEAR(WorkingSecondsOf(frames, options.frequency_hz),
+              options.working_seconds, 5.0);
+}
+
+TEST(SimulateCanDayTest, ZeroUsageDayHasNoFrames) {
+  Rng rng(2);
+  CanDayOptions options;
+  options.frequency_hz = 1.0;
+  options.working_seconds = 0.0;
+  EXPECT_TRUE(SimulateCanDay(options, &rng).ValueOrDie().empty());
+}
+
+TEST(SimulateCanDayTest, FullDaySaturates) {
+  Rng rng(3);
+  CanDayOptions options;
+  options.frequency_hz = 0.1;  // tick = 10 s
+  options.working_seconds = 86'400.0;
+  const std::vector<CanFrame> frames =
+      SimulateCanDay(options, &rng).ValueOrDie();
+  EXPECT_NEAR(WorkingSecondsOf(frames, options.frequency_hz), 86'400.0,
+              100.0);
+}
+
+TEST(SimulateCanDayTest, FramesAreTimeOrderedWithinDay) {
+  Rng rng(4);
+  CanDayOptions options;
+  options.frequency_hz = 1.0;
+  options.working_seconds = 7'200.0;
+  const std::vector<CanFrame> frames =
+      SimulateCanDay(options, &rng).ValueOrDie();
+  ASSERT_FALSE(frames.empty());
+  for (size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_GE(frames[i].timestamp_ms, frames[i - 1].timestamp_ms);
+  }
+  EXPECT_GE(frames.front().timestamp_ms, 0);
+  EXPECT_LT(frames.back().timestamp_ms, 86'400'000);
+}
+
+TEST(SimulateCanDayTest, SignalsFollowWorkingRegime) {
+  Rng rng(5);
+  CanDayOptions options;
+  options.frequency_hz = 1.0;
+  options.working_seconds = 10'000.0;
+  const std::vector<CanFrame> frames =
+      SimulateCanDay(options, &rng).ValueOrDie();
+  ASSERT_FALSE(frames.empty());
+  double rpm_sum = 0.0;
+  for (const CanFrame& frame : frames) {
+    EXPECT_TRUE(frame.working);
+    rpm_sum += frame.engine_speed_rpm;
+    EXPECT_GT(frame.oil_pressure_kpa, 100.0);
+  }
+  // Mean working rpm close to the configured 1900.
+  EXPECT_NEAR(rpm_sum / static_cast<double>(frames.size()),
+              options.sensors.working_rpm_mean, 50.0);
+}
+
+TEST(SimulateCanDayTest, TemperatureRisesUnderLoad) {
+  Rng rng(6);
+  CanDayOptions options;
+  options.frequency_hz = 1.0;
+  options.working_seconds = 20'000.0;
+  options.mean_bout_seconds = 20'000.0;  // one long bout
+  const std::vector<CanFrame> frames =
+      SimulateCanDay(options, &rng).ValueOrDie();
+  ASSERT_GT(frames.size(), 100u);
+  EXPECT_GT(frames.back().coolant_temp_c, frames.front().coolant_temp_c);
+  EXPECT_LE(frames.back().coolant_temp_c, options.sensors.working_temp_c);
+}
+
+TEST(SimulateCanDayTest, InvalidOptionsRejected) {
+  Rng rng(7);
+  CanDayOptions options;
+  options.frequency_hz = 0.0;
+  EXPECT_FALSE(SimulateCanDay(options, &rng).ok());
+  options.frequency_hz = 1.0;
+  options.working_seconds = -1.0;
+  EXPECT_FALSE(SimulateCanDay(options, &rng).ok());
+  options.working_seconds = 90'000.0;
+  EXPECT_FALSE(SimulateCanDay(options, &rng).ok());
+  options.working_seconds = 100.0;
+  options.mean_bout_seconds = 0.0;
+  EXPECT_FALSE(SimulateCanDay(options, &rng).ok());
+}
+
+TEST(SimulateCanDayTest, DeterministicGivenSeed) {
+  CanDayOptions options;
+  options.frequency_hz = 1.0;
+  options.working_seconds = 5'000.0;
+  Rng rng_a(42), rng_b(42);
+  const auto a = SimulateCanDay(options, &rng_a).ValueOrDie();
+  const auto b = SimulateCanDay(options, &rng_b).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].timestamp_ms, b[i].timestamp_ms);
+    EXPECT_DOUBLE_EQ(a[i].engine_speed_rpm, b[i].engine_speed_rpm);
+  }
+}
+
+}  // namespace
+}  // namespace telem
+}  // namespace nextmaint

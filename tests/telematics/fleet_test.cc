@@ -1,0 +1,205 @@
+#include "telematics/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace nextmaint {
+namespace telem {
+namespace {
+
+FleetOptions SmallFleetOptions() {
+  FleetOptions options;
+  options.num_vehicles = 5;
+  options.num_days = 600;
+  options.start_date = Date::FromYmd(2015, 1, 1).ValueOrDie();
+  options.seed = 99;
+  return options;
+}
+
+TEST(DefaultFleetProfilesTest, UniqueIdsAndValidProfiles) {
+  Rng rng(1);
+  const std::vector<VehicleProfile> profiles = DefaultFleetProfiles(24, &rng);
+  ASSERT_EQ(profiles.size(), 24u);
+  std::set<std::string> ids;
+  for (const VehicleProfile& profile : profiles) {
+    EXPECT_TRUE(profile.Validate().ok()) << profile.id;
+    EXPECT_TRUE(ids.insert(profile.id).second) << "duplicate " << profile.id;
+  }
+}
+
+TEST(DefaultFleetProfilesTest, ArchetypesAreHeterogeneous) {
+  Rng rng(2);
+  const std::vector<VehicleProfile> profiles = DefaultFleetProfiles(5, &rng);
+  std::set<std::string> models;
+  for (const VehicleProfile& profile : profiles) {
+    models.insert(profile.model_name);
+  }
+  EXPECT_EQ(models.size(), 5u);  // five distinct archetypes in rotation
+}
+
+TEST(SimulateVehicleTest, ProducesRequestedDays) {
+  Rng rng(3);
+  VehicleProfile profile = DefaultFleetProfiles(1, &rng)[0];
+  Rng sim_rng(4);
+  const VehicleHistory history =
+      SimulateVehicle(profile, Date::FromYmd(2015, 1, 1).ValueOrDie(), 400,
+                      0.0, &sim_rng)
+          .ValueOrDie();
+  EXPECT_EQ(history.utilization.size(), 400u);
+  EXPECT_TRUE(history.utilization.IsComplete());
+  for (size_t t = 0; t < history.utilization.size(); ++t) {
+    EXPECT_GE(history.utilization[t], 0.0);
+    EXPECT_LE(history.utilization[t], 86'400.0);
+  }
+}
+
+TEST(SimulateVehicleTest, MaintenanceDaysMatchUsageCrossings) {
+  Rng rng(5);
+  VehicleProfile profile = DefaultFleetProfiles(1, &rng)[0];
+  profile.maintenance_interval_s = 500'000.0;  // short cycles for the test
+  Rng sim_rng(6);
+  const VehicleHistory history =
+      SimulateVehicle(profile, Date::FromYmd(2015, 1, 1).ValueOrDie(), 500,
+                      0.0, &sim_rng)
+          .ValueOrDie();
+  ASSERT_GT(history.maintenance_days.size(), 1u);
+
+  // Re-derive the crossings from the utilization series: they must agree
+  // with the simulator's own bookkeeping.
+  std::vector<size_t> expected;
+  double cycle_usage = 0.0;
+  for (size_t t = 0; t < history.utilization.size(); ++t) {
+    cycle_usage += history.utilization[t];
+    if (cycle_usage >= profile.maintenance_interval_s) {
+      expected.push_back(t);
+      cycle_usage -= profile.maintenance_interval_s;
+    }
+  }
+  EXPECT_EQ(history.maintenance_days, expected);
+}
+
+TEST(SimulateVehicleTest, MissingDayInjection) {
+  Rng rng(7);
+  VehicleProfile profile = DefaultFleetProfiles(1, &rng)[0];
+  Rng sim_rng(8);
+  const VehicleHistory history =
+      SimulateVehicle(profile, Date::FromYmd(2015, 1, 1).ValueOrDie(), 1000,
+                      0.1, &sim_rng)
+          .ValueOrDie();
+  const size_t missing = history.utilization.MissingCount();
+  EXPECT_GT(missing, 50u);
+  EXPECT_LT(missing, 200u);
+}
+
+TEST(SimulateVehicleTest, RejectsInvalidArguments) {
+  Rng rng(9);
+  VehicleProfile profile = DefaultFleetProfiles(1, &rng)[0];
+  Rng sim_rng(10);
+  EXPECT_FALSE(SimulateVehicle(profile, Date(), 0, 0.0, &sim_rng).ok());
+  EXPECT_FALSE(SimulateVehicle(profile, Date(), 100, 1.0, &sim_rng).ok());
+  profile.id = "";
+  EXPECT_FALSE(SimulateVehicle(profile, Date(), 100, 0.0, &sim_rng).ok());
+}
+
+TEST(SimulateFleetTest, BuildsAllVehicles) {
+  const Fleet fleet = SimulateFleet(SmallFleetOptions()).ValueOrDie();
+  EXPECT_EQ(fleet.vehicles.size(), 5u);
+  for (const VehicleHistory& vehicle : fleet.vehicles) {
+    EXPECT_EQ(vehicle.utilization.size(), 600u);
+    EXPECT_DOUBLE_EQ(vehicle.profile.maintenance_interval_s, 2'000'000.0);
+  }
+}
+
+TEST(SimulateFleetTest, DeterministicGivenSeed) {
+  const Fleet a = SimulateFleet(SmallFleetOptions()).ValueOrDie();
+  const Fleet b = SimulateFleet(SmallFleetOptions()).ValueOrDie();
+  for (size_t v = 0; v < a.vehicles.size(); ++v) {
+    ASSERT_EQ(a.vehicles[v].utilization.size(),
+              b.vehicles[v].utilization.size());
+    for (size_t t = 0; t < a.vehicles[v].utilization.size(); ++t) {
+      ASSERT_DOUBLE_EQ(a.vehicles[v].utilization[t],
+                       b.vehicles[v].utilization[t]);
+    }
+  }
+}
+
+TEST(SimulateFleetTest, SeedChangesData) {
+  FleetOptions options = SmallFleetOptions();
+  const Fleet a = SimulateFleet(options).ValueOrDie();
+  options.seed = 100;
+  const Fleet b = SimulateFleet(options).ValueOrDie();
+  bool any_difference = false;
+  for (size_t t = 0; t < a.vehicles[0].utilization.size(); ++t) {
+    if (a.vehicles[0].utilization[t] != b.vehicles[0].utilization[t]) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SimulateFleetTest, VehiclesAreMutuallyIndependent) {
+  const Fleet fleet = SimulateFleet(SmallFleetOptions()).ValueOrDie();
+  // Same-day values across vehicles should not be identical.
+  size_t equal_days = 0;
+  for (size_t t = 0; t < 600; ++t) {
+    if (fleet.vehicles[0].utilization[t] ==
+        fleet.vehicles[1].utilization[t]) {
+      ++equal_days;
+    }
+  }
+  EXPECT_LT(equal_days, 500u);  // zero-usage days may coincide
+}
+
+TEST(SimulateFleetTest, FindByVehicleId) {
+  const Fleet fleet = SimulateFleet(SmallFleetOptions()).ValueOrDie();
+  EXPECT_TRUE(fleet.Find("v1").ok());
+  EXPECT_TRUE(fleet.Find("v5").ok());
+  EXPECT_FALSE(fleet.Find("v6").ok());
+  EXPECT_EQ(fleet.Find("v3").ValueOrDie()->profile.id, "v3");
+}
+
+TEST(SimulateFleetTest, FirstCycleUsageIsLower) {
+  FleetOptions options = SmallFleetOptions();
+  options.num_days = 1400;
+  const Fleet fleet = SimulateFleet(options).ValueOrDie();
+  // Aggregate across vehicles: mean daily usage before the first
+  // maintenance must be below the mean after it (the ~30% deficit).
+  double first_sum = 0.0, later_sum = 0.0;
+  size_t first_days = 0, later_days = 0;
+  for (const VehicleHistory& vehicle : fleet.vehicles) {
+    if (vehicle.maintenance_days.empty()) continue;
+    const size_t first_end = vehicle.maintenance_days[0];
+    for (size_t t = 0; t < vehicle.utilization.size(); ++t) {
+      if (t <= first_end) {
+        first_sum += vehicle.utilization[t];
+        ++first_days;
+      } else {
+        later_sum += vehicle.utilization[t];
+        ++later_days;
+      }
+    }
+  }
+  ASSERT_GT(first_days, 0u);
+  ASSERT_GT(later_days, 0u);
+  const double first_mean = first_sum / first_days;
+  const double later_mean = later_sum / later_days;
+  EXPECT_LT(first_mean, 0.85 * later_mean);
+}
+
+TEST(SimulateFleetWithProfilesTest, RejectsEmptyProfileList) {
+  EXPECT_FALSE(
+      SimulateFleetWithProfiles(SmallFleetOptions(), {}).ok());
+}
+
+TEST(SimulateFleetTest, RejectsNonPositiveVehicleCount) {
+  FleetOptions options = SmallFleetOptions();
+  options.num_vehicles = 0;
+  EXPECT_FALSE(SimulateFleet(options).ok());
+}
+
+}  // namespace
+}  // namespace telem
+}  // namespace nextmaint

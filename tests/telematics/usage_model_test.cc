@@ -1,0 +1,223 @@
+#include "telematics/usage_model.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace nextmaint {
+namespace telem {
+namespace {
+
+Date Monday() { return Date::FromYmd(2015, 1, 5).ValueOrDie(); }
+
+VehicleProfile BasicProfile() {
+  VehicleProfile profile;
+  profile.id = "test";
+  profile.weekend_work_prob = 1.0;   // disable the weekend gate
+  profile.seasonal_amplitude = 0.0;  // disable seasonality
+  return profile;
+}
+
+TEST(ProfileValidateTest, AcceptsDefaults) {
+  EXPECT_TRUE(BasicProfile().Validate().ok());
+}
+
+TEST(ProfileValidateTest, RejectsBadValues) {
+  {
+    VehicleProfile p = BasicProfile();
+    p.id = "";
+    EXPECT_FALSE(p.Validate().ok());
+  }
+  {
+    VehicleProfile p = BasicProfile();
+    p.idle_persistence = 1.5;
+    EXPECT_FALSE(p.Validate().ok());
+  }
+  {
+    VehicleProfile p = BasicProfile();
+    p.maintenance_interval_s = 0.0;
+    EXPECT_FALSE(p.Validate().ok());
+  }
+  {
+    VehicleProfile p = BasicProfile();
+    p.heavy_mean_s = -1.0;
+    EXPECT_FALSE(p.Validate().ok());
+  }
+  {
+    VehicleProfile p = BasicProfile();
+    p.first_cycle_factor = 0.0;
+    EXPECT_FALSE(p.Validate().ok());
+  }
+  {
+    VehicleProfile p = BasicProfile();
+    p.first_cycle_ramp_end = 1.5;
+    EXPECT_FALSE(p.Validate().ok());
+  }
+  {
+    VehicleProfile p = BasicProfile();
+    p.seasonal_amplitude = 2.0;
+    EXPECT_FALSE(p.Validate().ok());
+  }
+}
+
+TEST(NextRegimeTest, PersistenceControlsRunLengths) {
+  VehicleProfile profile = BasicProfile();
+  profile.idle_persistence = 0.95;
+  Rng rng(1);
+  // Measure the empirical mean idle-run length: should be near
+  // 1 / (1 - persistence) = 20.
+  int runs = 0, idle_days = 0;
+  UsageRegime regime = UsageRegime::kIdle;
+  bool in_run = true;
+  for (int i = 0; i < 200'000; ++i) {
+    regime = NextRegime(profile, regime, &rng);
+    if (regime == UsageRegime::kIdle) {
+      ++idle_days;
+      if (!in_run) {
+        in_run = true;
+        ++runs;
+      }
+    } else {
+      in_run = false;
+    }
+  }
+  ASSERT_GT(runs, 100);
+  const double mean_run = static_cast<double>(idle_days) / (runs + 1);
+  EXPECT_NEAR(mean_run, 20.0, 3.0);
+}
+
+TEST(NextRegimeTest, HeavyShareControlsWorkingMix) {
+  VehicleProfile profile = BasicProfile();
+  profile.idle_persistence = 0.0;   // leave idle immediately
+  profile.work_persistence = 0.0;   // re-draw regime daily
+  profile.heavy_share = 0.8;
+  Rng rng(2);
+  std::map<UsageRegime, int> counts;
+  UsageRegime regime = UsageRegime::kIdle;
+  for (int i = 0; i < 100'000; ++i) {
+    regime = NextRegime(profile, regime, &rng);
+    ++counts[regime];
+  }
+  const double heavy = counts[UsageRegime::kHeavy];
+  const double light = counts[UsageRegime::kLight];
+  EXPECT_NEAR(heavy / (heavy + light), 0.8, 0.02);
+}
+
+TEST(SimulateUsageDayTest, ValuesAreClampedToDay) {
+  VehicleProfile profile = BasicProfile();
+  profile.heavy_mean_s = 80'000.0;
+  profile.heavy_stddev_s = 30'000.0;
+  Rng rng(3);
+  UsageState state;
+  state.in_first_cycle = false;
+  for (int i = 0; i < 2'000; ++i) {
+    const double seconds =
+        SimulateUsageDay(profile, Monday().AddDays(i), &state, &rng);
+    EXPECT_GE(seconds, 0.0);
+    EXPECT_LE(seconds, 86'400.0);
+  }
+}
+
+TEST(SimulateUsageDayTest, RegimeMeansRoughlyRespected) {
+  VehicleProfile profile = BasicProfile();
+  profile.idle_persistence = 0.0;
+  profile.work_persistence = 1.0;  // lock into the first working regime
+  profile.heavy_share = 1.0;       // always heavy
+  Rng rng(4);
+  UsageState state;
+  state.in_first_cycle = false;
+  double sum = 0.0;
+  const int n = 20'000;
+  int weekdays = 0;
+  for (int i = 0; i < n; ++i) {
+    const Date date = Monday().AddDays(i);
+    if (date.IsWeekend()) continue;  // weekend gate disabled but skip anyway
+    sum += SimulateUsageDay(profile, date, &state, &rng);
+    ++weekdays;
+  }
+  EXPECT_NEAR(sum / weekdays, profile.heavy_mean_s, 500.0);
+}
+
+TEST(SimulateUsageDayTest, WeekendGateZeroesWeekends) {
+  VehicleProfile profile = BasicProfile();
+  profile.weekend_work_prob = 0.0;
+  profile.idle_persistence = 0.0;
+  profile.heavy_share = 1.0;
+  Rng rng(5);
+  UsageState state;
+  state.in_first_cycle = false;
+  const Date saturday = Date::FromYmd(2015, 1, 3).ValueOrDie();
+  for (int week = 0; week < 50; ++week) {
+    EXPECT_DOUBLE_EQ(
+        SimulateUsageDay(profile, saturday.AddDays(7 * week), &state, &rng),
+        0.0);
+  }
+}
+
+TEST(SimulateUsageDayTest, FirstCycleRampScalesUsage) {
+  VehicleProfile profile = BasicProfile();
+  profile.idle_persistence = 0.0;
+  profile.work_persistence = 1.0;
+  profile.heavy_share = 1.0;
+  profile.heavy_stddev_s = 1.0;  // nearly deterministic
+  profile.first_cycle_factor = 0.5;
+  profile.first_cycle_ramp_end = 0.8;
+
+  auto mean_usage = [&](double progress, bool first_cycle) {
+    Rng rng(6);
+    UsageState state;
+    state.in_first_cycle = first_cycle;
+    state.first_cycle_progress = progress;
+    double sum = 0.0;
+    int days = 0;
+    for (int i = 0; i < 500; ++i) {
+      const Date date = Monday().AddDays(i);
+      if (date.IsWeekend()) continue;
+      state.first_cycle_progress = progress;  // hold progress fixed
+      sum += SimulateUsageDay(profile, date, &state, &rng);
+      ++days;
+    }
+    return sum / days;
+  };
+
+  const double at_start = mean_usage(0.0, true);
+  const double mid_ramp = mean_usage(0.4, true);
+  const double after_ramp = mean_usage(0.9, true);
+  const double steady = mean_usage(0.0, false);
+
+  EXPECT_NEAR(at_start / steady, 0.5, 0.02);
+  EXPECT_GT(mid_ramp, at_start);
+  EXPECT_LT(mid_ramp, after_ramp);
+  EXPECT_NEAR(after_ramp, steady, steady * 0.02);
+}
+
+TEST(SimulateUsageDayTest, SeasonalityModulatesAmplitude) {
+  VehicleProfile profile = BasicProfile();
+  profile.idle_persistence = 0.0;
+  profile.work_persistence = 1.0;
+  profile.heavy_share = 1.0;
+  profile.heavy_stddev_s = 1.0;
+  profile.seasonal_amplitude = 0.5;
+  profile.seasonal_phase = 0.25;  // peak mid-year
+
+  auto usage_on = [&](Date date) {
+    Rng rng(7);
+    UsageState state;
+    state.in_first_cycle = false;
+    double sum = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      sum += SimulateUsageDay(profile, date, &state, &rng);
+    }
+    return sum / 200.0;
+  };
+
+  // With phase 0.25 the sinusoid peaks near the start of the year
+  // (sin(2*pi*(doy/365 + 0.25)) = 1 at doy ~ 0) and troughs mid-year.
+  const double january = usage_on(Date::FromYmd(2016, 1, 4).ValueOrDie());
+  const double july = usage_on(Date::FromYmd(2016, 7, 4).ValueOrDie());
+  EXPECT_GT(january, july * 1.5);
+}
+
+}  // namespace
+}  // namespace telem
+}  // namespace nextmaint

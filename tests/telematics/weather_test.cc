@@ -1,0 +1,182 @@
+#include "telematics/weather.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "telematics/fleet.h"
+
+namespace nextmaint {
+namespace telem {
+namespace {
+
+Date Day(int offset) {
+  return Date::FromYmd(2015, 1, 1).ValueOrDie().AddDays(offset);
+}
+
+TEST(WorkabilityTest, FairWeatherIsFullyWorkable) {
+  WeatherDay day;
+  day.temperature_c = 18.0;
+  day.precipitation_mm = 0.0;
+  EXPECT_DOUBLE_EQ(day.WorkabilityFactor(), 1.0);
+  day.precipitation_mm = 1.5;  // drizzle
+  EXPECT_DOUBLE_EQ(day.WorkabilityFactor(), 1.0);
+}
+
+TEST(WorkabilityTest, HeavyRainShutsSitesDown) {
+  WeatherDay day;
+  day.temperature_c = 15.0;
+  day.precipitation_mm = 25.0;
+  EXPECT_LT(day.WorkabilityFactor(), 0.05);
+  day.precipitation_mm = 10.0;
+  EXPECT_GT(day.WorkabilityFactor(), 0.3);
+  EXPECT_LT(day.WorkabilityFactor(), 0.9);
+}
+
+TEST(WorkabilityTest, FrostDegradesWork) {
+  WeatherDay day;
+  day.precipitation_mm = 0.0;
+  day.temperature_c = -5.0;
+  EXPECT_LT(day.WorkabilityFactor(), 1.0);
+  EXPECT_GT(day.WorkabilityFactor(), 0.4);
+  day.temperature_c = -20.0;
+  EXPECT_DOUBLE_EQ(day.WorkabilityFactor(), 0.0);
+}
+
+TEST(WorkabilityTest, AlwaysInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    WeatherDay day;
+    day.temperature_c = rng.Uniform(-40, 45);
+    day.precipitation_mm = rng.Uniform(0, 80);
+    const double factor = day.WorkabilityFactor();
+    EXPECT_GE(factor, 0.0);
+    EXPECT_LE(factor, 1.0);
+  }
+}
+
+TEST(WeatherModelTest, ValidatesRanges) {
+  WeatherModel model;
+  EXPECT_TRUE(model.Validate().ok());
+  model.temperature_persistence = 1.0;
+  EXPECT_FALSE(model.Validate().ok());
+  model = WeatherModel();
+  model.wet_probability = 1.2;
+  EXPECT_FALSE(model.Validate().ok());
+  model = WeatherModel();
+  model.wet_probability = 0.8;
+  model.wet_persistence_boost = 0.3;  // P(wet|wet) would exceed 1
+  EXPECT_FALSE(model.Validate().ok());
+  model = WeatherModel();
+  model.mean_rain_mm = 0.0;
+  EXPECT_FALSE(model.Validate().ok());
+}
+
+TEST(SimulateWeatherTest, DeterministicAndSized) {
+  WeatherModel model;
+  Rng rng_a(5), rng_b(5);
+  const WeatherSeries a =
+      SimulateWeather(model, Day(0), 365, &rng_a).ValueOrDie();
+  const WeatherSeries b =
+      SimulateWeather(model, Day(0), 365, &rng_b).ValueOrDie();
+  ASSERT_EQ(a.size(), 365u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].temperature_c, b[i].temperature_c);
+    EXPECT_DOUBLE_EQ(a[i].precipitation_mm, b[i].precipitation_mm);
+  }
+}
+
+TEST(SimulateWeatherTest, SummerWarmerThanWinter) {
+  WeatherModel model;
+  Rng rng(7);
+  const WeatherSeries series =
+      SimulateWeather(model, Day(0), 365, &rng).ValueOrDie();
+  // Mean July temperature clearly above mean January temperature.
+  double january = 0.0, july = 0.0;
+  for (int d = 0; d < 31; ++d) january += series[static_cast<size_t>(d)].temperature_c;
+  for (int d = 181; d < 212; ++d) july += series[static_cast<size_t>(d)].temperature_c;
+  EXPECT_GT(july / 31.0, january / 31.0 + 10.0);
+}
+
+TEST(SimulateWeatherTest, WetFractionNearConfigured) {
+  WeatherModel model;
+  model.wet_persistence_boost = 0.0;  // no clustering: easy expectation
+  model.wet_probability = 0.3;
+  Rng rng(9);
+  const WeatherSeries series =
+      SimulateWeather(model, Day(0), 4000, &rng).ValueOrDie();
+  size_t wet = 0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series[i].precipitation_mm > 0.0) ++wet;
+  }
+  // Seasonal shift averages out over full years.
+  EXPECT_NEAR(static_cast<double>(wet) / 4000.0, 0.3, 0.03);
+}
+
+TEST(SimulateWeatherTest, WetDaysCluster) {
+  WeatherModel model;  // persistence boost 0.35 by default
+  Rng rng(11);
+  const WeatherSeries series =
+      SimulateWeather(model, Day(0), 4000, &rng).ValueOrDie();
+  size_t wet = 0, wet_after_wet = 0, wet_yesterday = 0;
+  for (size_t i = 1; i < series.size(); ++i) {
+    const bool today = series[i].precipitation_mm > 0.0;
+    const bool yesterday = series[i - 1].precipitation_mm > 0.0;
+    if (today) ++wet;
+    if (yesterday) {
+      ++wet_yesterday;
+      if (today) ++wet_after_wet;
+    }
+  }
+  const double p_wet = static_cast<double>(wet) / 4000.0;
+  const double p_wet_given_wet =
+      static_cast<double>(wet_after_wet) / static_cast<double>(wet_yesterday);
+  EXPECT_GT(p_wet_given_wet, p_wet + 0.15);
+}
+
+TEST(SimulateWeatherTest, ErrorCases) {
+  WeatherModel model;
+  Rng rng(13);
+  EXPECT_FALSE(SimulateWeather(model, Day(0), 0, &rng).ok());
+  model.mean_rain_mm = -1.0;
+  EXPECT_FALSE(SimulateWeather(model, Day(0), 10, &rng).ok());
+}
+
+TEST(WeatherCoupledFleetTest, SuppressesUsage) {
+  FleetOptions options;
+  options.num_vehicles = 4;
+  options.num_days = 700;
+  options.start_date = Day(0);
+  options.seed = 77;
+
+  const Fleet dry = telem::SimulateFleet(options).ValueOrDie();
+  options.with_weather = true;
+  options.weather.wet_probability = 0.45;
+  options.weather.mean_rain_mm = 14.0;
+  const Fleet wet = telem::SimulateFleet(options).ValueOrDie();
+
+  ASSERT_EQ(wet.weather.size(), 700u);
+  EXPECT_TRUE(dry.weather.days.empty());
+  // Same seeds, but rain/frost scale usage down on average.
+  double dry_total = 0.0, wet_total = 0.0;
+  for (size_t v = 0; v < dry.vehicles.size(); ++v) {
+    dry_total += dry.vehicles[v].utilization.Sum();
+    wet_total += wet.vehicles[v].utilization.Sum();
+  }
+  EXPECT_LT(wet_total, dry_total);
+}
+
+TEST(WeatherCoupledFleetTest, WeatherMustCoverPeriod) {
+  Rng rng(15);
+  VehicleProfile profile = DefaultFleetProfiles(1, &rng)[0];
+  WeatherSeries shorty;
+  shorty.start_date = Day(0);
+  shorty.days.resize(10);
+  Rng sim_rng(16);
+  EXPECT_FALSE(
+      SimulateVehicle(profile, Day(0), 100, 0.0, &sim_rng, &shorty).ok());
+}
+
+}  // namespace
+}  // namespace telem
+}  // namespace nextmaint

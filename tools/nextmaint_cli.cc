@@ -1,0 +1,20 @@
+// nextmaint command-line tool: simulate fleets, forecast maintenance,
+// plan workshop slots and evaluate the paper's algorithms on CSV data.
+// All logic lives in src/cli/cli.h (unit tested); this is the dispatcher.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const nextmaint::Status status =
+      nextmaint::cli::RunCommand(args, std::cout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
