@@ -16,6 +16,8 @@
 #include "core/baseline.h"
 #include "core/dataset_builder.h"
 #include "core/series.h"
+#include "ml/hist_gradient_boosting.h"
+#include "ml/random_forest.h"
 #include "ml/registry.h"
 
 namespace {
@@ -66,6 +68,30 @@ void BM_Train(benchmark::State& state, const std::string& algorithm) {
   state.counters["features"] = static_cast<double>(data.num_features());
 }
 
+// Thread-scaling sweep for the ensemble fits: wall time at 1/2/4 threads on
+// the standard W=6 dataset. Any thread count yields a bit-identical model
+// (the determinism contract in docs/parallelism.md), so the ratio between
+// the threads:1 and threads:4 rows is pure speedup with unchanged E_MRE.
+void BM_TrainThreaded(benchmark::State& state, const std::string& algorithm) {
+  const int threads = static_cast<int>(state.range(0));
+  const nextmaint::ml::Dataset data = MakeTrainingData(6);
+  for (auto _ : state) {
+    if (algorithm == "RF") {
+      nextmaint::ml::RandomForestRegressor::Options options;
+      options.num_threads = threads;
+      nextmaint::ml::RandomForestRegressor model(options);
+      benchmark::DoNotOptimize(model.Fit(data));
+    } else {
+      nextmaint::ml::HistGradientBoostingRegressor::Options options;
+      options.num_threads = threads;
+      nextmaint::ml::HistGradientBoostingRegressor model(options);
+      benchmark::DoNotOptimize(model.Fit(data));
+    }
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["rows"] = static_cast<double>(data.num_rows());
+}
+
 void RegisterAll() {
   for (const std::string& algorithm :
        {std::string("BL"), std::string("LR"), std::string("LSVR"),
@@ -74,6 +100,14 @@ void RegisterAll() {
         ("train/" + algorithm).c_str(),
         [algorithm](benchmark::State& state) { BM_Train(state, algorithm); });
     bench->Arg(0)->Arg(6)->Arg(12)->Arg(18)->Unit(benchmark::kMillisecond);
+  }
+  for (const std::string& algorithm : {std::string("RF"), std::string("XGB")}) {
+    auto* bench = benchmark::RegisterBenchmark(
+        ("train_threads/" + algorithm).c_str(),
+        [algorithm](benchmark::State& state) {
+          BM_TrainThreaded(state, algorithm);
+        });
+    bench->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
   }
 }
 

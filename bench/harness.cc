@@ -1,10 +1,12 @@
 #include "bench/harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "core/category.h"
 
 namespace nextmaint {
@@ -22,6 +24,12 @@ BenchConfig ConfigFromEnv() {
   if (seed != nullptr) {
     config.seed = static_cast<uint64_t>(std::strtoull(seed, nullptr, 10));
   }
+  const char* threads = std::getenv("NEXTMAINT_BENCH_THREADS");
+  if (threads != nullptr) {
+    config.num_threads =
+        std::max(1, static_cast<int>(std::strtol(threads, nullptr, 10)));
+  }
+  ThreadPool::SetDefaultThreadCount(config.num_threads);
   return config;
 }
 

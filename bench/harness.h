@@ -13,10 +13,13 @@
 /// synthetic stand-in for the paper's 24-vehicle / 4-year dataset), helpers
 /// to evaluate an algorithm across every old vehicle, and table printing.
 ///
-/// Every bench honours two environment variables:
-///   NEXTMAINT_BENCH_FULL=1   run the paper-fidelity configuration (grid
-///                            search + full resampling; minutes per table)
-///   NEXTMAINT_BENCH_SEED=N   override the fleet seed
+/// Every bench honours three environment variables:
+///   NEXTMAINT_BENCH_FULL=1     run the paper-fidelity configuration (grid
+///                              search + full resampling; minutes per table)
+///   NEXTMAINT_BENCH_SEED=N     override the fleet seed
+///   NEXTMAINT_BENCH_THREADS=N  train on N threads (default 1 so timings
+///                              stay comparable across runs; results are
+///                              bit-identical at any N)
 
 namespace nextmaint {
 namespace bench {
@@ -31,9 +34,14 @@ struct BenchConfig {
   bool tune = false;
   int grid_budget = 0;
   int resampling_shifts = 2;
+  /// Threads for model training (process-wide default pool size). 1 keeps
+  /// the timing columns comparable with the paper's serial runs.
+  int num_threads = 1;
 };
 
-/// Reads the environment and builds the effective config.
+/// Reads the environment and builds the effective config. Also applies
+/// `num_threads` to the process-wide thread pool so every model trained by
+/// the bench inherits it.
 BenchConfig ConfigFromEnv();
 
 /// Simulates the reference fleet for a config (aborts on failure: benches

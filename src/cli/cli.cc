@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "core/old_vehicle.h"
 #include "core/scheduler.h"
@@ -120,8 +121,18 @@ Result<core::FleetScheduler> MakeTrainedScheduler(const ParsedArgs& args,
   core::SchedulerOptions options;
   NM_ASSIGN_OR_RETURN(double tv, args.DoubleFlagOr("tv", 2'000'000.0));
   NM_ASSIGN_OR_RETURN(int64_t window, args.IntFlagOr("window", 6));
+  NM_ASSIGN_OR_RETURN(int64_t threads, args.IntFlagOr("threads", 0));
+  if (threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0 (0 = all cores)");
+  }
+  if (threads > 0) {
+    // Also caps the model-level parallelism (RF trees, XGB histograms),
+    // which follows the process-wide default.
+    ThreadPool::SetDefaultThreadCount(static_cast<int>(threads));
+  }
   options.maintenance_interval_s = tv;
   options.window = static_cast<int>(window);
+  options.num_threads = static_cast<int>(threads);
   options.selection.tune = args.HasFlag("tune");
   options.selection.train_on_last29_only = true;
   options.selection.resampling_shifts = 2;
@@ -307,10 +318,14 @@ std::string UsageText() {
       "commands:\n"
       "  simulate --out DIR [--vehicles N] [--days N] [--seed S] [--tv S]\n"
       "           [--weather]\n"
-      "  forecast --data DIR [--tv S] [--window W] [--tune]\n"
+      "  forecast --data DIR [--tv S] [--window W] [--tune] [--threads N]\n"
       "           [--save-models FILE]\n"
       "  plan     --data DIR [--capacity N] [--horizon DAYS] [--weekends]\n"
-      "  evaluate --data DIR [--tv S] [--window W] [--last29] [--tune]\n";
+      "           [--threads N]\n"
+      "  evaluate --data DIR [--tv S] [--window W] [--last29] [--tune]\n"
+      "\n"
+      "--threads N trains/forecasts the fleet on N threads (0 = all cores);\n"
+      "results are bit-identical at any thread count (docs/parallelism.md).\n";
 }
 
 Status RunCommand(const std::vector<std::string>& args, std::ostream& out) {

@@ -1,0 +1,232 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace nextmaint {
+
+namespace {
+
+/// Depth of ParallelFor chunk execution on this thread. Non-zero means we
+/// are inside a chunk body, so a further ParallelFor must run inline: the
+/// pool's workers may all be busy executing the outer loop, and waiting on
+/// them from inside one of their chunks would deadlock.
+thread_local int tls_parallel_depth = 0;
+
+int HardwareThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Serial execution with the exact chunk boundaries of the parallel path.
+/// Every chunk runs (no early exit) so that the set of executed chunks and
+/// the reported status — the lowest-indexed failure — match the pool's
+/// behaviour at any thread count.
+Status RunSerialChunks(size_t begin, size_t end, size_t grain,
+                       const ThreadPool::Body& body) {
+  Status first;
+  for (size_t chunk_begin = begin; chunk_begin < end;) {
+    const size_t chunk_end =
+        chunk_begin + std::min(grain, end - chunk_begin);
+    Status status = body(chunk_begin, chunk_end);
+    if (first.ok() && !status.ok()) first = std::move(status);
+    chunk_begin = chunk_end;
+  }
+  return first;
+}
+
+}  // namespace
+
+/// One ParallelFor invocation: an atomically claimed chunk counter plus
+/// per-chunk result slots. Shared by the calling thread and any workers
+/// that picked up a ticket for it.
+struct ThreadPool::Job {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const Body* body = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> chunks_remaining{0};
+  /// Written once each, by the thread that ran the chunk.
+  std::vector<Status> statuses;
+  std::vector<std::exception_ptr> exceptions;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+};
+
+ThreadPool::ThreadPool(int thread_count)
+    : thread_count_(thread_count <= 0 ? HardwareThreadCount()
+                                      : thread_count) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_;
+}
+
+void ThreadPool::EnsureStarted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  // The calling thread is one of the thread_count_ execution lanes, so
+  // only thread_count_ - 1 background workers are needed.
+  workers_.reserve(static_cast<size_t>(thread_count_ - 1));
+  for (int i = 0; i + 1 < thread_count_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  started_ = true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunChunks(job.get());
+  }
+}
+
+void ThreadPool::RunChunks(Job* job) {
+  ++tls_parallel_depth;
+  for (;;) {
+    const size_t chunk = job->next_chunk.fetch_add(1);
+    if (chunk >= job->num_chunks) break;
+    const size_t chunk_begin = job->begin + chunk * job->grain;
+    const size_t chunk_end =
+        chunk_begin + std::min(job->grain, job->end - chunk_begin);
+    try {
+      job->statuses[chunk] = (*job->body)(chunk_begin, chunk_end);
+    } catch (...) {
+      job->exceptions[chunk] = std::current_exception();
+    }
+    if (job->chunks_remaining.fetch_sub(1) == 1) {
+      // Last chunk: wake the owner. The lock pairs with the owner's wait
+      // so the notification cannot be lost.
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->done_cv.notify_all();
+    }
+  }
+  --tls_parallel_depth;
+}
+
+Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                               const Body& body, int max_parallelism) {
+  if (begin >= end) return Status::OK();
+  if (grain == 0) grain = 1;
+  const size_t range = end - begin;
+  const size_t num_chunks = (range - 1) / grain + 1;
+  const int parallelism = max_parallelism <= 0
+                              ? thread_count_
+                              : std::min(max_parallelism, thread_count_);
+  if (parallelism <= 1 || num_chunks <= 1 || tls_parallel_depth > 0) {
+    return RunSerialChunks(begin, end, grain, body);
+  }
+
+  EnsureStarted();
+  // Heap-owned and reference-counted: a helper that pops a ticket after
+  // every chunk has been claimed still dereferences the job (to discover
+  // there is nothing left), possibly after this call returned.
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->body = &body;
+  job->chunks_remaining.store(num_chunks);
+  job->statuses.resize(num_chunks);
+  job->exceptions.resize(num_chunks);
+
+  // One ticket per helper; the calling thread covers the remaining lane.
+  const size_t tickets =
+      std::min<size_t>(static_cast<size_t>(parallelism) - 1, num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < tickets; ++i) queue_.push_back(job);
+  }
+  if (tickets == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+
+  RunChunks(job.get());
+  {
+    // Helpers may still be finishing chunks the caller could not claim.
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(
+        lock, [&job] { return job->chunks_remaining.load() == 0; });
+  }
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (job->exceptions[c]) std::rethrow_exception(job->exceptions[c]);
+  }
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (!job->statuses[c].ok()) return std::move(job->statuses[c]);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::mutex g_default_pool_mu;
+int g_default_thread_count = 0;  // 0 = hardware concurrency
+std::unique_ptr<ThreadPool> g_default_pool;
+
+}  // namespace
+
+ThreadPool& ThreadPool::Default() {
+  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  if (g_default_pool == nullptr) {
+    g_default_pool = std::make_unique<ThreadPool>(g_default_thread_count);
+  }
+  return *g_default_pool;
+}
+
+void ThreadPool::SetDefaultThreadCount(int thread_count) {
+  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  g_default_thread_count = std::max(0, thread_count);
+  // Tear down so the next Default() rebuilds at the new size. Callers must
+  // not have ParallelFor calls in flight (see header).
+  g_default_pool.reset();
+}
+
+int ThreadPool::DefaultThreadCount() {
+  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  return g_default_thread_count == 0 ? HardwareThreadCount()
+                                     : g_default_thread_count;
+}
+
+int ResolveThreadCount(int requested) {
+  return requested > 0 ? requested : ThreadPool::DefaultThreadCount();
+}
+
+Status ParallelFor(size_t begin, size_t end, size_t grain,
+                   const ThreadPool::Body& body, int num_threads) {
+  const int resolved = ResolveThreadCount(num_threads);
+  if (resolved <= 1) {
+    // Serial requests never touch (or lazily create) the default pool.
+    if (begin >= end) return Status::OK();
+    return RunSerialChunks(begin, end, grain == 0 ? 1 : grain, body);
+  }
+  return ThreadPool::Default().ParallelFor(begin, end, grain, body, resolved);
+}
+
+}  // namespace nextmaint

@@ -1,0 +1,127 @@
+#ifndef NEXTMAINT_COMMON_PARALLEL_H_
+#define NEXTMAINT_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file parallel.h
+/// Deterministic thread-pool parallelism.
+///
+/// The fleet workloads are embarrassingly parallel at three levels — trees
+/// within a forest, features within a histogram pass, vehicles within a
+/// fleet — and every call site is written so that the result is
+/// **bit-identical at any thread count** (see docs/parallelism.md for the
+/// contract). The pool therefore only provides mechanism: it never reorders
+/// a caller's reduction, and `ParallelFor` chunk boundaries depend only on
+/// `(begin, end, grain)`, never on the thread count.
+///
+/// Design notes:
+///  - The pool starts lazily: worker threads are spawned by the first
+///    `ParallelFor` that can actually use them, so serial programs never
+///    pay for thread creation.
+///  - The calling thread participates in the work, so a pool configured
+///    for N threads keeps N-1 background workers.
+///  - A `ParallelFor` issued from inside a worker (nested parallelism)
+///    runs inline on the calling thread — no new tasks are queued, which
+///    makes nesting deadlock-free by construction.
+///  - Worker errors propagate as `Status`; if several chunks fail, the
+///    failure of the lowest-indexed chunk wins, matching what a serial
+///    left-to-right loop that runs every chunk would report. Exceptions
+///    thrown by a chunk are captured and rethrown on the calling thread
+///    (lowest-indexed chunk first).
+
+namespace nextmaint {
+
+/// A fixed-size pool of worker threads executing `ParallelFor` chunks.
+///
+/// Thread-safe: concurrent `ParallelFor` calls from different threads are
+/// allowed and share the workers. Construction/destruction must not race
+/// with in-flight calls.
+class ThreadPool {
+ public:
+  /// Chunk body: processes rows in `[chunk_begin, chunk_end)`.
+  using Body = std::function<Status(size_t chunk_begin, size_t chunk_end)>;
+
+  /// Creates a pool that will run up to `thread_count` chunks concurrently
+  /// (including the calling thread). Values <= 0 select the hardware
+  /// concurrency. No threads are spawned until the first parallel call.
+  explicit ThreadPool(int thread_count);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins the workers. In-flight ParallelFor calls must have completed.
+  ~ThreadPool();
+
+  /// Configured concurrency (>= 1).
+  int thread_count() const { return thread_count_; }
+
+  /// True once the lazy worker spawn has happened.
+  bool started() const;
+
+  /// Splits `[begin, end)` into chunks of `grain` indices (the final chunk
+  /// may be shorter; `grain` 0 is treated as 1) and runs `body` once per
+  /// chunk. Runs serially — identical chunking, on the calling thread —
+  /// when the pool has a single thread, when there is at most one chunk,
+  /// or when called from inside a pool worker (nested parallelism).
+  ///
+  /// `max_parallelism` caps the concurrency of this call only; 0 means the
+  /// pool's full `thread_count()`. Returns OK iff every chunk returned OK,
+  /// otherwise the status of the lowest-indexed failing chunk. A chunk that
+  /// throws has its exception rethrown here after all chunks finish.
+  Status ParallelFor(size_t begin, size_t end, size_t grain, const Body& body,
+                     int max_parallelism = 0);
+
+  /// The process-wide default pool used by the free `ParallelFor`. Created
+  /// on first use with `DefaultThreadCount()` threads.
+  static ThreadPool& Default();
+
+  /// Reconfigures the default pool size (<= 0 restores the hardware
+  /// concurrency). Call at startup or between parallel regions; the current
+  /// default pool, if any, is torn down and lazily rebuilt at the new size.
+  static void SetDefaultThreadCount(int thread_count);
+
+  /// The size the default pool has (or will be created with).
+  static int DefaultThreadCount();
+
+ private:
+  struct Job;
+
+  void EnsureStarted();
+  void WorkerLoop();
+  /// Claims and runs chunks of `job` until none remain.
+  static void RunChunks(Job* job);
+
+  const int thread_count_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  /// Helper tickets: one entry per worker invited to a job. Workers pop a
+  /// ticket and claim chunks until the job runs dry.
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+/// Resolves a per-component thread-count option: `requested` > 0 is taken
+/// as-is, anything else means "use the process default".
+int ResolveThreadCount(int requested);
+
+/// `ThreadPool::Default().ParallelFor(...)` capped at `num_threads`
+/// (resolved through `ResolveThreadCount`). The workhorse for call sites
+/// whose Options carry a `num_threads` field.
+Status ParallelFor(size_t begin, size_t end, size_t grain,
+                   const ThreadPool::Body& body, int num_threads = 0);
+
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_COMMON_PARALLEL_H_

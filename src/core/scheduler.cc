@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include <optional>
+#include <utility>
+
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "core/baseline.h"
 #include "core/dataset_builder.h"
 #include "ml/registry.h"
@@ -118,11 +122,16 @@ Status FleetScheduler::TrainAll() {
     }
   }
 
-  // Pass 2: per-vehicle models.
-  for (auto& [id, state] : vehicles_) {
+  // Pass 2: per-vehicle models. Each vehicle's training touches only its
+  // own state (corpus, unified model and options are read-only here), so
+  // vehicles fan out across the thread pool; map order fixes the task
+  // order, and no cross-vehicle reduction exists, so results match the
+  // serial loop exactly.
+  const auto train_vehicle = [&](const std::string& id,
+                                 VehicleState& state) -> Status {
     state.model.reset();
     state.model_name.clear();
-    if (state.usage.empty()) continue;
+    if (state.usage.empty()) return Status::OK();
     NM_ASSIGN_OR_RETURN(
         VehicleCategory category,
         CategorizeUsage(state.usage, options_.maintenance_interval_s));
@@ -154,7 +163,7 @@ Status FleetScheduler::TrainAll() {
               avg.ValueOrDie(), l_scale);
           state.model_name = "BL";
         }
-        continue;
+        return Status::OK();
       }
       DatasetOptions dataset_options;
       dataset_options.window = options_.window;
@@ -176,7 +185,7 @@ Status FleetScheduler::TrainAll() {
       NM_RETURN_NOT_OK(model->Fit(full_data).WithContext(id));
       state.model = std::move(model);
       state.model_name = chosen;
-      continue;
+      return Status::OK();
     }
 
     if (category == VehicleCategory::kSemiNew) {
@@ -192,13 +201,13 @@ Status FleetScheduler::TrainAll() {
           state.model = std::move(value.model);
           state.model_name =
               options_.unified_algorithm + "_Sim(" + value.match.id + ")";
-          continue;
+          return Status::OK();
         }
       }
       if (unified != nullptr) {
         state.model = unified;
         state.model_name = options_.unified_algorithm + "_Uni";
-        continue;
+        return Status::OK();
       }
       Result<std::unique_ptr<ml::Regressor>> bl = MakeSemiNewBaseline(
           state.usage, options_.maintenance_interval_s, options_.cold_start);
@@ -206,7 +215,7 @@ Status FleetScheduler::TrainAll() {
         state.model = std::move(bl).ValueOrDie();
         state.model_name = "BL_semi";
       }
-      continue;
+      return Status::OK();
     }
 
     // New vehicle: only the unified model applies (Section 4.4.2).
@@ -214,8 +223,21 @@ Status FleetScheduler::TrainAll() {
       state.model = unified;
       state.model_name = options_.unified_algorithm + "_Uni";
     }
-  }
-  return Status::OK();
+    return Status::OK();
+  };
+
+  std::vector<std::pair<const std::string*, VehicleState*>> work;
+  work.reserve(vehicles_.size());
+  for (auto& [id, state] : vehicles_) work.emplace_back(&id, &state);
+  return ParallelFor(
+      0, work.size(), /*grain=*/1,
+      [&](size_t chunk_begin, size_t chunk_end) -> Status {
+        for (size_t v = chunk_begin; v < chunk_end; ++v) {
+          NM_RETURN_NOT_OK(train_vehicle(*work[v].first, *work[v].second));
+        }
+        return Status::OK();
+      },
+      options_.num_threads);
 }
 
 Result<MaintenanceForecast> FleetScheduler::Forecast(
@@ -266,11 +288,31 @@ Result<MaintenanceForecast> FleetScheduler::Forecast(
 
 Result<std::vector<MaintenanceForecast>> FleetScheduler::FleetForecast()
     const {
-  std::vector<MaintenanceForecast> forecasts;
+  // Fan out one forecast task per trained vehicle. Results land in
+  // index-ordered slots, so the pre-sort order is the registration (map)
+  // order — never the completion order — and the sorted output is
+  // identical at any thread count.
+  std::vector<const std::string*> ids;
   for (const auto& [id, state] : vehicles_) {
-    if (state.model == nullptr) continue;
-    Result<MaintenanceForecast> forecast = Forecast(id);
-    if (forecast.ok()) forecasts.push_back(std::move(forecast).ValueOrDie());
+    if (state.model != nullptr) ids.push_back(&id);
+  }
+  std::vector<std::optional<MaintenanceForecast>> slots(ids.size());
+  NM_RETURN_NOT_OK(ParallelFor(
+      0, ids.size(), /*grain=*/1,
+      [&](size_t chunk_begin, size_t chunk_end) -> Status {
+        for (size_t v = chunk_begin; v < chunk_end; ++v) {
+          Result<MaintenanceForecast> forecast = Forecast(*ids[v]);
+          // Unforecastable vehicles (e.g. too little data for the feature
+          // window) are skipped, as in the serial loop.
+          if (forecast.ok()) slots[v] = std::move(forecast).ValueOrDie();
+        }
+        return Status::OK();
+      },
+      options_.num_threads));
+  std::vector<MaintenanceForecast> forecasts;
+  forecasts.reserve(slots.size());
+  for (std::optional<MaintenanceForecast>& slot : slots) {
+    if (slot.has_value()) forecasts.push_back(*std::move(slot));
   }
   std::sort(forecasts.begin(), forecasts.end(),
             [](const MaintenanceForecast& a, const MaintenanceForecast& b) {

@@ -54,6 +54,11 @@ struct SchedulerOptions {
   OldVehicleOptions selection;
   /// Cold-start options; window overwritten likewise.
   ColdStartOptions cold_start;
+  /// Vehicles trained/forecast concurrently by TrainAll/FleetForecast.
+  /// <= 0 follows the process-wide default
+  /// (ThreadPool::DefaultThreadCount()). Any value yields bit-identical
+  /// models and forecasts; see docs/parallelism.md.
+  int num_threads = 0;
 };
 
 /// Fleet-level next-maintenance scheduler.

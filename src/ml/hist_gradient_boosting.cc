@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 
 namespace nextmaint {
 namespace ml {
@@ -79,8 +80,24 @@ HistGradientBoostingRegressor::OptionsFromParams(const ParamMap& params) {
   if (auto it = params.find("max_bins"); it != params.end()) {
     options.max_bins = static_cast<int>(it->second);
   }
+  if (auto it = params.find("num_threads"); it != params.end()) {
+    options.num_threads = static_cast<int>(it->second);
+  }
   return options;
 }
+
+namespace {
+
+/// Rows below which a node's split search stays serial: with the paper's
+/// narrow feature windows the per-feature histogram work on a small node
+/// is cheaper than waking the pool.
+constexpr size_t kMinRowsForParallelSplit = 512;
+
+/// Grain for the per-row prediction-update sweep; each row is independent
+/// so chunking cannot change the result.
+constexpr size_t kPredictGrain = 1024;
+
+}  // namespace
 
 Status HistGradientBoostingRegressor::Fit(const Dataset& train) {
   fitted_ = false;
@@ -130,13 +147,21 @@ Status HistGradientBoostingRegressor::Fit(const Dataset& train) {
   bins_.Fit(train.x(), options_.max_bins);
 
   // Column-major binned representation for cache-friendly histogram fills.
+  // Features are binned independently (one column per task), so the
+  // parallel result is identical to the serial one.
   std::vector<std::vector<uint16_t>> binned(num_features_,
                                             std::vector<uint16_t>(n));
-  for (size_t f = 0; f < num_features_; ++f) {
-    for (size_t r = 0; r < n; ++r) {
-      binned[f][r] = bins_.BinOf(f, train.x()(r, f));
-    }
-  }
+  NM_RETURN_NOT_OK(ParallelFor(
+      0, num_features_, /*grain=*/1,
+      [&](size_t chunk_begin, size_t chunk_end) -> Status {
+        for (size_t f = chunk_begin; f < chunk_end; ++f) {
+          for (size_t r = 0; r < n; ++r) {
+            binned[f][r] = bins_.BinOf(f, train.x()(r, f));
+          }
+        }
+        return Status::OK();
+      },
+      options_.num_threads));
 
   // Initial prediction: the target mean (squared-loss optimum).
   base_score_ = 0.0;
@@ -171,9 +196,15 @@ Status HistGradientBoostingRegressor::Fit(const Dataset& train) {
       break;
     }
 
-    for (size_t i = 0; i < n; ++i) {
-      predictions[i] += PredictTree(tree, train.x().Row(i));
-    }
+    NM_RETURN_NOT_OK(ParallelFor(
+        0, n, kPredictGrain,
+        [&](size_t chunk_begin, size_t chunk_end) -> Status {
+          for (size_t i = chunk_begin; i < chunk_end; ++i) {
+            predictions[i] += PredictTree(tree, train.x().Row(i));
+          }
+          return Status::OK();
+        },
+        options_.num_threads));
     if (valid_rows > 0) {
       double valid_mse = 0.0;
       for (size_t i = 0; i < valid_rows; ++i) {
@@ -232,42 +263,69 @@ int32_t HistGradientBoostingRegressor::BuildNode(
   } best;
 
   // Per-feature histograms: accumulate gradient sum and count per bin, then
-  // scan bins left to right evaluating every boundary.
-  std::vector<double> hist_grad;
-  std::vector<uint32_t> hist_count;
-  for (size_t f = 0; f < binned.size(); ++f) {
-    const size_t num_bins = bins_.BinCount(f);
-    if (num_bins < 2) continue;
-    hist_grad.assign(num_bins, 0.0);
-    hist_count.assign(num_bins, 0);
-    const std::vector<uint16_t>& column = binned[f];
-    for (size_t i = begin; i < end; ++i) {
-      const size_t row = (*indices)[i];
-      hist_grad[column[row]] += gradients[row];
-      ++hist_count[column[row]];
-    }
+  // scan bins left to right evaluating every boundary. Each feature's
+  // search is independent; candidates land in feature_best[f] and the
+  // winner is reduced serially in ascending feature order below, so the
+  // chosen split is the one the serial left-to-right scan would pick
+  // (strict '>' keeps the earliest feature/bin on ties) at any thread
+  // count. Small nodes stay serial: the histogram work would not amortize
+  // the pool hand-off.
+  const size_t num_features = binned.size();
+  std::vector<Best> feature_best(num_features);
+  const int split_threads =
+      count >= kMinRowsForParallelSplit
+          ? ResolveThreadCount(options_.num_threads)
+          : 1;
+  // One chunk per lane so each lane allocates its histogram scratch once.
+  const size_t split_grain =
+      (num_features - 1) / static_cast<size_t>(split_threads) + 1;
+  const Status split_status = ParallelFor(
+      0, num_features, split_grain,
+      [&](size_t chunk_begin, size_t chunk_end) -> Status {
+        std::vector<double> hist_grad;
+        std::vector<uint32_t> hist_count;
+        for (size_t f = chunk_begin; f < chunk_end; ++f) {
+          const size_t num_bins = bins_.BinCount(f);
+          if (num_bins < 2) continue;
+          hist_grad.assign(num_bins, 0.0);
+          hist_count.assign(num_bins, 0);
+          const std::vector<uint16_t>& column = binned[f];
+          for (size_t i = begin; i < end; ++i) {
+            const size_t row = (*indices)[i];
+            hist_grad[column[row]] += gradients[row];
+            ++hist_count[column[row]];
+          }
 
-    double left_grad = 0.0;
-    size_t left_count = 0;
-    for (size_t b = 0; b + 1 < num_bins; ++b) {
-      left_grad += hist_grad[b];
-      left_count += hist_count[b];
-      if (left_count < min_leaf) continue;
-      const size_t right_count = count - left_count;
-      if (right_count < min_leaf) break;
-      const double right_grad = grad_sum - left_grad;
-      const double gain =
-          left_grad * left_grad /
-              (static_cast<double>(left_count) + options_.l2) +
-          right_grad * right_grad /
-              (static_cast<double>(right_count) + options_.l2) -
-          parent_score;
-      if (gain > best.gain) {
-        best.gain = gain;
-        best.feature = f;
-        best.bin = static_cast<uint16_t>(b);
-      }
-    }
+          Best local;
+          local.feature = f;
+          double left_grad = 0.0;
+          size_t left_count = 0;
+          for (size_t b = 0; b + 1 < num_bins; ++b) {
+            left_grad += hist_grad[b];
+            left_count += hist_count[b];
+            if (left_count < min_leaf) continue;
+            const size_t right_count = count - left_count;
+            if (right_count < min_leaf) break;
+            const double right_grad = grad_sum - left_grad;
+            const double gain =
+                left_grad * left_grad /
+                    (static_cast<double>(left_count) + options_.l2) +
+                right_grad * right_grad /
+                    (static_cast<double>(right_count) + options_.l2) -
+                parent_score;
+            if (gain > local.gain) {
+              local.gain = gain;
+              local.bin = static_cast<uint16_t>(b);
+            }
+          }
+          feature_best[f] = local;
+        }
+        return Status::OK();
+      },
+      split_threads);
+  NM_CHECK(split_status.ok());  // the search body has no failure path
+  for (size_t f = 0; f < num_features; ++f) {
+    if (feature_best[f].gain > best.gain) best = feature_best[f];
   }
 
   if (best.gain <= options_.min_gain) {

@@ -77,6 +77,11 @@ class HistGradientBoostingRegressor final : public Regressor {
     double validation_fraction = 0.0;
     /// Patience for early stopping (only with validation_fraction > 0).
     int early_stopping_rounds = 10;
+    /// Concurrency for binning, per-feature split search and the per-row
+    /// prediction update. <= 0 follows the process-wide default
+    /// (ThreadPool::DefaultThreadCount()). Any value yields bit-identical
+    /// models; see docs/parallelism.md.
+    int num_threads = 0;
   };
 
   HistGradientBoostingRegressor() = default;
@@ -84,7 +89,7 @@ class HistGradientBoostingRegressor final : public Regressor {
       : options_(options) {}
 
   /// Recognised ParamMap keys: "num_iterations", "max_depth",
-  /// "learning_rate", "min_samples_leaf", "max_bins".
+  /// "learning_rate", "min_samples_leaf", "max_bins", "num_threads".
   static Options OptionsFromParams(const ParamMap& params);
 
   Status Fit(const Dataset& train) override;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace nextmaint {
@@ -20,6 +21,9 @@ RandomForestRegressor::Options RandomForestRegressor::OptionsFromParams(
   }
   if (auto it = params.find("min_samples_leaf"); it != params.end()) {
     options.min_samples_leaf = static_cast<int>(it->second);
+  }
+  if (auto it = params.find("num_threads"); it != params.end()) {
+    options.num_threads = static_cast<int>(it->second);
   }
   return options;
 }
@@ -52,40 +56,74 @@ Status RandomForestRegressor::Fit(const Dataset& train) {
   const size_t bootstrap_size = std::max<size_t>(
       1, static_cast<size_t>(options_.bootstrap_fraction *
                              static_cast<double>(n)));
+  const size_t num_trees = static_cast<size_t>(options_.num_estimators);
 
-  // Out-of-bag bookkeeping: accumulated prediction and count per sample.
+  // Derive every tree's bootstrap sample and seed up front, consuming the
+  // shared rng stream in tree order. The per-tree work below is then a
+  // pure function of (sample, seed), so models are bit-identical at any
+  // thread count.
+  std::vector<std::vector<size_t>> samples(num_trees);
+  std::vector<uint64_t> seeds(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    samples[t].resize(bootstrap_size);
+    for (size_t i = 0; i < bootstrap_size; ++i) {
+      samples[t][i] = static_cast<size_t>(rng.UniformInt(n));
+    }
+    seeds[t] = rng.NextUint64();
+  }
+
+  // Each tree records its out-of-bag predictions privately; the floating
+  // point reduction into oob_sum happens serially in tree order afterwards.
+  std::vector<std::vector<double>> tree_oob_pred(num_trees);
+  std::vector<std::vector<char>> tree_in_bag(num_trees);
+  trees_.resize(num_trees);
+
+  const Status fit_status = ParallelFor(
+      0, num_trees, /*grain=*/1,
+      [&](size_t chunk_begin, size_t chunk_end) -> Status {
+        for (size_t t = chunk_begin; t < chunk_end; ++t) {
+          DecisionTreeRegressor::Options tree_options;
+          tree_options.max_depth = options_.max_depth;
+          tree_options.min_samples_split = options_.min_samples_split;
+          tree_options.min_samples_leaf = options_.min_samples_leaf;
+          tree_options.max_features = max_features;
+          tree_options.seed = seeds[t];
+
+          std::vector<char>& in_bag = tree_in_bag[t];
+          in_bag.assign(n, 0);
+          for (size_t row : samples[t]) in_bag[row] = 1;
+
+          DecisionTreeRegressor tree(tree_options);
+          NM_RETURN_NOT_OK(tree.FitIndices(train, samples[t])
+                               .WithContext("tree " + std::to_string(t)));
+
+          std::vector<double>& oob_pred = tree_oob_pred[t];
+          oob_pred.assign(n, 0.0);
+          for (size_t row = 0; row < n; ++row) {
+            if (in_bag[row]) continue;
+            NM_ASSIGN_OR_RETURN(oob_pred[row],
+                                tree.Predict(train.x().Row(row)));
+          }
+          trees_[t] = std::move(tree);
+        }
+        return Status::OK();
+      },
+      options_.num_threads);
+  if (!fit_status.ok()) {
+    trees_.clear();  // never leave half-fitted placeholder trees behind
+    return fit_status;
+  }
+
+  // Out-of-bag bookkeeping: accumulated prediction and count per sample,
+  // reduced in tree order so the sums match the serial loop exactly.
   std::vector<double> oob_sum(n, 0.0);
   std::vector<int> oob_count(n, 0);
-  std::vector<char> in_bag(n);
-
-  trees_.reserve(static_cast<size_t>(options_.num_estimators));
-  for (int t = 0; t < options_.num_estimators; ++t) {
-    std::fill(in_bag.begin(), in_bag.end(), 0);
-    std::vector<size_t> sample(bootstrap_size);
-    for (size_t i = 0; i < bootstrap_size; ++i) {
-      const size_t row = static_cast<size_t>(rng.UniformInt(n));
-      sample[i] = row;
-      in_bag[row] = 1;
-    }
-
-    DecisionTreeRegressor::Options tree_options;
-    tree_options.max_depth = options_.max_depth;
-    tree_options.min_samples_split = options_.min_samples_split;
-    tree_options.min_samples_leaf = options_.min_samples_leaf;
-    tree_options.max_features = max_features;
-    tree_options.seed = rng.NextUint64();
-
-    DecisionTreeRegressor tree(tree_options);
-    NM_RETURN_NOT_OK(tree.FitIndices(train, sample)
-                         .WithContext("tree " + std::to_string(t)));
-
+  for (size_t t = 0; t < num_trees; ++t) {
     for (size_t row = 0; row < n; ++row) {
-      if (in_bag[row]) continue;
-      NM_ASSIGN_OR_RETURN(double pred, tree.Predict(train.x().Row(row)));
-      oob_sum[row] += pred;
+      if (tree_in_bag[t][row]) continue;
+      oob_sum[row] += tree_oob_pred[t][row];
       ++oob_count[row];
     }
-    trees_.push_back(std::move(tree));
   }
 
   double abs_err = 0.0;

@@ -32,13 +32,17 @@ class RandomForestRegressor final : public Regressor {
     /// Bootstrap sample size as a fraction of the training size.
     double bootstrap_fraction = 1.0;
     uint64_t seed = 42;
+    /// Trees fitted concurrently (one task per tree). <= 0 follows the
+    /// process-wide default (ThreadPool::DefaultThreadCount()). Any value
+    /// yields bit-identical models; see docs/parallelism.md.
+    int num_threads = 0;
   };
 
   RandomForestRegressor() = default;
   explicit RandomForestRegressor(Options options) : options_(options) {}
 
   /// Recognised ParamMap keys: "num_estimators", "max_depth",
-  /// "min_samples_leaf".
+  /// "min_samples_leaf", "num_threads".
   static Options OptionsFromParams(const ParamMap& params);
 
   Status Fit(const Dataset& train) override;

@@ -1,0 +1,288 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace nextmaint {
+namespace {
+
+TEST(ThreadPoolTest, StartsLazily) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  EXPECT_FALSE(pool.started());
+
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(pool.ParallelFor(0, 8, 1,
+                               [&](size_t, size_t) {
+                                 ++calls;
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(calls.load(), 8);
+  EXPECT_TRUE(pool.started());
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolNeverSpawnsWorkers) {
+  ThreadPool pool(1);
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(pool.ParallelFor(0, 5, 1,
+                               [&](size_t, size_t) {
+                                 ++calls;
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(calls.load(), 5);
+  // The serial fallback must not pay for threads.
+  EXPECT_FALSE(pool.started());
+}
+
+TEST(ThreadPoolTest, NonPositiveThreadCountSelectsHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(pool.ParallelFor(3, 3, 1,
+                               [&](size_t, size_t) {
+                                 ++calls;
+                                 return Status::OK();
+                               })
+                  .ok());
+  ASSERT_TRUE(pool.ParallelFor(7, 2, 1,
+                               [&](size_t, size_t) {
+                                 ++calls;
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_FALSE(pool.started());
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeMakesOneInlineChunk) {
+  ThreadPool pool(4);
+  std::vector<std::pair<size_t, size_t>> chunks;
+  ASSERT_TRUE(pool.ParallelFor(2, 9, 100,
+                               [&](size_t begin, size_t end) {
+                                 chunks.emplace_back(begin, end);
+                                 return Status::OK();
+                               })
+                  .ok());
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], std::make_pair(size_t{2}, size_t{9}));
+  // A single chunk runs on the calling thread without waking the pool.
+  EXPECT_FALSE(pool.started());
+}
+
+TEST(ThreadPoolTest, ZeroGrainIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(pool.ParallelFor(0, 4, 0,
+                               [&](size_t begin, size_t end) {
+                                 EXPECT_EQ(end, begin + 1);
+                                 ++calls;
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesCoverTheRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kBegin = 5, kEnd = 218, kGrain = 16;
+  std::vector<std::atomic<int>> hits(kEnd);
+  for (auto& h : hits) h.store(0);
+  ASSERT_TRUE(pool.ParallelFor(kBegin, kEnd, kGrain,
+                               [&](size_t begin, size_t end) {
+                                 EXPECT_LE(end - begin, kGrain);
+                                 for (size_t i = begin; i < end; ++i) {
+                                   ++hits[i];
+                                 }
+                                 return Status::OK();
+                               })
+                  .ok());
+  for (size_t i = 0; i < kEnd; ++i) {
+    EXPECT_EQ(hits[i].load(), i >= kBegin ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    ASSERT_TRUE(pool.ParallelFor(0, 97, 5,
+                                 [&](size_t begin, size_t end) {
+                                   int64_t local = 0;
+                                   for (size_t i = begin; i < end; ++i) {
+                                     local += static_cast<int64_t>(i);
+                                   }
+                                   sum += local;
+                                   return Status::OK();
+                                 })
+                    .ok());
+    EXPECT_EQ(sum.load(), 97 * 96 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, StatusFromMidRangeWorkerPropagates) {
+  ThreadPool pool(4);
+  const Status status = pool.ParallelFor(0, 32, 1, [&](size_t begin, size_t) {
+    if (begin == 17) {
+      return Status::DataError("chunk 17 exploded");
+    }
+    return Status::OK();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kDataError);
+  EXPECT_EQ(status.message(), "chunk 17 exploded");
+}
+
+TEST(ThreadPoolTest, LowestIndexedFailureWinsDeterministically) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    const Status status =
+        pool.ParallelFor(0, 32, 1, [&](size_t begin, size_t) {
+          if (begin == 9 || begin == 23) {
+            return Status::InvalidArgument("chunk " + std::to_string(begin));
+          }
+          return Status::OK();
+        });
+    // Both chunks fail; the report matches a serial left-to-right loop.
+    EXPECT_EQ(status.message(), "chunk 9");
+  }
+}
+
+TEST(ThreadPoolTest, ErrorDoesNotPoisonThePool) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(pool.ParallelFor(0, 8, 1, [&](size_t, size_t) {
+                     return Status::Unknown("boom");
+                   })
+                   .ok());
+  std::atomic<int> calls{0};
+  EXPECT_TRUE(pool.ParallelFor(0, 8, 1,
+                               [&](size_t, size_t) {
+                                 ++calls;
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPoolTest, ExceptionFromWorkerRethrowsOnCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(
+      {
+        (void)pool.ParallelFor(0, 16, 1, [&](size_t begin, size_t) -> Status {
+          ++calls;
+          if (begin == 11) throw std::runtime_error("worker threw");
+          return Status::OK();
+        });
+      },
+      std::runtime_error);
+  // No early exit: every chunk still ran.
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_calls{0};
+  std::atomic<int> inner_on_same_thread{0};
+  ASSERT_TRUE(
+      pool.ParallelFor(0, 8, 1,
+                       [&](size_t, size_t) {
+                         const std::thread::id outer = std::this_thread::get_id();
+                         return pool.ParallelFor(
+                             0, 4, 1, [&, outer](size_t, size_t) {
+                               ++inner_calls;
+                               if (std::this_thread::get_id() == outer) {
+                                 ++inner_on_same_thread;
+                               }
+                               return Status::OK();
+                             });
+                       })
+          .ok());
+  EXPECT_EQ(inner_calls.load(), 8 * 4);
+  // Inline fallback: every inner chunk ran on its outer chunk's thread.
+  EXPECT_EQ(inner_on_same_thread.load(), 8 * 4);
+}
+
+TEST(ThreadPoolTest, MaxParallelismCapsConcurrentLanes) {
+  ThreadPool pool(8);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  ASSERT_TRUE(pool.ParallelFor(
+                      0, 64, 1,
+                      [&](size_t, size_t) {
+                        const int now = ++in_flight;
+                        int expected = peak.load();
+                        while (now > expected &&
+                               !peak.compare_exchange_weak(expected, now)) {
+                        }
+                        std::this_thread::yield();
+                        --in_flight;
+                        return Status::OK();
+                      },
+                      /*max_parallelism=*/2)
+                  .ok());
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareTheWorkers) {
+  ThreadPool pool(4);
+  std::vector<std::thread> callers;
+  std::vector<int64_t> sums(4, 0);
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      int64_t local = 0;
+      std::mutex mu;
+      ASSERT_TRUE(pool.ParallelFor(0, 1000, 7,
+                                   [&](size_t begin, size_t end) {
+                                     int64_t chunk = 0;
+                                     for (size_t i = begin; i < end; ++i) {
+                                       chunk += static_cast<int64_t>(i);
+                                     }
+                                     std::lock_guard<std::mutex> lock(mu);
+                                     local += chunk;
+                                     return Status::OK();
+                                   })
+                      .ok());
+      sums[static_cast<size_t>(c)] = local;
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int64_t sum : sums) EXPECT_EQ(sum, 1000 * 999 / 2);
+}
+
+TEST(DefaultPoolTest, FreeParallelForHonoursExplicitThreadCount) {
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(ParallelFor(
+                  0, 10, 1,
+                  [&](size_t, size_t) {
+                    ++calls;
+                    return Status::OK();
+                  },
+                  /*num_threads=*/4)
+                  .ok());
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(DefaultPoolTest, SetDefaultThreadCountIsObserved) {
+  ThreadPool::SetDefaultThreadCount(3);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  EXPECT_EQ(ResolveThreadCount(0), 3);
+  EXPECT_EQ(ResolveThreadCount(-5), 3);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  EXPECT_EQ(ThreadPool::Default().thread_count(), 3);
+
+  ThreadPool::SetDefaultThreadCount(0);  // restore: hardware concurrency
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace nextmaint

@@ -298,6 +298,92 @@ INSTANTIATE_TEST_SUITE_P(Windows, WindowSweepTest,
 
 
 // ---------------------------------------------------------------------------
+// Fleet scheduling is invariant to ingestion order and thread count: a
+// scheduler fed vehicles in a random permutation and trained in parallel
+// forecasts exactly what a serially-trained, canonically-ordered one does.
+// ---------------------------------------------------------------------------
+
+class IngestionOrderTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(IngestionOrderTest, ParallelPermutedFleetMatchesSerialCanonical) {
+  const uint64_t seed = GetParam();
+  constexpr double kTv = 500'000.0;
+  constexpr int kFleetSize = 5;
+
+  // Simulated series per vehicle, fixed across both schedulers.
+  std::vector<data::DailySeries> series;
+  for (int v = 0; v < kFleetSize; ++v) {
+    Rng profile_rng(uint64_t{100} + static_cast<uint64_t>(v));
+    telem::VehicleProfile profile =
+        telem::DefaultFleetProfiles(1, &profile_rng)[0];
+    profile.maintenance_interval_s = kTv;
+    Rng sim_rng(uint64_t{17} * static_cast<uint64_t>(v) + 5);
+    const int days = v == kFleetSize - 1 ? 40 : 650;  // one semi-new vehicle
+    series.push_back(telem::SimulateVehicle(profile, Day(0), days, 0.0,
+                                            &sim_rng)
+                         .ValueOrDie()
+                         .utilization);
+  }
+
+  core::SchedulerOptions options;
+  options.maintenance_interval_s = kTv;
+  options.window = 3;
+  options.algorithms = {"BL", "LR"};
+  options.unified_algorithm = "LR";
+  options.selection.tune = false;
+  options.selection.resampling_shifts = 0;
+
+  const auto forecasts_for = [&](const std::vector<int>& order,
+                                 int num_threads) {
+    core::SchedulerOptions opts = options;
+    opts.num_threads = num_threads;
+    core::FleetScheduler scheduler(opts);
+    for (int v : order) {
+      const std::string id = "v" + std::to_string(v);
+      EXPECT_TRUE(scheduler.RegisterVehicle(id, Day(0)).ok());
+      EXPECT_TRUE(
+          scheduler.IngestSeries(id, series[static_cast<size_t>(v)]).ok());
+    }
+    EXPECT_TRUE(scheduler.TrainAll().ok());
+    return scheduler.FleetForecast().ValueOrDie();
+  };
+
+  std::vector<int> canonical(kFleetSize);
+  for (int v = 0; v < kFleetSize; ++v) canonical[static_cast<size_t>(v)] = v;
+  std::vector<int> permuted = canonical;
+  Rng shuffle_rng(seed);
+  shuffle_rng.Shuffle(&permuted);
+
+  const auto serial = forecasts_for(canonical, 1);
+  const auto parallel = forecasts_for(permuted, 4);
+
+  // Compare as a set keyed by vehicle: the forecast for every vehicle must
+  // be identical down to the bit, regardless of ingestion order or the
+  // number of training threads.
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), static_cast<size_t>(kFleetSize));
+  const auto by_vehicle = [](const std::vector<core::MaintenanceForecast>& f) {
+    std::map<std::string, const core::MaintenanceForecast*> index;
+    for (const auto& forecast : f) index[forecast.vehicle_id] = &forecast;
+    return index;
+  };
+  const auto serial_index = by_vehicle(serial);
+  for (const auto& [id, b] : by_vehicle(parallel)) {
+    ASSERT_TRUE(serial_index.count(id)) << id;
+    const core::MaintenanceForecast& a = *serial_index.at(id);
+    EXPECT_EQ(a.category, b->category) << id;
+    EXPECT_EQ(a.model_name, b->model_name) << id;
+    EXPECT_EQ(a.days_left, b->days_left) << id;
+    EXPECT_EQ(a.usage_seconds_left, b->usage_seconds_left) << id;
+    EXPECT_EQ(a.predicted_date, b->predicted_date) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IngestionOrderTest,
+                         testing::Values(uint64_t{3}, uint64_t{14},
+                                         uint64_t{159}));
+
+// ---------------------------------------------------------------------------
 // Workshop-planner invariants across capacities and fleet sizes.
 // ---------------------------------------------------------------------------
 
