@@ -24,6 +24,7 @@ using nextmaint::bench::ConfigFromEnv;
 using nextmaint::bench::EvaluateOnFleet;
 using nextmaint::bench::FleetEvaluation;
 using nextmaint::bench::MakeReferenceFleet;
+using nextmaint::bench::MetricsReport;
 using nextmaint::bench::OldVehicleIndices;
 using nextmaint::bench::PaperAlgorithms;
 using nextmaint::bench::PrintTableHeader;
@@ -31,6 +32,8 @@ using nextmaint::bench::PrintTableRow;
 
 int main() {
   const BenchConfig config = ConfigFromEnv();
+  // Prints fit counts/latency deltas for the run when NEXTMAINT_METRICS=1.
+  MetricsReport metrics("Table 1 run");
   const nextmaint::telem::Fleet fleet = MakeReferenceFleet(config);
   const std::vector<size_t> old_vehicles =
       OldVehicleIndices(fleet, config.maintenance_interval_s);

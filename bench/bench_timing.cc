@@ -116,7 +116,12 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   RegisterAll();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  {
+    // Reports per-model fit telemetry for the whole sweep when
+    // NEXTMAINT_METRICS=1; a no-op (and no timing impact) otherwise.
+    nextmaint::bench::MetricsReport metrics("timing sweep");
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
   return 0;
 }

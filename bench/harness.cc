@@ -125,5 +125,17 @@ void PrintTableRow(const std::vector<std::string>& cells) {
   std::printf("\n");
 }
 
+MetricsReport::MetricsReport(std::string title) : title_(std::move(title)) {
+  if (telemetry::Enabled()) before_ = telemetry::Snapshot();
+}
+
+MetricsReport::~MetricsReport() {
+  if (!telemetry::Enabled()) return;
+  const telemetry::MetricsSnapshot delta =
+      telemetry::SnapshotDelta(before_, telemetry::Snapshot());
+  std::printf("\n--- metrics: %s ---\n%s", title_.c_str(),
+              telemetry::RenderText(delta).c_str());
+}
+
 }  // namespace bench
 }  // namespace nextmaint

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "core/old_vehicle.h"
 #include "telematics/fleet.h"
 
@@ -81,6 +82,23 @@ const std::vector<std::string>& PaperAlgorithms();
 void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns);
 void PrintTableRow(const std::vector<std::string>& cells);
+
+/// RAII metrics report for one figure/table run: snapshots the registry at
+/// construction and, when telemetry is enabled (NEXTMAINT_METRICS=1),
+/// prints the delta accumulated during the run at destruction. With
+/// telemetry disabled it is a no-op, so bench timings are unaffected.
+class MetricsReport {
+ public:
+  explicit MetricsReport(std::string title);
+  ~MetricsReport();
+
+  MetricsReport(const MetricsReport&) = delete;
+  MetricsReport& operator=(const MetricsReport&) = delete;
+
+ private:
+  std::string title_;
+  telemetry::MetricsSnapshot before_;
+};
 
 }  // namespace bench
 }  // namespace nextmaint

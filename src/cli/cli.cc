@@ -1,11 +1,11 @@
 #include "cli/cli.h"
 
 #include <filesystem>
-#include <fstream>
 
 #include "common/macros.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "common/telemetry.h"
 #include "core/old_vehicle.h"
 #include "core/scheduler.h"
 #include "core/workshop_planner.h"
@@ -114,25 +114,37 @@ Result<std::vector<std::pair<std::string, data::DailySeries>>> LoadFleetDir(
   return vehicles;
 }
 
-/// Builds a trained scheduler from the vehicles in `dir`.
+/// --threads value: malformed or negative input is a user error, rejected
+/// with the usage hint instead of silently falling back to the default.
+Result<int> ThreadCountFromArgs(const ParsedArgs& args) {
+  const auto it = args.flags.find("threads");
+  if (it == args.flags.end()) return 0;
+  const Result<int64_t> parsed = ParseInt64(it->second);
+  if (!parsed.ok() || parsed.ValueOrDie() < 0) {
+    return Status::InvalidArgument(
+        "--threads expects a non-negative integer (0 = all cores), got '" +
+        it->second + "'\n" + UsageText());
+  }
+  return static_cast<int>(parsed.ValueOrDie());
+}
+
+/// Builds a scheduler from the vehicles in `dir`. Models come from
+/// `--load-models FILE` when given, otherwise from TrainAll.
 Result<core::FleetScheduler> MakeTrainedScheduler(const ParsedArgs& args,
                                                   const std::string& dir) {
   NM_ASSIGN_OR_RETURN(auto vehicles, LoadFleetDir(dir));
   core::SchedulerOptions options;
   NM_ASSIGN_OR_RETURN(double tv, args.DoubleFlagOr("tv", 2'000'000.0));
   NM_ASSIGN_OR_RETURN(int64_t window, args.IntFlagOr("window", 6));
-  NM_ASSIGN_OR_RETURN(int64_t threads, args.IntFlagOr("threads", 0));
-  if (threads < 0) {
-    return Status::InvalidArgument("--threads must be >= 0 (0 = all cores)");
-  }
+  NM_ASSIGN_OR_RETURN(int threads, ThreadCountFromArgs(args));
   if (threads > 0) {
     // Also caps the model-level parallelism (RF trees, XGB histograms),
     // which follows the process-wide default.
-    ThreadPool::SetDefaultThreadCount(static_cast<int>(threads));
+    ThreadPool::SetDefaultThreadCount(threads);
   }
   options.maintenance_interval_s = tv;
   options.window = static_cast<int>(window);
-  options.num_threads = static_cast<int>(threads);
+  options.num_threads = threads;
   options.selection.tune = args.HasFlag("tune");
   options.selection.train_on_last29_only = true;
   options.selection.resampling_shifts = 2;
@@ -142,7 +154,11 @@ Result<core::FleetScheduler> MakeTrainedScheduler(const ParsedArgs& args,
     NM_RETURN_NOT_OK(scheduler.RegisterVehicle(id, series.start_date()));
     NM_RETURN_NOT_OK(scheduler.IngestSeries(id, series).WithContext(id));
   }
-  NM_RETURN_NOT_OK(scheduler.TrainAll());
+  if (args.HasFlag("load-models")) {
+    NM_RETURN_NOT_OK(scheduler.LoadModels(args.flags.at("load-models")));
+  } else {
+    NM_RETURN_NOT_OK(scheduler.TrainAll());
+  }
   return scheduler;
 }
 
@@ -222,9 +238,7 @@ Status RunForecast(const ParsedArgs& args, std::ostream& out) {
   }
   if (args.HasFlag("save-models")) {
     const std::string path = args.flags.at("save-models");
-    std::ofstream file(path);
-    if (!file) return Status::IOError("cannot open '" + path + "'");
-    NM_RETURN_NOT_OK(scheduler.SaveModels(file));
+    NM_RETURN_NOT_OK(scheduler.SaveModels(path));
     out << "models saved to " << path << "\n";
   }
   return Status::OK();
@@ -319,13 +333,16 @@ std::string UsageText() {
       "  simulate --out DIR [--vehicles N] [--days N] [--seed S] [--tv S]\n"
       "           [--weather]\n"
       "  forecast --data DIR [--tv S] [--window W] [--tune] [--threads N]\n"
-      "           [--save-models FILE]\n"
+      "           [--save-models FILE] [--load-models FILE]\n"
       "  plan     --data DIR [--capacity N] [--horizon DAYS] [--weekends]\n"
       "           [--threads N]\n"
       "  evaluate --data DIR [--tv S] [--window W] [--last29] [--tune]\n"
       "\n"
       "--threads N trains/forecasts the fleet on N threads (0 = all cores);\n"
-      "results are bit-identical at any thread count (docs/parallelism.md).\n";
+      "results are bit-identical at any thread count (docs/parallelism.md).\n"
+      "--metrics-json FILE (any command) records telemetry for the run and\n"
+      "writes the metrics snapshot as JSON (docs/observability.md); the\n"
+      "NEXTMAINT_METRICS env var enables recording without the file.\n";
 }
 
 Status RunCommand(const std::vector<std::string>& args, std::ostream& out) {
@@ -333,13 +350,38 @@ Status RunCommand(const std::vector<std::string>& args, std::ostream& out) {
   if (parsed.positional.empty()) {
     return Status::InvalidArgument("missing command\n" + UsageText());
   }
+  // --metrics-json implies recording; without it telemetry follows the
+  // NEXTMAINT_METRICS env default and nothing is written.
+  const bool write_metrics = parsed.HasFlag("metrics-json");
+  if (write_metrics) {
+    if (parsed.flags.at("metrics-json").empty()) {
+      return Status::InvalidArgument("--metrics-json requires a file path\n" +
+                                     UsageText());
+    }
+    telemetry::SetEnabled(true);
+  }
+
   const std::string& command = parsed.positional.front();
-  if (command == "simulate") return RunSimulate(parsed, out);
-  if (command == "forecast") return RunForecast(parsed, out);
-  if (command == "plan") return RunPlan(parsed, out);
-  if (command == "evaluate") return RunEvaluate(parsed, out);
-  return Status::InvalidArgument("unknown command '" + command + "'\n" +
-                                 UsageText());
+  Status status;
+  if (command == "simulate") {
+    status = RunSimulate(parsed, out);
+  } else if (command == "forecast") {
+    status = RunForecast(parsed, out);
+  } else if (command == "plan") {
+    status = RunPlan(parsed, out);
+  } else if (command == "evaluate") {
+    status = RunEvaluate(parsed, out);
+  } else {
+    return Status::InvalidArgument("unknown command '" + command + "'\n" +
+                                   UsageText());
+  }
+
+  if (write_metrics && status.ok()) {
+    const std::string& path = parsed.flags.at("metrics-json");
+    NM_RETURN_NOT_OK(telemetry::WriteJsonFile(telemetry::Snapshot(), path));
+    out << "metrics written to " << path << "\n";
+  }
+  return status;
 }
 
 }  // namespace cli

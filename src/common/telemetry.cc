@@ -1,0 +1,461 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace telemetry {
+
+namespace internal {
+
+std::atomic<int> g_enabled{-1};
+
+bool InitEnabledFromEnv() {
+  const char* env = std::getenv("NEXTMAINT_METRICS");
+  const bool on = env != nullptr && *env != '\0' &&
+                  std::strcmp(env, "0") != 0 &&
+                  std::strcmp(env, "off") != 0 &&
+                  std::strcmp(env, "false") != 0;
+  // First writer wins; a concurrent SetEnabled call is not overwritten.
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                    std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace {
+
+constexpr size_t kMaxSpans = 8192;
+
+uint64_t Bits(double value) { return std::bit_cast<uint64_t>(value); }
+double FromBits(uint64_t bits) { return std::bit_cast<double>(bits); }
+
+/// Lock-free add on a double stored as bits (CAS loop; contention on these
+/// is rare and short).
+void AtomicAdd(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t expected = bits->load(std::memory_order_relaxed);
+  while (!bits->compare_exchange_weak(
+      expected, Bits(FromBits(expected) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<uint64_t>* bits, double value) {
+  uint64_t expected = bits->load(std::memory_order_relaxed);
+  while (FromBits(expected) > value &&
+         !bits->compare_exchange_weak(expected, Bits(value),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* bits, double value) {
+  uint64_t expected = bits->load(std::memory_order_relaxed);
+  while (FromBits(expected) < value &&
+         !bits->compare_exchange_weak(expected, Bits(value),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+/// Default buckets for wall-time histograms, in seconds: 100 us .. 60 s in
+/// a 1-2.5-5 progression (everything slower lands in the overflow bucket).
+const std::vector<double>& DefaultTimeBounds() {
+  static const std::vector<double>* const kBounds = new std::vector<double>{
+      0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+      0.025,  0.05,    0.1,    0.25,  0.5,    1.0,   2.5,
+      5.0,    10.0,    30.0,   60.0};
+  return *kBounds;
+}
+
+}  // namespace
+
+void Gauge::Set(double value) {
+  if (Enabled()) bits_.store(Bits(value), std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  if (Enabled()) AtomicAdd(&bits_, delta);
+}
+
+double Gauge::value() const {
+  return FromBits(bits_.load(std::memory_order_relaxed));
+}
+
+void Gauge::Reset() { bits_.store(0, std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_bits_(Bits(std::numeric_limits<double>::infinity())),
+      max_bits_(Bits(-std::numeric_limits<double>::infinity())) {
+  NM_CHECK(!bounds_.empty());
+  NM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  bucket_counts_ =
+      std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) bucket_counts_[i] = 0;
+}
+
+void Histogram::Observe(double value) {
+  if (!Enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  bucket_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_bits_, value);
+  AtomicMin(&min_bits_, value);
+  AtomicMax(&max_bits_, value);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    bucket_counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  min_bits_.store(Bits(std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(Bits(-std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry() : epoch_(std::chrono::steady_clock::now()) {}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(bounds.empty() ? DefaultTimeBounds()
+                                                      : bounds);
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::RecordSpan(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++spans_dropped_;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.enabled = Enabled();
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = histogram->bounds_;
+    h.bucket_counts.reserve(h.bounds.size() + 1);
+    for (size_t i = 0; i <= h.bounds.size(); ++i) {
+      h.bucket_counts.push_back(
+          histogram->bucket_counts_[i].load(std::memory_order_relaxed));
+    }
+    h.count = histogram->count_.load(std::memory_order_relaxed);
+    h.sum = FromBits(histogram->sum_bits_.load(std::memory_order_relaxed));
+    if (h.count > 0) {
+      h.min = FromBits(histogram->min_bits_.load(std::memory_order_relaxed));
+      h.max = FromBits(histogram->max_bits_.load(std::memory_order_relaxed));
+    }
+    snapshot.histograms[name] = std::move(h);
+  }
+  snapshot.spans = spans_;
+  snapshot.spans_dropped = spans_dropped_;
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  spans_.clear();
+  spans_dropped_ = 0;
+}
+
+double MetricsRegistry::SecondsSinceEpoch() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Count(const std::string& name, uint64_t delta) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().GetCounter(name)->Increment(delta);
+}
+
+void SetGauge(const std::string& name, double value) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().GetGauge(name)->Set(value);
+}
+
+void Observe(const std::string& name, double value) {
+  if (!Enabled()) return;
+  MetricsRegistry::Global().GetHistogram(name)->Observe(value);
+}
+
+ScopedTimer::ScopedTimer(Histogram* histogram) {
+  if (histogram == nullptr || !Enabled()) return;
+  histogram_ = histogram;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::ScopedTimer(const std::string& histogram_name) {
+  if (!Enabled()) return;
+  histogram_ = MetricsRegistry::Global().GetHistogram(histogram_name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ == nullptr) return;
+  histogram_->Observe(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count());
+}
+
+namespace {
+thread_local TraceSpan* t_current_span = nullptr;
+}  // namespace
+
+TraceSpan::TraceSpan(std::string name) : name_(std::move(name)) {
+  if (!Enabled()) return;
+  active_ = true;
+  parent_ = t_current_span;
+  t_current_span = this;
+  start_seconds_ = MetricsRegistry::Global().SecondsSinceEpoch();
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  t_current_span = parent_;
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetHistogram(name_ + ".seconds")->Observe(seconds);
+  SpanRecord record;
+  record.name = name_;
+  record.parent = parent_ != nullptr ? parent_->name_ : "";
+  record.start_seconds = start_seconds_;
+  record.seconds = seconds;
+  registry.RecordSpan(std::move(record));
+}
+
+MetricsSnapshot Snapshot() { return MetricsRegistry::Global().Snapshot(); }
+
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  delta.enabled = after.enabled;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const uint64_t prior = it == before.counters.end() ? 0 : it->second;
+    delta.counters[name] = value - prior;
+  }
+  delta.gauges = after.gauges;
+  for (const auto& [name, h] : after.histograms) {
+    HistogramSnapshot d = h;
+    const auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) {
+      d.count -= it->second.count;
+      d.sum -= it->second.sum;
+      for (size_t i = 0; i < d.bucket_counts.size() &&
+                         i < it->second.bucket_counts.size();
+           ++i) {
+        d.bucket_counts[i] -= it->second.bucket_counts[i];
+      }
+    }
+    delta.histograms[name] = std::move(d);
+  }
+  if (after.spans.size() > before.spans.size()) {
+    delta.spans.assign(
+        after.spans.begin() +
+            static_cast<ptrdiff_t>(before.spans.size()),
+        after.spans.end());
+  }
+  delta.spans_dropped = after.spans_dropped - before.spans_dropped;
+  return delta;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no Infinity/NaN literals; non-finite values render as null.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  std::ostringstream stream;
+  stream.precision(17);
+  stream << value;
+  return stream.str();
+}
+
+}  // namespace
+
+std::string RenderText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out.precision(6);
+  out << "telemetry " << (snapshot.enabled ? "enabled" : "disabled") << "\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "counter   " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "gauge     " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out << "histogram " << name << " count=" << h.count << " sum=" << h.sum;
+    if (h.count > 0) {
+      out << " mean=" << h.sum / static_cast<double>(h.count)
+          << " min=" << h.min << " max=" << h.max;
+    }
+    out << "\n";
+  }
+  if (!snapshot.spans.empty()) {
+    out << "spans     " << snapshot.spans.size() << " recorded";
+    if (snapshot.spans_dropped > 0) {
+      out << " (" << snapshot.spans_dropped << " dropped)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"telemetry\": {\"enabled\": "
+      << (snapshot.enabled ? "true" : "false")
+      << ", \"spans_dropped\": " << snapshot.spans_dropped << "},\n";
+
+  out << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  out << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": " << JsonNumber(value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  out << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": {"
+        << "\"count\": " << h.count << ", \"sum\": " << JsonNumber(h.sum)
+        << ", \"min\": " << JsonNumber(h.min)
+        << ", \"max\": " << JsonNumber(h.max) << ", \"buckets\": [";
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"le\": "
+          << (i < h.bounds.size() ? JsonNumber(h.bounds[i])
+                                  : std::string("\"+inf\""))
+          << ", \"count\": " << h.bucket_counts[i] << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  out << "  \"spans\": [";
+  first = true;
+  for (const SpanRecord& span : snapshot.spans) {
+    out << (first ? "\n" : ",\n") << "    {\"name\": \""
+        << JsonEscape(span.name) << "\", \"parent\": \""
+        << JsonEscape(span.parent)
+        << "\", \"start_s\": " << JsonNumber(span.start_seconds)
+        << ", \"seconds\": " << JsonNumber(span.seconds) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "]\n";
+  out << "}\n";
+  return out.str();
+}
+
+Status WriteJsonFile(const MetricsSnapshot& snapshot,
+                     const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  file << RenderJson(snapshot);
+  if (!file) return Status::IOError("metrics write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace telemetry
+}  // namespace nextmaint

@@ -14,7 +14,7 @@ BaselinePredictor::BaselinePredictor(double avg_utilization_s, double l_scale)
   NM_CHECK_MSG(l_scale_ > 0.0, "l_scale must be positive");
 }
 
-Status BaselinePredictor::Fit(const ml::Dataset& train) {
+Status BaselinePredictor::FitImpl(const ml::Dataset& train) {
   (void)train;  // BL is not trained (Section 5.1).
   return Status::OK();
 }

@@ -33,7 +33,6 @@ class BaselinePredictor final : public ml::Regressor {
   /// it back out.
   BaselinePredictor(double avg_utilization_s, double l_scale = 1.0);
 
-  Status Fit(const ml::Dataset& train) override;
   Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "BL"; }
   bool is_fitted() const override { return true; }
@@ -46,6 +45,9 @@ class BaselinePredictor final : public ml::Regressor {
   static Result<BaselinePredictor> LoadBody(std::istream& in);
 
   double avg_utilization_s() const { return avg_utilization_s_; }
+
+ protected:
+  Status FitImpl(const ml::Dataset& train) override;
 
  private:
   double avg_utilization_s_;

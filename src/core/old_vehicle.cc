@@ -113,20 +113,21 @@ Result<VehicleEvaluation> EvaluateAlgorithmOnVehicle(
   feature_options.context_forecast_days = options.context_forecast_days;
   const size_t first_test_day =
       std::max(split, static_cast<size_t>(options.window));
+  ml::Matrix test_x;
   for (size_t t = first_test_day; t < n; ++t) {
     if (!full.HasTarget(t)) continue;
     NM_ASSIGN_OR_RETURN(std::vector<double> row,
                         BuildFeatureRow(full, t, feature_options));
-    NM_ASSIGN_OR_RETURN(
-        double prediction,
-        model->Predict(std::span<const double>(row.data(), row.size())));
+    test_x.AppendRow(std::span<const double>(row.data(), row.size()));
     eval.test_truth.push_back(full.d[t]);
-    eval.test_predicted.push_back(prediction);
   }
   if (eval.test_truth.empty()) {
     return Status::InvalidArgument(
         "no evaluable test day (no completed cycle in the test window)");
   }
+  // One batched call for the whole test window (RF/XGB amortize the
+  // per-call dispatch); results are bit-identical to the per-row loop.
+  NM_ASSIGN_OR_RETURN(eval.test_predicted, model->PredictBatch(test_x));
 
   NM_ASSIGN_OR_RETURN(eval.eglobal,
                       GlobalError(eval.test_truth, eval.test_predicted));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
 #include <optional>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "core/baseline.h"
 #include "core/dataset_builder.h"
 #include "ml/registry.h"
@@ -49,9 +51,11 @@ Status FleetScheduler::IngestUsage(const std::string& id, Date day,
         expected.ToString() + ", got " + day.ToString());
   }
   if (std::isnan(seconds) || seconds < 0.0 || seconds > 86400.0) {
+    telemetry::Count("scheduler.ingest.rejected");
     return Status::InvalidArgument("utilization must be in [0, 86400]");
   }
   state.usage.Append(seconds);
+  telemetry::Count("scheduler.ingest.days");
   return Status::OK();
 }
 
@@ -68,6 +72,8 @@ Status FleetScheduler::IngestSeries(const std::string& id,
   it->second.first_day = series.start_date();
   it->second.usage = series;
   it->second.model.reset();
+  telemetry::Count("scheduler.ingest.series");
+  telemetry::Count("scheduler.ingest.days", series.size());
   return Status::OK();
 }
 
@@ -95,23 +101,56 @@ std::vector<std::string> FleetScheduler::VehicleIds() const {
 }
 
 Status FleetScheduler::TrainAll() {
-  // Pass 1: first-cycle corpus from old vehicles (for cold-start models).
-  std::vector<FirstCycleData> corpus;
-  for (const auto& [id, state] : vehicles_) {
-    if (state.usage.empty()) continue;
-    NM_ASSIGN_OR_RETURN(
-        VehicleCategory category,
-        CategorizeUsage(state.usage, options_.maintenance_interval_s));
-    if (category != VehicleCategory::kOld) continue;
-    Result<FirstCycleData> data =
-        ExtractFirstCycle(id, state.usage, options_.maintenance_interval_s,
-                          options_.cold_start);
-    if (data.ok()) corpus.push_back(std::move(data).ValueOrDie());
+  if (options_.num_threads < 0) {
+    return Status::InvalidArgument(
+        "SchedulerOptions::num_threads must be >= 0 (0 = all cores), got " +
+        std::to_string(options_.num_threads));
   }
+  telemetry::TraceSpan train_span("scheduler.train");
+
+  // Pass 1: first-cycle corpus from old vehicles (for cold-start models),
+  // tallying the fleet's category mix along the way.
+  std::vector<FirstCycleData> corpus;
+  size_t num_old = 0, num_semi_new = 0, num_new = 0;
+  {
+    telemetry::TraceSpan corpus_span("scheduler.train.corpus");
+    for (const auto& [id, state] : vehicles_) {
+      if (state.usage.empty()) {
+        ++num_new;  // no data yet: categorically a new vehicle
+        continue;
+      }
+      NM_ASSIGN_OR_RETURN(
+          VehicleCategory category,
+          CategorizeUsage(state.usage, options_.maintenance_interval_s));
+      switch (category) {
+        case VehicleCategory::kOld:
+          ++num_old;
+          break;
+        case VehicleCategory::kSemiNew:
+          ++num_semi_new;
+          break;
+        case VehicleCategory::kNew:
+          ++num_new;
+          break;
+      }
+      if (category != VehicleCategory::kOld) continue;
+      Result<FirstCycleData> data =
+          ExtractFirstCycle(id, state.usage, options_.maintenance_interval_s,
+                            options_.cold_start);
+      if (data.ok()) corpus.push_back(std::move(data).ValueOrDie());
+    }
+  }
+  telemetry::SetGauge("scheduler.fleet.vehicles.old",
+                      static_cast<double>(num_old));
+  telemetry::SetGauge("scheduler.fleet.vehicles.semi_new",
+                      static_cast<double>(num_semi_new));
+  telemetry::SetGauge("scheduler.fleet.vehicles.new",
+                      static_cast<double>(num_new));
 
   // Unified model shared by every cold-start vehicle.
   std::shared_ptr<ml::Regressor> unified;
   if (!corpus.empty()) {
+    telemetry::TraceSpan unified_span("scheduler.train.unified");
     Result<std::unique_ptr<ml::Regressor>> uni = TrainUnifiedModel(
         options_.unified_algorithm, corpus, options_.cold_start);
     if (uni.ok()) {
@@ -129,6 +168,7 @@ Status FleetScheduler::TrainAll() {
   // serial loop exactly.
   const auto train_vehicle = [&](const std::string& id,
                                  VehicleState& state) -> Status {
+    telemetry::ScopedTimer vehicle_timer("scheduler.train.vehicle.seconds");
     state.model.reset();
     state.model_name.clear();
     if (state.usage.empty()) return Status::OK();
@@ -140,9 +180,13 @@ Status FleetScheduler::TrainAll() {
       // Select the best algorithm under the 70/30 protocol, then refit it
       // on the complete history for deployment.
       std::string chosen = "BL";
-      Result<ModelSelectionResult> selection = SelectBestModelForVehicle(
-          options_.algorithms, state.usage,
-          options_.maintenance_interval_s, options_.selection);
+      Result<ModelSelectionResult> selection = [&] {
+        telemetry::ScopedTimer selection_timer(
+            "scheduler.train.selection.seconds");
+        return SelectBestModelForVehicle(
+            options_.algorithms, state.usage,
+            options_.maintenance_interval_s, options_.selection);
+      }();
       if (selection.ok()) {
         const ModelSelectionResult& result = selection.ValueOrDie();
         chosen = result.evaluations[result.best_index].algorithm;
@@ -151,6 +195,7 @@ Status FleetScheduler::TrainAll() {
                         << selection.status().ToString()
                         << "); falling back to BL";
       }
+      telemetry::Count("scheduler.selection.winner." + chosen);
 
       if (chosen == "BL") {
         Result<double> avg = AverageUtilization(state.usage);
@@ -242,6 +287,7 @@ Status FleetScheduler::TrainAll() {
 
 Result<MaintenanceForecast> FleetScheduler::Forecast(
     const std::string& id) const {
+  telemetry::ScopedTimer forecast_timer("scheduler.forecast.vehicle.seconds");
   NM_ASSIGN_OR_RETURN(const VehicleState* state, FindVehicle(id));
   if (state->model == nullptr) {
     return Status::FailedPrecondition(
@@ -288,6 +334,12 @@ Result<MaintenanceForecast> FleetScheduler::Forecast(
 
 Result<std::vector<MaintenanceForecast>> FleetScheduler::FleetForecast()
     const {
+  if (options_.num_threads < 0) {
+    return Status::InvalidArgument(
+        "SchedulerOptions::num_threads must be >= 0 (0 = all cores), got " +
+        std::to_string(options_.num_threads));
+  }
+  telemetry::TraceSpan forecast_span("scheduler.forecast");
   // Fan out one forecast task per trained vehicle. Results land in
   // index-ordered slots, so the pre-sort order is the registration (map)
   // order — never the completion order — and the sorted output is
@@ -304,7 +356,12 @@ Result<std::vector<MaintenanceForecast>> FleetScheduler::FleetForecast()
           Result<MaintenanceForecast> forecast = Forecast(*ids[v]);
           // Unforecastable vehicles (e.g. too little data for the feature
           // window) are skipped, as in the serial loop.
-          if (forecast.ok()) slots[v] = std::move(forecast).ValueOrDie();
+          if (forecast.ok()) {
+            telemetry::Count("scheduler.forecast.count");
+            slots[v] = std::move(forecast).ValueOrDie();
+          } else {
+            telemetry::Count("scheduler.forecast.skipped");
+          }
         }
         return Status::OK();
       },
@@ -331,7 +388,15 @@ Result<DriftReport> FleetScheduler::CheckDrift(
   }
   const size_t train_days = static_cast<size_t>(
       reference_fraction * static_cast<double>(state->usage.size()));
-  return DetectUsageDrift(state->usage, train_days, options);
+  Result<DriftReport> report =
+      DetectUsageDrift(state->usage, train_days, options);
+  if (report.ok()) {
+    telemetry::Count("scheduler.drift.checks");
+    if (report.ValueOrDie().drift_detected) {
+      telemetry::Count("scheduler.drift.alarms");
+    }
+  }
+  return report;
 }
 
 Status FleetScheduler::SaveModels(std::ostream& out) const {
@@ -344,6 +409,17 @@ Status FleetScheduler::SaveModels(std::ostream& out) const {
   }
   out << "fleet-end\n";
   if (!out) return Status::IOError("fleet model serialization failed");
+  return Status::OK();
+}
+
+Status FleetScheduler::SaveModels(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  NM_RETURN_NOT_OK(SaveModels(out).WithContext(path));
+  out.flush();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
   return Status::OK();
 }
 
@@ -369,6 +445,14 @@ Status FleetScheduler::LoadModels(std::istream& in) {
     it->second.model_name = model_name;
   }
   return Status::DataError("missing fleet-end marker");
+}
+
+Status FleetScheduler::LoadModels(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return LoadModels(in).WithContext(path);
 }
 
 }  // namespace core

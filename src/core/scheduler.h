@@ -113,6 +113,10 @@ class FleetScheduler {
   /// forecasting with loaded models.
   Status SaveModels(std::ostream& out) const;
 
+  /// Convenience overload: writes SaveModels output to `path` (IOError when
+  /// the file cannot be created or written).
+  Status SaveModels(const std::string& path) const;
+
   /// Runs the CUSUM usage-drift monitor for one vehicle: the reference
   /// distribution is fitted on the first `reference_fraction` of its
   /// history and the remainder is monitored. A detected drift means the
@@ -126,6 +130,10 @@ class FleetScheduler {
   /// already be registered; models for unknown vehicles fail with
   /// NotFound. Vehicles absent from the stream keep their current model.
   Status LoadModels(std::istream& in);
+
+  /// Convenience overload: reads a model file written by SaveModels(path)
+  /// (IOError when the file cannot be opened).
+  Status LoadModels(const std::string& path);
 
  private:
   struct VehicleState {

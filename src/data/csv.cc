@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "common/telemetry.h"
 
 namespace nextmaint {
 namespace data {
@@ -57,12 +58,14 @@ Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options) {
         options.has_header ? header.size() : (rows.empty() ? fields.size()
                                                            : rows[0].size());
     if (fields.size() != expected) {
+      telemetry::Count("data.csv.rows_rejected");
       return Status::DataError(
           StrFormat("line %zu: expected %zu fields, found %zu", line_number,
                     expected, fields.size()));
     }
     rows.push_back(std::move(fields));
   }
+  telemetry::Count("data.csv.rows_parsed", rows.size());
 
   const size_t num_cols =
       options.has_header ? header.size() : (rows.empty() ? 0 : rows[0].size());
@@ -103,6 +106,8 @@ Result<Table> ReadCsvFile(const std::string& path,
   if (!file) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
+  telemetry::Count("data.csv.files_read");
+  telemetry::ScopedTimer timer("data.csv.read_file.seconds");
   Result<Table> result = ReadCsv(file, options);
   if (!result.ok()) {
     return result.status().WithContext(path);

@@ -35,7 +35,7 @@ DecisionTreeRegressor::Options DecisionTreeRegressor::OptionsFromParams(
   return options;
 }
 
-Status DecisionTreeRegressor::Fit(const Dataset& train) {
+Status DecisionTreeRegressor::FitImpl(const Dataset& train) {
   std::vector<size_t> indices(train.num_rows());
   std::iota(indices.begin(), indices.end(), 0);
   return FitIndices(train, indices);

@@ -39,8 +39,6 @@ class DecisionTreeRegressor final : public Regressor {
   /// Recognised ParamMap keys: "max_depth", "min_samples_leaf".
   static Options OptionsFromParams(const ParamMap& params);
 
-  Status Fit(const Dataset& train) override;
-
   /// Fits on the subset of `train` given by `indices` (duplicates allowed;
   /// this is the bootstrap entry point used by the forest).
   Status FitIndices(const Dataset& train, const std::vector<size_t>& indices);
@@ -68,6 +66,9 @@ class DecisionTreeRegressor final : public Regressor {
   /// Depth of the fitted tree (0 for a single-leaf tree).
   int depth() const;
   const Options& options() const { return options_; }
+
+ protected:
+  Status FitImpl(const Dataset& train) override;
 
  private:
   struct Node {

@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 
 namespace nextmaint {
 namespace ml {
@@ -99,7 +100,7 @@ constexpr size_t kPredictGrain = 1024;
 
 }  // namespace
 
-Status HistGradientBoostingRegressor::Fit(const Dataset& train) {
+Status HistGradientBoostingRegressor::FitImpl(const Dataset& train) {
   fitted_ = false;
   trees_.clear();
   train_loss_.clear();
@@ -226,6 +227,7 @@ Status HistGradientBoostingRegressor::Fit(const Dataset& train) {
   }
 
   fitted_ = true;
+  telemetry::Count("ml.xgb.boosting_rounds", trees_.size());
   return Status::OK();
 }
 
@@ -395,6 +397,31 @@ Result<double> HistGradientBoostingRegressor::Predict(
     score += PredictTree(tree, features);
   }
   return score;
+}
+
+Result<std::vector<double>> HistGradientBoostingRegressor::PredictBatchImpl(
+    const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  if (x.rows() == 0) return out;
+  if (!fitted_) {
+    return Status::FailedPrecondition("XGB model is not fitted");
+  }
+  if (x.cols() != num_features_) {
+    return Status::InvalidArgument(
+        "feature count mismatch: got " + std::to_string(x.cols()) +
+        ", trained with " + std::to_string(num_features_));
+  }
+  // Same accumulation order as Predict (base score, then trees in boosting
+  // order), so batch and per-row results are bit-identical.
+  for (size_t r = 0; r < x.rows(); ++r) {
+    double score = base_score_;
+    for (const Tree& tree : trees_) {
+      score += PredictTree(tree, x.Row(r));
+    }
+    out.push_back(score);
+  }
+  return out;
 }
 
 

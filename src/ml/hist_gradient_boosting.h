@@ -92,7 +92,6 @@ class HistGradientBoostingRegressor final : public Regressor {
   /// "learning_rate", "min_samples_leaf", "max_bins", "num_threads".
   static Options OptionsFromParams(const ParamMap& params);
 
-  Status Fit(const Dataset& train) override;
   Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "XGB"; }
   bool is_fitted() const override { return fitted_; }
@@ -120,6 +119,12 @@ class HistGradientBoostingRegressor final : public Regressor {
     return valid_loss_;
   }
   const Options& options() const { return options_; }
+
+ protected:
+  Status FitImpl(const Dataset& train) override;
+  /// Per-row base_score + tree sum, trees visited in boosting order —
+  /// bit-identical to looping Predict with the checks hoisted out.
+  Result<std::vector<double>> PredictBatchImpl(const Matrix& x) const override;
 
  private:
   struct TreeNode {

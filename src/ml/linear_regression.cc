@@ -14,7 +14,7 @@ LinearRegression::Options LinearRegression::OptionsFromParams(
   return options;
 }
 
-Status LinearRegression::Fit(const Dataset& train) {
+Status LinearRegression::FitImpl(const Dataset& train) {
   fitted_ = false;
   if (train.empty()) {
     return Status::InvalidArgument("cannot fit LR on an empty dataset");

@@ -31,7 +31,6 @@ class LinearRegression final : public Regressor {
   /// Builds options from a ParamMap; recognised keys: "l2".
   static Options OptionsFromParams(const ParamMap& params);
 
-  Status Fit(const Dataset& train) override;
   Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "LR"; }
   bool is_fitted() const override { return fitted_; }
@@ -47,6 +46,9 @@ class LinearRegression final : public Regressor {
   const std::vector<double>& weights() const { return weights_; }
   double intercept() const { return intercept_; }
   const Options& options() const { return options_; }
+
+ protected:
+  Status FitImpl(const Dataset& train) override;
 
  private:
   Options options_;

@@ -19,7 +19,7 @@ LinearSvr::Options LinearSvr::OptionsFromParams(const ParamMap& params) {
   return options;
 }
 
-Status LinearSvr::Fit(const Dataset& train) {
+Status LinearSvr::FitImpl(const Dataset& train) {
   fitted_ = false;
   if (train.empty()) {
     return Status::InvalidArgument("cannot fit LSVR on an empty dataset");

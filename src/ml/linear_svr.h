@@ -47,7 +47,6 @@ class LinearSvr final : public Regressor {
   /// Recognised ParamMap keys: "C", "epsilon".
   static Options OptionsFromParams(const ParamMap& params);
 
-  Status Fit(const Dataset& train) override;
   Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "LSVR"; }
   bool is_fitted() const override { return fitted_; }
@@ -65,6 +64,9 @@ class LinearSvr final : public Regressor {
   /// Number of coordinate-descent passes performed by the last Fit.
   int iterations_run() const { return iterations_run_; }
   const Options& options() const { return options_; }
+
+ protected:
+  Status FitImpl(const Dataset& train) override;
 
  private:
   Options options_;

@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 
 namespace nextmaint {
 namespace ml {
@@ -28,7 +29,7 @@ RandomForestRegressor::Options RandomForestRegressor::OptionsFromParams(
   return options;
 }
 
-Status RandomForestRegressor::Fit(const Dataset& train) {
+Status RandomForestRegressor::FitImpl(const Dataset& train) {
   trees_.clear();
   oob_mae_ = std::numeric_limits<double>::quiet_NaN();
   if (train.empty()) {
@@ -134,6 +135,7 @@ Status RandomForestRegressor::Fit(const Dataset& train) {
     ++covered;
   }
   if (covered > 0) oob_mae_ = abs_err / static_cast<double>(covered);
+  telemetry::Count("ml.rf.trees_fitted", trees_.size());
   return Status::OK();
 }
 
@@ -185,6 +187,27 @@ Result<double> RandomForestRegressor::Predict(
     sum += pred;
   }
   return sum / static_cast<double>(trees_.size());
+}
+
+Result<std::vector<double>> RandomForestRegressor::PredictBatchImpl(
+    const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  if (x.rows() == 0) return out;
+  if (trees_.empty()) {
+    return Status::FailedPrecondition("RF model is not fitted");
+  }
+  // Same accumulation order as Predict (trees in order, one sum per row),
+  // so batch and per-row results are bit-identical.
+  for (size_t r = 0; r < x.rows(); ++r) {
+    double sum = 0.0;
+    for (const DecisionTreeRegressor& tree : trees_) {
+      NM_ASSIGN_OR_RETURN(double pred, tree.Predict(x.Row(r)));
+      sum += pred;
+    }
+    out.push_back(sum / static_cast<double>(trees_.size()));
+  }
+  return out;
 }
 
 

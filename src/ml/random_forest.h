@@ -45,7 +45,6 @@ class RandomForestRegressor final : public Regressor {
   /// "min_samples_leaf", "num_threads".
   static Options OptionsFromParams(const ParamMap& params);
 
-  Status Fit(const Dataset& train) override;
   Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "RF"; }
   bool is_fitted() const override { return !trees_.empty(); }
@@ -78,6 +77,13 @@ class RandomForestRegressor final : public Regressor {
   /// Mean out-of-bag absolute error computed during the last Fit; NaN when
   /// no sample was ever out of bag (tiny datasets).
   double oob_mae() const { return oob_mae_; }
+
+ protected:
+  Status FitImpl(const Dataset& train) override;
+  /// Per-row tree-sum average, trees visited in order — bit-identical to
+  /// looping Predict, but with the virtual dispatch and fitted checks
+  /// hoisted out of the row loop.
+  Result<std::vector<double>> PredictBatchImpl(const Matrix& x) const override;
 
  private:
   Options options_;

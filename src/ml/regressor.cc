@@ -1,11 +1,31 @@
 #include "ml/regressor.h"
 
 #include "common/macros.h"
+#include "common/telemetry.h"
 
 namespace nextmaint {
 namespace ml {
 
+Status Regressor::Fit(const Dataset& train) {
+  if (!telemetry::Enabled()) return FitImpl(train);
+  telemetry::ScopedTimer timer("ml.fit.seconds." + name());
+  const Status status = FitImpl(train);
+  if (status.ok()) {
+    telemetry::Count("ml.fit.count." + name());
+    telemetry::Count("ml.fit.rows." + name(), train.num_rows());
+  }
+  return status;
+}
+
 Result<std::vector<double>> Regressor::PredictBatch(const Matrix& x) const {
+  if (!telemetry::Enabled()) return PredictBatchImpl(x);
+  telemetry::ScopedTimer timer("ml.predict_batch.seconds." + name());
+  telemetry::Count("ml.predict_batch.rows." + name(), x.rows());
+  return PredictBatchImpl(x);
+}
+
+Result<std::vector<double>> Regressor::PredictBatchImpl(
+    const Matrix& x) const {
   std::vector<double> out;
   out.reserve(x.rows());
   for (size_t r = 0; r < x.rows(); ++r) {

@@ -29,20 +29,29 @@ using ParamMap = std::map<std::string, double>;
 /// Lifecycle: construct (possibly from an options struct) -> Fit ->
 /// Predict/PredictBatch. Fitting again discards the previous state.
 /// Predicting before a successful Fit returns FailedPrecondition.
+///
+/// Fit and PredictBatch follow the non-virtual-interface pattern: the
+/// public entry points record per-model telemetry (ml.fit.seconds.<name>,
+/// ml.predict_batch.seconds.<name>, ...) and delegate to the protected
+/// FitImpl/PredictBatchImpl that concrete models override. Per-row Predict
+/// stays a plain virtual — it is the hot path inside tree ensembles and
+/// must not pay an instrumentation check per call.
 class Regressor {
  public:
   virtual ~Regressor() = default;
 
   /// Trains the model. Returns InvalidArgument for empty or non-finite
   /// data, NumericError when optimization fails.
-  virtual Status Fit(const Dataset& train) = 0;
+  Status Fit(const Dataset& train);
 
   /// Predicts the target for one feature row. The length must equal the
   /// training feature count.
   virtual Result<double> Predict(std::span<const double> features) const = 0;
 
-  /// Predicts a batch; default implementation loops over Predict.
-  virtual Result<std::vector<double>> PredictBatch(const Matrix& x) const;
+  /// Predicts a batch in one call. Equivalent to looping Predict over the
+  /// rows (bit-identical results), but lets models amortize per-call
+  /// overhead; RF and XGB override the loop.
+  Result<std::vector<double>> PredictBatch(const Matrix& x) const;
 
   /// Short identifier, e.g. "LR", "LSVR", "RF", "XGB".
   virtual std::string name() const = 0;
@@ -58,6 +67,13 @@ class Regressor {
   /// ml::LoadRegressor (or core::LoadAnyModel for BL) can read back.
   /// Fails with FailedPrecondition on unfitted models.
   virtual Status Save(std::ostream& out) const = 0;
+
+ protected:
+  /// Model-specific training; called by Fit.
+  virtual Status FitImpl(const Dataset& train) = 0;
+
+  /// Model-specific batch prediction; the default loops over Predict.
+  virtual Result<std::vector<double>> PredictBatchImpl(const Matrix& x) const;
 };
 
 /// Factory signature used by grid search: builds a fresh model for a

@@ -172,6 +172,94 @@ TEST_F(CliPipelineTest, CorruptCsvSurfacesDataError) {
   EXPECT_EQ(status.code(), StatusCode::kDataError);
 }
 
+TEST_F(CliPipelineTest, MalformedThreadsFlagRejectedWithUsage) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "1",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  for (const char* bad_value : {"abc", "-3", "2.5", ""}) {
+    std::ostringstream forecast_out;
+    const Status status =
+        RunCommand({"forecast", "--data", Dir(), "--tv", "500000",
+                    "--threads", bad_value},
+                   forecast_out);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << bad_value;
+    EXPECT_NE(status.message().find("--threads expects a non-negative"),
+              std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find("usage"), std::string::npos);
+  }
+}
+
+TEST_F(CliPipelineTest, MetricsJsonFlagWritesParsableReport) {
+#ifdef NEXTMAINT_TELEMETRY_DISABLED
+  GTEST_SKIP() << "telemetry compiled out (NEXTMAINT_ENABLE_TELEMETRY=OFF)";
+#endif
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "2",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  const std::string metrics_path = (dir_ / "metrics.json").string();
+  std::ostringstream forecast_out;
+  ASSERT_TRUE(RunCommand({"forecast", "--data", Dir(), "--tv", "500000",
+                          "--window", "3", "--metrics-json", metrics_path},
+                         forecast_out)
+                  .ok());
+  EXPECT_NE(forecast_out.str().find("metrics written to"), std::string::npos);
+
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  const std::string json = contents.str();
+  // The stable report surface: phase timings and fleet-shape gauges.
+  EXPECT_NE(json.find("\"telemetry\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler.train.seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler.forecast.seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler.fleet.vehicles.old\""), std::string::npos);
+  EXPECT_NE(json.find("\"data.csv.rows_parsed\""), std::string::npos);
+
+  // A bare --metrics-json with no path is rejected up front.
+  std::ostringstream bare_out;
+  EXPECT_EQ(RunCommand({"forecast", "--data", Dir(), "--metrics-json"},
+                       bare_out)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliPipelineTest, ForecastLoadsSavedModels) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "2",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  const std::string model_path = (dir_ / "models.txt").string();
+  std::ostringstream train_out;
+  ASSERT_TRUE(RunCommand({"forecast", "--data", Dir(), "--tv", "500000",
+                          "--window", "3", "--save-models", model_path},
+                         train_out)
+                  .ok());
+  std::ostringstream load_out;
+  ASSERT_TRUE(RunCommand({"forecast", "--data", Dir(), "--tv", "500000",
+                          "--window", "3", "--load-models", model_path},
+                         load_out)
+                  .ok());
+  // Skipping training must not change the forecast table (the training run
+  // only appends its "models saved to" confirmation).
+  EXPECT_EQ(train_out.str(),
+            load_out.str() + "models saved to " + model_path + "\n");
+
+  std::ostringstream missing_out;
+  EXPECT_EQ(RunCommand({"forecast", "--data", Dir(), "--tv", "500000",
+                        "--window", "3", "--load-models",
+                        (dir_ / "nope.txt").string()},
+                       missing_out)
+                .code(),
+            StatusCode::kIOError);
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace nextmaint

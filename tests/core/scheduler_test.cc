@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
+#include "common/telemetry.h"
 #include "telematics/fleet.h"
 
 namespace nextmaint {
@@ -273,6 +275,106 @@ TEST(FleetSchedulerTest, CheckDriftFlagsRegimeChange) {
 
   // Bad fraction rejected.
   EXPECT_FALSE(scheduler.CheckDrift("v1", 1.5).ok());
+}
+
+TEST(FleetSchedulerTest, NegativeNumThreadsRejected) {
+  SchedulerOptions options = FastOptions();
+  options.num_threads = -2;
+  FleetScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(61, 600)).ok());
+  EXPECT_EQ(scheduler.TrainAll().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(scheduler.FleetForecast().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FleetSchedulerTest, ModelsRoundTripThroughSaveLoadByPath) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(51, 600)).ok());
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+  const MaintenanceForecast before = scheduler.Forecast("v1").ValueOrDie();
+
+  const std::string path = ::testing::TempDir() + "/scheduler_models.txt";
+  ASSERT_TRUE(scheduler.SaveModels(path).ok());
+
+  FleetScheduler restored(FastOptions());
+  ASSERT_TRUE(restored.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(restored.IngestSeries("v1", SimulatedVehicle(51, 600)).ok());
+  ASSERT_TRUE(restored.LoadModels(path).ok());
+
+  const MaintenanceForecast after = restored.Forecast("v1").ValueOrDie();
+  EXPECT_DOUBLE_EQ(after.days_left, before.days_left);
+  EXPECT_EQ(after.model_name, before.model_name);
+
+  // Unwritable / missing paths surface as IOError.
+  EXPECT_EQ(scheduler.SaveModels("/nonexistent-dir/models.txt").code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(restored.LoadModels("/nonexistent-dir/models.txt").code(),
+            StatusCode::kIOError);
+}
+
+/// Trains the same 4-vehicle fleet and returns (serialized models,
+/// fleet forecast) for the given thread count.
+std::pair<std::string, std::vector<MaintenanceForecast>> TrainAndForecast(
+    int num_threads) {
+  SchedulerOptions options = FastOptions();
+  options.num_threads = num_threads;
+  FleetScheduler scheduler(options);
+  for (int v = 0; v < 4; ++v) {
+    const std::string id = "v" + std::to_string(v);
+    EXPECT_TRUE(scheduler.RegisterVehicle(id, Day(0)).ok());
+    // Mixed history lengths: old and cold-start vehicles.
+    EXPECT_TRUE(
+        scheduler.IngestSeries(id, SimulatedVehicle(70 + v, v < 3 ? 700 : 90))
+            .ok());
+  }
+  EXPECT_TRUE(scheduler.TrainAll().ok());
+  std::stringstream models;
+  EXPECT_TRUE(scheduler.SaveModels(models).ok());
+  return {models.str(), scheduler.FleetForecast().ValueOrDie()};
+}
+
+TEST(FleetSchedulerTest, TelemetryDoesNotChangeResults) {
+  // Byte-identical models and bit-identical forecasts with metrics on vs
+  // off, at 1 and 4 threads (the ISSUE 2 acceptance criterion: telemetry
+  // must observe, never alter).
+  for (const int threads : {1, 4}) {
+    telemetry::SetEnabled(false);
+    const auto [models_off, forecasts_off] = TrainAndForecast(threads);
+
+    telemetry::SetEnabled(true);
+    telemetry::MetricsRegistry::Global().Reset();
+    const auto [models_on, forecasts_on] = TrainAndForecast(threads);
+    const telemetry::MetricsSnapshot snapshot = telemetry::Snapshot();
+    telemetry::MetricsRegistry::Global().Reset();
+    telemetry::SetEnabled(false);
+
+    EXPECT_EQ(models_on, models_off) << "threads=" << threads;
+    ASSERT_EQ(forecasts_on.size(), forecasts_off.size());
+    for (size_t i = 0; i < forecasts_on.size(); ++i) {
+      EXPECT_EQ(forecasts_on[i].vehicle_id, forecasts_off[i].vehicle_id);
+      EXPECT_EQ(forecasts_on[i].model_name, forecasts_off[i].model_name);
+      EXPECT_EQ(forecasts_on[i].days_left, forecasts_off[i].days_left)
+          << forecasts_on[i].vehicle_id << " threads=" << threads;
+      EXPECT_EQ(forecasts_on[i].predicted_date,
+                forecasts_off[i].predicted_date);
+    }
+
+#ifndef NEXTMAINT_TELEMETRY_DISABLED
+    // The instrumented run actually recorded the fleet's shape.
+    EXPECT_EQ(snapshot.gauges.at("scheduler.fleet.vehicles.old") +
+                  snapshot.gauges.at("scheduler.fleet.vehicles.semi_new") +
+                  snapshot.gauges.at("scheduler.fleet.vehicles.new"),
+              4.0);
+    EXPECT_EQ(snapshot.counters.at("scheduler.forecast.count"),
+              forecasts_on.size());
+    EXPECT_GE(snapshot.histograms.at("scheduler.train.seconds").count, 1u);
+    EXPECT_GE(snapshot.histograms.at("scheduler.forecast.seconds").count, 1u);
+#else
+    EXPECT_TRUE(snapshot.gauges.empty());
+#endif
+  }
 }
 
 }  // namespace

@@ -387,6 +387,48 @@ TEST(HistGradientBoostingTest, EarlyStoppingOptionValidation) {
   }
 }
 
+TEST(RandomForestTest, PredictBatchMatchesPerRowPredict) {
+  RandomForestRegressor::Options options;
+  options.num_estimators = 20;
+  RandomForestRegressor forest(options);
+  const Dataset train = MakeInteractionData(300, 17, 1.0);
+  const Dataset test = MakeInteractionData(100, 18);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  const std::vector<double> batch =
+      forest.PredictBatch(test.x()).ValueOrDie();
+  ASSERT_EQ(batch.size(), test.num_rows());
+  // The dedicated override must accumulate in the exact per-row order, so
+  // the results are bit-identical, not merely close.
+  for (size_t r = 0; r < test.num_rows(); ++r) {
+    EXPECT_EQ(batch[r], forest.Predict(test.x().Row(r)).ValueOrDie()) << r;
+  }
+  EXPECT_TRUE(forest.PredictBatch(Matrix(0, 2)).ValueOrDie().empty());
+
+  RandomForestRegressor unfitted;
+  EXPECT_EQ(unfitted.PredictBatch(test.x()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HistGradientBoostingTest, PredictBatchMatchesPerRowPredict) {
+  HistGradientBoostingRegressor model;
+  const Dataset train = MakeInteractionData(500, 27);
+  const Dataset test = MakeInteractionData(100, 28);
+  ASSERT_TRUE(model.Fit(train).ok());
+  const std::vector<double> batch =
+      model.PredictBatch(test.x()).ValueOrDie();
+  ASSERT_EQ(batch.size(), test.num_rows());
+  for (size_t r = 0; r < test.num_rows(); ++r) {
+    EXPECT_EQ(batch[r], model.Predict(test.x().Row(r)).ValueOrDie()) << r;
+  }
+  EXPECT_TRUE(model.PredictBatch(Matrix(0, 2)).ValueOrDie().empty());
+  EXPECT_EQ(model.PredictBatch(Matrix(3, 5)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  HistGradientBoostingRegressor unfitted;
+  EXPECT_EQ(unfitted.PredictBatch(test.x()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST(BinMapperTest, QuantileBinsAreMonotone) {
   Rng rng(30);
   Matrix x(1000, 1);
