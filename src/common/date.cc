@@ -113,7 +113,9 @@ int Date::DayOfYear() const {
 std::string Date::ToString() const {
   int y, m, d;
   ToCivil(&y, &m, &d);
-  char buf[16];
+  // Sized for the worst case (INT_MIN in every field), so snprintf can
+  // never truncate and -Wformat-truncation stays quiet under -Werror.
+  char buf[40];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
   return buf;
 }

@@ -71,9 +71,10 @@ Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options) {
       options.has_header ? header.size() : (rows.empty() ? 0 : rows[0].size());
   Table table;
   for (size_t col = 0; col < num_cols; ++col) {
-    const std::string name = options.has_header
-                                 ? std::string(Trim(header[col]))
-                                 : "c" + std::to_string(col);
+    // StrFormat instead of `"c" + std::to_string(col)`: the char* +
+    // string&& operator trips GCC 12's -Wrestrict false positive at -O2.
+    const std::string name = options.has_header ? std::string(Trim(header[col]))
+                                                : StrFormat("c%zu", col);
     const ColumnType type = InferType(rows, col, options);
     Column column(name, type);
     for (const auto& row : rows) {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "common/strings.h"
 
 namespace nextmaint {
 namespace telem {
@@ -22,7 +23,9 @@ std::vector<VehicleProfile> DefaultFleetProfiles(int num_vehicles, Rng* rng) {
 
   for (int i = 0; i < num_vehicles; ++i) {
     VehicleProfile p;
-    p.id = "v" + std::to_string(i + 1);
+    // StrFormat instead of `"v" + std::to_string(...)`: the char* +
+    // string&& operator trips GCC 12's -Wrestrict false positive at -O2.
+    p.id = StrFormat("v%d", i + 1);
     // Rotate over five archetypes; jitter decorrelates same-archetype
     // vehicles so the similarity matching has real work to do.
     const double jitter = rng->Uniform(0.85, 1.15);

@@ -30,7 +30,9 @@ std::vector<FirstCycleData> MakeCorpus(int vehicles) {
   ColdStartOptions options;
   std::vector<FirstCycleData> corpus;
   for (int v = 0; v < vehicles; ++v) {
-    auto data = ExtractFirstCycle("t" + std::to_string(v),
+    // std::string("t") + ...: the char* + string&& operator+ overload trips
+    // GCC 12's -Wrestrict false positive at -O2.
+    auto data = ExtractFirstCycle(std::string("t") + std::to_string(v),
                                   SimulatedVehicle(100 + v), kTv, options);
     if (data.ok()) corpus.push_back(std::move(data).ValueOrDie());
   }

@@ -175,7 +175,8 @@ TEST(FleetSchedulerTest, SemiNewVehicleGetsSimModel) {
 TEST(FleetSchedulerTest, FleetForecastSortsByUrgency) {
   FleetScheduler scheduler(FastOptions());
   for (int v = 0; v < 3; ++v) {
-    const std::string id = "v" + std::to_string(v);
+    // std::string("v") + ...: GCC 12 -Wrestrict false positive at -O2.
+    const std::string id = std::string("v") + std::to_string(v);
     ASSERT_TRUE(scheduler.RegisterVehicle(id, Day(0)).ok());
     ASSERT_TRUE(
         scheduler.IngestSeries(id, SimulatedVehicle(30 + v, 700)).ok());
@@ -322,7 +323,8 @@ std::pair<std::string, std::vector<MaintenanceForecast>> TrainAndForecast(
   options.num_threads = num_threads;
   FleetScheduler scheduler(options);
   for (int v = 0; v < 4; ++v) {
-    const std::string id = "v" + std::to_string(v);
+    // std::string("v") + ...: GCC 12 -Wrestrict false positive at -O2.
+    const std::string id = std::string("v") + std::to_string(v);
     EXPECT_TRUE(scheduler.RegisterVehicle(id, Day(0)).ok());
     // Mixed history lengths: old and cold-start vehicles.
     EXPECT_TRUE(
