@@ -42,9 +42,9 @@ struct ParsedArgs {
   /// Flag value or `fallback` when absent.
   std::string FlagOr(const std::string& name, std::string fallback) const;
   /// Integer flag; DataError on unparsable values.
-  Result<int64_t> IntFlagOr(const std::string& name, int64_t fallback) const;
+  [[nodiscard]] Result<int64_t> IntFlagOr(const std::string& name, int64_t fallback) const;
   /// Double flag; DataError on unparsable values.
-  Result<double> DoubleFlagOr(const std::string& name,
+  [[nodiscard]] Result<double> DoubleFlagOr(const std::string& name,
                               double fallback) const;
 };
 
@@ -54,14 +54,14 @@ struct ParsedArgs {
 ParsedArgs ParseArgs(const std::vector<std::string>& args);
 
 /// Command entry points. `out` receives human-readable results.
-Status RunSimulate(const ParsedArgs& args, std::ostream& out);
-Status RunForecast(const ParsedArgs& args, std::ostream& out);
-Status RunPlan(const ParsedArgs& args, std::ostream& out);
-Status RunEvaluate(const ParsedArgs& args, std::ostream& out);
+[[nodiscard]] Status RunSimulate(const ParsedArgs& args, std::ostream& out);
+[[nodiscard]] Status RunForecast(const ParsedArgs& args, std::ostream& out);
+[[nodiscard]] Status RunPlan(const ParsedArgs& args, std::ostream& out);
+[[nodiscard]] Status RunEvaluate(const ParsedArgs& args, std::ostream& out);
 
 /// Dispatches to the command named by the first positional argument.
 /// Unknown or missing commands return InvalidArgument with a usage string.
-Status RunCommand(const std::vector<std::string>& args, std::ostream& out);
+[[nodiscard]] Status RunCommand(const std::vector<std::string>& args, std::ostream& out);
 
 /// One-paragraph usage text.
 std::string UsageText();

@@ -38,10 +38,10 @@ class Date {
 
   /// Constructs a date from civil year/month/day. Returns
   /// InvalidArgument for out-of-range month/day combinations.
-  static Result<Date> FromYmd(int year, int month, int day);
+  [[nodiscard]] static Result<Date> FromYmd(int year, int month, int day);
 
   /// Parses "YYYY-MM-DD".
-  static Result<Date> Parse(const std::string& text);
+  [[nodiscard]] static Result<Date> Parse(const std::string& text);
 
   /// Days since 1970-01-01.
   int64_t day_number() const { return days_; }

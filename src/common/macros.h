@@ -31,6 +31,15 @@
 #define NM_CONCAT_IMPL(a, b) a##b
 #define NM_CONCAT(a, b) NM_CONCAT_IMPL(a, b)
 
+/// Explicitly discards a Status (or Result) that is intentionally ignored.
+///
+/// `Status` is [[nodiscard]] and `nextmaint_lint` rejects bare discarding
+/// call statements, so every dropped error must be voided through this macro.
+/// Acceptable only when failure is handled out of band or genuinely benign
+/// (e.g. best-effort cleanup on an already-failing path); say why in a
+/// comment at the call site.
+#define NEXTMAINT_IGNORE_STATUS(expr) static_cast<void>(expr)
+
 /// Evaluates an expression returning Status; propagates non-OK statuses to
 /// the caller.
 #define NM_RETURN_NOT_OK(expr)                       \

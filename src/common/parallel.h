@@ -77,7 +77,7 @@ class ThreadPool {
   /// pool's full `thread_count()`. Returns OK iff every chunk returned OK,
   /// otherwise the status of the lowest-indexed failing chunk. A chunk that
   /// throws has its exception rethrown here after all chunks finish.
-  Status ParallelFor(size_t begin, size_t end, size_t grain, const Body& body,
+  [[nodiscard]] Status ParallelFor(size_t begin, size_t end, size_t grain, const Body& body,
                      int max_parallelism = 0);
 
   /// The process-wide default pool used by the free `ParallelFor`. Created
@@ -119,7 +119,7 @@ int ResolveThreadCount(int requested);
 /// `ThreadPool::Default().ParallelFor(...)` capped at `num_threads`
 /// (resolved through `ResolveThreadCount`). The workhorse for call sites
 /// whose Options carry a `num_threads` field.
-Status ParallelFor(size_t begin, size_t end, size_t grain,
+[[nodiscard]] Status ParallelFor(size_t begin, size_t end, size_t grain,
                    const ThreadPool::Body& body, int num_threads = 0);
 
 }  // namespace nextmaint

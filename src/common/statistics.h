@@ -37,7 +37,7 @@ double Median(std::vector<double> values);
 /// Pearson correlation between two equal-length series. Returns
 /// NumericError when either series has zero variance, InvalidArgument on a
 /// length mismatch or fewer than 2 points.
-Result<double> PearsonCorrelation(const std::vector<double>& a,
+[[nodiscard]] Result<double> PearsonCorrelation(const std::vector<double>& a,
                                   const std::vector<double>& b);
 
 /// Mean absolute difference between paired elements; the paper's

@@ -48,7 +48,11 @@ const char* StatusCodeName(StatusCode code);
 /// An OK status is represented without allocation; error statuses carry a
 /// code and a human-readable message. Statuses are cheap to move and
 /// relatively cheap to copy.
-class Status {
+///
+/// The class is [[nodiscard]]: a caller that drops a returned Status on the
+/// floor fails to compile under NEXTMAINT_WERROR. Deliberately ignoring an
+/// error requires the explicit NEXTMAINT_IGNORE_STATUS macro (macros.h).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -124,9 +128,10 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 ///
 /// Holds either a value or a non-OK Status. Accessing the value of an
 /// errored Result aborts the process (programmer error), so callers must
-/// test `ok()` first or use the NM_ASSIGN_OR_RETURN macro.
+/// test `ok()` first or use the NM_ASSIGN_OR_RETURN macro. Like Status,
+/// the class is [[nodiscard]].
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value` (implicit by design so
   /// that `return value;` works in functions returning Result<T>).
@@ -162,9 +167,9 @@ class Result {
   }
 
   /// Returns the value, or `fallback` when errored.
-  T ValueOr(T fallback) const& {
-    return ok() ? *value_ : std::move(fallback);
-  }
+  /// Implemented via optional::value_or: dereferencing value_ behind an
+  /// ok() test trips GCC 12's -Wmaybe-uninitialized false positive at -O2.
+  T ValueOr(T fallback) const& { return value_.value_or(std::move(fallback)); }
 
  private:
   void AbortIfError() const;

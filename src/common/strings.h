@@ -24,10 +24,10 @@ std::string Join(const std::vector<std::string>& parts,
                  std::string_view separator);
 
 /// Parses a double. Rejects trailing garbage and empty input.
-Result<double> ParseDouble(std::string_view text);
+[[nodiscard]] Result<double> ParseDouble(std::string_view text);
 
 /// Parses a signed 64-bit integer. Rejects trailing garbage and empty input.
-Result<int64_t> ParseInt64(std::string_view text);
+[[nodiscard]] Result<int64_t> ParseInt64(std::string_view text);
 
 /// True when `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);

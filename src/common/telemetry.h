@@ -261,7 +261,7 @@ std::string RenderText(const MetricsSnapshot& snapshot);
 std::string RenderJson(const MetricsSnapshot& snapshot);
 
 /// Writes RenderJson(snapshot) to `path` (IOError on failure).
-Status WriteJsonFile(const MetricsSnapshot& snapshot,
+[[nodiscard]] Status WriteJsonFile(const MetricsSnapshot& snapshot,
                      const std::string& path);
 
 }  // namespace telemetry

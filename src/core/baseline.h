@@ -33,21 +33,21 @@ class BaselinePredictor final : public ml::Regressor {
   /// it back out.
   BaselinePredictor(double avg_utilization_s, double l_scale = 1.0);
 
-  Result<double> Predict(std::span<const double> features) const override;
+  [[nodiscard]] Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "BL"; }
   bool is_fitted() const override { return true; }
   std::unique_ptr<ml::Regressor> Clone() const override {
     return std::make_unique<BaselinePredictor>(*this);
   }
-  Status Save(std::ostream& out) const override;
+  [[nodiscard]] Status Save(std::ostream& out) const override;
 
   /// Reads a model body serialized by Save (header already consumed).
-  static Result<BaselinePredictor> LoadBody(std::istream& in);
+  [[nodiscard]] static Result<BaselinePredictor> LoadBody(std::istream& in);
 
   double avg_utilization_s() const { return avg_utilization_s_; }
 
  protected:
-  Status FitImpl(const ml::Dataset& train) override;
+  [[nodiscard]] Status FitImpl(const ml::Dataset& train) override;
 
  private:
   double avg_utilization_s_;
@@ -56,12 +56,12 @@ class BaselinePredictor final : public ml::Regressor {
 
 /// Loads any serialized model: the problem-specific BL predictor or one of
 /// the generic ml zoo (see ml/serialization.h).
-Result<std::unique_ptr<ml::Regressor>> LoadAnyModel(std::istream& in);
+[[nodiscard]] Result<std::unique_ptr<ml::Regressor>> LoadAnyModel(std::istream& in);
 
 /// AVG_v over the first `train_days` days of a utilization series (Eq. 5);
 /// when train_days is 0 the whole series is used. Fails when the average is
 /// zero (a never-used vehicle admits no BL prediction).
-Result<double> AverageUtilization(const data::DailySeries& u,
+[[nodiscard]] Result<double> AverageUtilization(const data::DailySeries& u,
                                   size_t train_days = 0);
 
 }  // namespace core

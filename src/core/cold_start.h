@@ -58,14 +58,14 @@ struct FirstCycleData {
 
 /// Extracts first-cycle training material from an old vehicle's usage
 /// series. Fails when the vehicle has no completed cycle.
-Result<FirstCycleData> ExtractFirstCycle(const std::string& vehicle_id,
+[[nodiscard]] Result<FirstCycleData> ExtractFirstCycle(const std::string& vehicle_id,
                                          const data::DailySeries& u,
                                          double maintenance_interval_s,
                                          const ColdStartOptions& options);
 
 /// Trains Model_Uni: one `algorithm` model on the union of the given
 /// first-cycle datasets.
-Result<std::unique_ptr<ml::Regressor>> TrainUnifiedModel(
+[[nodiscard]] Result<std::unique_ptr<ml::Regressor>> TrainUnifiedModel(
     const std::string& algorithm, const std::vector<FirstCycleData>& corpus,
     const ColdStartOptions& options);
 
@@ -77,7 +77,7 @@ struct SimilarityModel {
   std::unique_ptr<ml::Regressor> model;
   SimilarityMatch match;
 };
-Result<SimilarityModel> TrainSimilarityModel(
+[[nodiscard]] Result<SimilarityModel> TrainSimilarityModel(
     const std::string& algorithm,
     const std::vector<double>& target_first_half_usage,
     const std::vector<FirstCycleData>& corpus,
@@ -86,14 +86,14 @@ Result<SimilarityModel> TrainSimilarityModel(
 /// The semi-new BL baseline: AVG over the first half of the target's first
 /// cycle (Section 4.4.1). Fails when less than half a cycle of usage exists
 /// (the vehicle would be "new") or the average is zero.
-Result<std::unique_ptr<ml::Regressor>> MakeSemiNewBaseline(
+[[nodiscard]] Result<std::unique_ptr<ml::Regressor>> MakeSemiNewBaseline(
     const data::DailySeries& u, double maintenance_interval_s,
     const ColdStartOptions& options);
 
 /// Utilization values of the first half of the first cycle: days until
 /// cumulative usage reaches T_v/2 (inclusive). Fails when total usage is
 /// below T_v/2.
-Result<std::vector<double>> FirstHalfCycleUsage(const data::DailySeries& u,
+[[nodiscard]] Result<std::vector<double>> FirstHalfCycleUsage(const data::DailySeries& u,
                                                 double maintenance_interval_s);
 
 /// Evaluation of one cold-start model on one test vehicle.
@@ -112,7 +112,7 @@ struct ColdStartEvaluation {
 /// cycle. `compute_emre` selects the semi-new metric (E_MRE) in addition to
 /// E_Global; for new vehicles the paper argues E_MRE is meaningless and
 /// only E_Global is reported.
-Result<ColdStartEvaluation> EvaluateColdStartModel(
+[[nodiscard]] Result<ColdStartEvaluation> EvaluateColdStartModel(
     const ml::Regressor& model, const data::DailySeries& test_u,
     double maintenance_interval_s, const ColdStartOptions& options,
     bool compute_emre);

@@ -57,12 +57,12 @@ struct DatasetOptions {
 /// Builds the relational dataset of one vehicle from its derived series.
 /// Records cover days t with W <= t < size where D(t) is defined. Fails
 /// when no record survives (e.g. window longer than the series).
-Result<ml::Dataset> BuildDataset(const VehicleSeries& series,
+[[nodiscard]] Result<ml::Dataset> BuildDataset(const VehicleSeries& series,
                                  const DatasetOptions& options);
 
 /// Builds the feature row for day `t` of `series` (no target needed), e.g.
 /// for predicting on the current day in deployment. Fails when t < W.
-Result<std::vector<double>> BuildFeatureRow(const VehicleSeries& series,
+[[nodiscard]] Result<std::vector<double>> BuildFeatureRow(const VehicleSeries& series,
                                             size_t t,
                                             const DatasetOptions& options);
 
@@ -83,7 +83,7 @@ struct ResamplingOptions {
 /// Builds the union of the unshifted dataset and `num_shifts` datasets
 /// derived after dropping a random prefix of the utilization series (which
 /// re-phases every maintenance cycle). Duplicated shift draws are allowed.
-Result<ml::Dataset> BuildResampledDataset(const data::DailySeries& u,
+[[nodiscard]] Result<ml::Dataset> BuildResampledDataset(const data::DailySeries& u,
                                           double maintenance_interval_s,
                                           const DatasetOptions& options,
                                           const ResamplingOptions& resampling);

@@ -55,7 +55,7 @@ class DriftDetector {
   /// `reference_mean` / `reference_std` describe the training-period usage
   /// distribution; std must be positive (a constant reference cannot be
   /// monitored this way).
-  static Result<DriftDetector> Create(double reference_mean,
+  [[nodiscard]] static Result<DriftDetector> Create(double reference_mean,
                                       double reference_std,
                                       const DriftOptions& options = {});
 
@@ -88,7 +88,7 @@ class DriftDetector {
 /// Convenience batch API: fits the reference on `series[0..train_days)` and
 /// monitors the remainder. Fails when train_days leaves nothing to monitor
 /// or the training window has (near-)zero variance.
-Result<DriftReport> DetectUsageDrift(const data::DailySeries& series,
+[[nodiscard]] Result<DriftReport> DetectUsageDrift(const data::DailySeries& series,
                                      size_t train_days,
                                      const DriftOptions& options = {});
 

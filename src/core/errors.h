@@ -44,20 +44,20 @@ class DaySet {
 
 /// Per-day errors E(t) = truth - predicted. Entries where the truth is NaN
 /// (undefined target) come back NaN. Fails on length mismatch.
-Result<std::vector<double>> DailyErrors(const std::vector<double>& truth,
+[[nodiscard]] Result<std::vector<double>> DailyErrors(const std::vector<double>& truth,
                                         const std::vector<double>& predicted);
 
 /// E_Global: the mean |E(t)| over all days with a defined target
 /// (signed = true gives the raw mean of Eq. 3). Fails when no day has a
 /// defined target.
-Result<double> GlobalError(const std::vector<double>& truth,
+[[nodiscard]] Result<double> GlobalError(const std::vector<double>& truth,
                            const std::vector<double>& predicted,
                            bool signed_mean = false);
 
 /// E_MRE(D~): the mean |E(t)| restricted to days whose true target lies in
 /// `days` (signed = true gives the raw mean of Eq. 4). Fails when the
 /// restriction is empty.
-Result<double> MeanResidualError(const std::vector<double>& truth,
+[[nodiscard]] Result<double> MeanResidualError(const std::vector<double>& truth,
                                  const std::vector<double>& predicted,
                                  const DaySet& days,
                                  bool signed_mean = false);

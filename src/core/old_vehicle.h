@@ -75,7 +75,7 @@ struct VehicleEvaluation {
 /// the training window and one evaluable day in the test window; fails with
 /// InvalidArgument otherwise (callers skip such vehicles, as the paper's
 /// old-vehicle protocol presumes enough history).
-Result<VehicleEvaluation> EvaluateAlgorithmOnVehicle(
+[[nodiscard]] Result<VehicleEvaluation> EvaluateAlgorithmOnVehicle(
     const std::string& algorithm, const data::DailySeries& u,
     double maintenance_interval_s, const OldVehicleOptions& options);
 
@@ -86,7 +86,7 @@ struct ModelSelectionResult {
   std::vector<VehicleEvaluation> evaluations;
   size_t best_index = 0;
 };
-Result<ModelSelectionResult> SelectBestModelForVehicle(
+[[nodiscard]] Result<ModelSelectionResult> SelectBestModelForVehicle(
     const std::vector<std::string>& algorithms, const data::DailySeries& u,
     double maintenance_interval_s, const OldVehicleOptions& options);
 

@@ -72,18 +72,18 @@ class FleetScheduler {
 
   /// Registers a vehicle whose data starts on `first_day`.
   /// Fails with AlreadyExists on duplicates.
-  Status RegisterVehicle(const std::string& id, Date first_day);
+  [[nodiscard]] Status RegisterVehicle(const std::string& id, Date first_day);
 
   /// Appends one day of utilization. Days must be ingested in order with
   /// no gaps (the telematics collector guarantees this; absent telemetry
   /// should be ingested as 0 or repaired upstream).
-  Status IngestUsage(const std::string& id, Date day, double seconds);
+  [[nodiscard]] Status IngestUsage(const std::string& id, Date day, double seconds);
 
   /// Bulk ingestion of a gap-free series (replaces prior data).
-  Status IngestSeries(const std::string& id, const data::DailySeries& series);
+  [[nodiscard]] Status IngestSeries(const std::string& id, const data::DailySeries& series);
 
   /// Current category of a vehicle.
-  Result<VehicleCategory> CategoryOf(const std::string& id) const;
+  [[nodiscard]] Result<VehicleCategory> CategoryOf(const std::string& id) const;
 
   /// Registered ids, sorted.
   std::vector<std::string> VehicleIds() const;
@@ -97,43 +97,43 @@ class FleetScheduler {
   /// Vehicles whose category has no viable model (e.g. a new vehicle in a
   /// fleet with no old vehicles) are left untrained; Forecast reports the
   /// failure for them.
-  Status TrainAll();
+  [[nodiscard]] Status TrainAll();
 
   /// Predicts the next maintenance for one vehicle (requires TrainAll).
-  Result<MaintenanceForecast> Forecast(const std::string& id) const;
+  [[nodiscard]] Result<MaintenanceForecast> Forecast(const std::string& id) const;
 
   /// Forecasts for every vehicle that has a trained model, sorted by
   /// predicted date (most urgent first).
-  Result<std::vector<MaintenanceForecast>> FleetForecast() const;
+  [[nodiscard]] Result<std::vector<MaintenanceForecast>> FleetForecast() const;
 
   /// Persists every trained per-vehicle model to `out` as a sequence of
   /// "vehicle <id> <model-name>" headers followed by the model's text
   /// serialization. Untrained vehicles are skipped. The usage data itself
   /// is not saved (it lives in the telematics store); re-ingest it before
   /// forecasting with loaded models.
-  Status SaveModels(std::ostream& out) const;
+  [[nodiscard]] Status SaveModels(std::ostream& out) const;
 
   /// Convenience overload: writes SaveModels output to `path` (IOError when
   /// the file cannot be created or written).
-  Status SaveModels(const std::string& path) const;
+  [[nodiscard]] Status SaveModels(const std::string& path) const;
 
   /// Runs the CUSUM usage-drift monitor for one vehicle: the reference
   /// distribution is fitted on the first `reference_fraction` of its
   /// history and the remainder is monitored. A detected drift means the
   /// vehicle's model was trained on a usage regime that no longer holds —
   /// retrain (TrainAll) and reset. See core/drift.h.
-  Result<DriftReport> CheckDrift(const std::string& id,
+  [[nodiscard]] Result<DriftReport> CheckDrift(const std::string& id,
                                  double reference_fraction = 0.7,
                                  const DriftOptions& options = {}) const;
 
   /// Restores models saved by SaveModels. Every referenced vehicle must
   /// already be registered; models for unknown vehicles fail with
   /// NotFound. Vehicles absent from the stream keep their current model.
-  Status LoadModels(std::istream& in);
+  [[nodiscard]] Status LoadModels(std::istream& in);
 
   /// Convenience overload: reads a model file written by SaveModels(path)
   /// (IOError when the file cannot be opened).
-  Status LoadModels(const std::string& path);
+  [[nodiscard]] Status LoadModels(const std::string& path);
 
  private:
   struct VehicleState {
@@ -143,7 +143,7 @@ class FleetScheduler {
     std::string model_name;
   };
 
-  Result<const VehicleState*> FindVehicle(const std::string& id) const;
+  [[nodiscard]] Result<const VehicleState*> FindVehicle(const std::string& id) const;
 
   SchedulerOptions options_;
   std::map<std::string, VehicleState> vehicles_;

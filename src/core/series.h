@@ -74,7 +74,7 @@ struct VehicleSeries {
 /// drops the first `offset` days before deriving — the primitive behind the
 /// paper's time-shift re-sampling ("we can shift the time reference ...
 /// without introducing errors").
-Result<VehicleSeries> DeriveSeries(const data::DailySeries& u,
+[[nodiscard]] Result<VehicleSeries> DeriveSeries(const data::DailySeries& u,
                                    double maintenance_interval_s,
                                    size_t offset = 0);
 

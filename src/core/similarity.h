@@ -55,7 +55,7 @@ struct SimilarityMatch {
 /// Finds the candidate minimizing `measure(target, candidate)`. Ties break
 /// toward the earlier candidate. Fails on an empty candidate list or empty
 /// target.
-Result<SimilarityMatch> MostSimilar(const std::vector<double>& target,
+[[nodiscard]] Result<SimilarityMatch> MostSimilar(const std::vector<double>& target,
                                     const std::vector<SimilarityCandidate>& candidates,
                                     const SimilarityMeasure& measure);
 

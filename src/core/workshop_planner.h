@@ -76,7 +76,7 @@ struct ServicePlan {
 /// Vehicles already overdue (due date before `today`) are booked into the
 /// earliest available slot. Fails with InvalidArgument on non-positive
 /// capacity/horizon or a negative cost weight.
-Result<ServicePlan> PlanWorkshop(const std::vector<MaintenanceForecast>& forecasts,
+[[nodiscard]] Result<ServicePlan> PlanWorkshop(const std::vector<MaintenanceForecast>& forecasts,
                                  Date today, const WorkshopOptions& options);
 
 /// Total cost of an existing plan under (possibly different) cost weights;

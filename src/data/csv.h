@@ -33,10 +33,10 @@ struct CsvReadOptions {
 
 /// Parses a CSV document into a Table. Fails with DataError on ragged rows
 /// (rows whose field count differs from the header's).
-Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options = {});
+[[nodiscard]] Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options = {});
 
 /// Reads a CSV file from disk.
-Result<Table> ReadCsvFile(const std::string& path,
+[[nodiscard]] Result<Table> ReadCsvFile(const std::string& path,
                           const CsvReadOptions& options = {});
 
 /// Options controlling CSV output.
@@ -50,11 +50,11 @@ struct CsvWriteOptions {
 };
 
 /// Serializes a Table as CSV.
-Status WriteCsv(const Table& table, std::ostream& output,
+[[nodiscard]] Status WriteCsv(const Table& table, std::ostream& output,
                 const CsvWriteOptions& options = {});
 
 /// Writes a Table to a CSV file on disk.
-Status WriteCsvFile(const Table& table, const std::string& path,
+[[nodiscard]] Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvWriteOptions& options = {});
 
 }  // namespace data

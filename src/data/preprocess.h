@@ -81,13 +81,13 @@ void ApplyMinMax(const MinMaxParams& params, DailySeries* series);
 /// summed — exactly what the on-board controller's summary reports require.
 /// Calendar days missing entirely from the table become NaN (to be handled by
 /// Clean()); null duration cells contribute nothing but mark the day observed.
-Result<DailySeries> AggregateDaily(const Table& table,
+[[nodiscard]] Result<DailySeries> AggregateDaily(const Table& table,
                                    const std::string& date_column,
                                    const std::string& duration_column);
 
 /// Converts a daily series to a two-column table (date, value). Useful for
 /// exporting prepared data back to CSV.
-Result<Table> SeriesToTable(const DailySeries& series,
+[[nodiscard]] Result<Table> SeriesToTable(const DailySeries& series,
                             const std::string& value_column_name);
 
 }  // namespace data

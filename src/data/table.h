@@ -59,7 +59,7 @@ class Column {
 
   /// The column values as doubles (int64 widened). Null cells map to NaN.
   /// Fails with FailedPrecondition for string columns.
-  Result<std::vector<double>> AsDoubles() const;
+  [[nodiscard]] Result<std::vector<double>> AsDoubles() const;
 
  private:
   std::string name_;
@@ -77,21 +77,21 @@ class Table {
 
   /// Creates a table with the given (name, type) schema and zero rows.
   /// Fails with InvalidArgument on duplicate column names.
-  static Result<Table> Create(
+  [[nodiscard]] static Result<Table> Create(
       const std::vector<std::pair<std::string, ColumnType>>& schema);
 
   size_t num_rows() const;
   size_t num_columns() const { return columns_.size(); }
 
   /// Adds a column; must match num_rows() unless the table is empty.
-  Status AddColumn(Column column);
+  [[nodiscard]] Status AddColumn(Column column);
 
   /// Column lookup by name / index.
-  Result<const Column*> GetColumn(const std::string& name) const;
+  [[nodiscard]] Result<const Column*> GetColumn(const std::string& name) const;
   const Column& column(size_t i) const { return columns_[i]; }
   Column& mutable_column(size_t i) { return columns_[i]; }
   /// Index of the named column, or NotFound.
-  Result<size_t> ColumnIndex(const std::string& name) const;
+  [[nodiscard]] Result<size_t> ColumnIndex(const std::string& name) const;
 
   std::vector<std::string> ColumnNames() const;
 
@@ -100,13 +100,13 @@ class Table {
   Table Filter(const std::function<bool(size_t)>& predicate) const;
 
   /// Returns a table with only the named columns, in the given order.
-  Result<Table> Select(const std::vector<std::string>& names) const;
+  [[nodiscard]] Result<Table> Select(const std::vector<std::string>& names) const;
 
   /// Returns rows [offset, offset+count), clamped.
   Table Slice(size_t offset, size_t count) const;
 
   /// Appends all rows of `other`; schemas must match exactly.
-  Status Concat(const Table& other);
+  [[nodiscard]] Status Concat(const Table& other);
 
   /// Total nulls across all columns.
   size_t null_count() const;

@@ -50,10 +50,10 @@ class DailySeries {
 
   /// Value observed on `date`; NotFound when the date falls outside the
   /// covered range.
-  Result<double> At(Date date) const;
+  [[nodiscard]] Result<double> At(Date date) const;
 
   /// Index of `date` within the series; NotFound when outside the range.
-  Result<size_t> IndexOf(Date date) const;
+  [[nodiscard]] Result<size_t> IndexOf(Date date) const;
 
   /// Sub-series of `count` days starting at day index `offset`.
   /// Clamps to the available range.

@@ -23,7 +23,7 @@ class Dataset {
   Dataset() = default;
 
   /// Validates shapes and builds a dataset.
-  static Result<Dataset> Create(Matrix x, std::vector<double> y,
+  [[nodiscard]] static Result<Dataset> Create(Matrix x, std::vector<double> y,
                                 std::vector<std::string> feature_names = {});
 
   size_t num_rows() const { return x_.rows(); }
@@ -48,7 +48,7 @@ class Dataset {
   std::pair<Dataset, Dataset> SplitAt(size_t k) const;
 
   /// Appends all rows of `other`; feature counts must match.
-  Status Concat(const Dataset& other);
+  [[nodiscard]] Status Concat(const Dataset& other);
 
   /// Returns a dataset with rows in a random order (for CV fold assignment).
   Dataset Shuffled(Rng* rng) const;

@@ -41,18 +41,18 @@ class DecisionTreeRegressor final : public Regressor {
 
   /// Fits on the subset of `train` given by `indices` (duplicates allowed;
   /// this is the bootstrap entry point used by the forest).
-  Status FitIndices(const Dataset& train, const std::vector<size_t>& indices);
+  [[nodiscard]] Status FitIndices(const Dataset& train, const std::vector<size_t>& indices);
 
-  Result<double> Predict(std::span<const double> features) const override;
+  [[nodiscard]] Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "Tree"; }
   bool is_fitted() const override { return !nodes_.empty(); }
   std::unique_ptr<Regressor> Clone() const override {
     return std::make_unique<DecisionTreeRegressor>(*this);
   }
-  Status Save(std::ostream& out) const override;
+  [[nodiscard]] Status Save(std::ostream& out) const override;
 
   /// Reads a model body serialized by Save (header already consumed).
-  static Result<DecisionTreeRegressor> LoadBody(std::istream& in);
+  [[nodiscard]] static Result<DecisionTreeRegressor> LoadBody(std::istream& in);
 
   /// Sum of squared-error reduction contributed by each feature's splits,
   /// normalized to sum to 1 (all-zeros for a single-leaf tree). The classic
@@ -68,7 +68,7 @@ class DecisionTreeRegressor final : public Regressor {
   const Options& options() const { return options_; }
 
  protected:
-  Status FitImpl(const Dataset& train) override;
+  [[nodiscard]] Status FitImpl(const Dataset& train) override;
 
  private:
   struct Node {

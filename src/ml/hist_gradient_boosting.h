@@ -28,8 +28,10 @@ namespace ml {
 class BinMapper {
  public:
   /// Computes per-feature quantile boundaries from `x` (at most
-  /// max_bins bins per feature).
-  void Fit(const Matrix& x, int max_bins);
+  /// max_bins bins per feature). Named Compute rather than Fit: the Fit
+  /// name is reserved for Status-returning training entry points
+  /// (nextmaint_lint tracks those by name).
+  void Compute(const Matrix& x, int max_bins);
 
   /// Bin index of a raw value for feature `feature`.
   uint16_t BinOf(size_t feature, double value) const;
@@ -92,16 +94,16 @@ class HistGradientBoostingRegressor final : public Regressor {
   /// "learning_rate", "min_samples_leaf", "max_bins", "num_threads".
   static Options OptionsFromParams(const ParamMap& params);
 
-  Result<double> Predict(std::span<const double> features) const override;
+  [[nodiscard]] Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "XGB"; }
   bool is_fitted() const override { return fitted_; }
   std::unique_ptr<Regressor> Clone() const override {
     return std::make_unique<HistGradientBoostingRegressor>(*this);
   }
-  Status Save(std::ostream& out) const override;
+  [[nodiscard]] Status Save(std::ostream& out) const override;
 
   /// Reads a model body serialized by Save (header already consumed).
-  static Result<HistGradientBoostingRegressor> LoadBody(std::istream& in);
+  [[nodiscard]] static Result<HistGradientBoostingRegressor> LoadBody(std::istream& in);
 
   /// Number of trees in the fitted ensemble.
   size_t tree_count() const { return trees_.size(); }
@@ -121,10 +123,10 @@ class HistGradientBoostingRegressor final : public Regressor {
   const Options& options() const { return options_; }
 
  protected:
-  Status FitImpl(const Dataset& train) override;
+  [[nodiscard]] Status FitImpl(const Dataset& train) override;
   /// Per-row base_score + tree sum, trees visited in boosting order —
   /// bit-identical to looping Predict with the checks hoisted out.
-  Result<std::vector<double>> PredictBatchImpl(const Matrix& x) const override;
+  [[nodiscard]] Result<std::vector<double>> PredictBatchImpl(const Matrix& x) const override;
 
  private:
   struct TreeNode {

@@ -31,16 +31,16 @@ class LinearRegression final : public Regressor {
   /// Builds options from a ParamMap; recognised keys: "l2".
   static Options OptionsFromParams(const ParamMap& params);
 
-  Result<double> Predict(std::span<const double> features) const override;
+  [[nodiscard]] Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "LR"; }
   bool is_fitted() const override { return fitted_; }
   std::unique_ptr<Regressor> Clone() const override {
     return std::make_unique<LinearRegression>(*this);
   }
-  Status Save(std::ostream& out) const override;
+  [[nodiscard]] Status Save(std::ostream& out) const override;
 
   /// Reads a model body serialized by Save (header already consumed).
-  static Result<LinearRegression> LoadBody(std::istream& in);
+  [[nodiscard]] static Result<LinearRegression> LoadBody(std::istream& in);
 
   /// Fitted weights, one per feature (excluding the intercept).
   const std::vector<double>& weights() const { return weights_; }
@@ -48,7 +48,7 @@ class LinearRegression final : public Regressor {
   const Options& options() const { return options_; }
 
  protected:
-  Status FitImpl(const Dataset& train) override;
+  [[nodiscard]] Status FitImpl(const Dataset& train) override;
 
  private:
   Options options_;

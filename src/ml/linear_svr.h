@@ -47,16 +47,16 @@ class LinearSvr final : public Regressor {
   /// Recognised ParamMap keys: "C", "epsilon".
   static Options OptionsFromParams(const ParamMap& params);
 
-  Result<double> Predict(std::span<const double> features) const override;
+  [[nodiscard]] Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "LSVR"; }
   bool is_fitted() const override { return fitted_; }
   std::unique_ptr<Regressor> Clone() const override {
     return std::make_unique<LinearSvr>(*this);
   }
-  Status Save(std::ostream& out) const override;
+  [[nodiscard]] Status Save(std::ostream& out) const override;
 
   /// Reads a model body serialized by Save (header already consumed).
-  static Result<LinearSvr> LoadBody(std::istream& in);
+  [[nodiscard]] static Result<LinearSvr> LoadBody(std::istream& in);
 
   /// Weights in input-feature scale.
   const std::vector<double>& weights() const { return weights_; }
@@ -66,7 +66,7 @@ class LinearSvr final : public Regressor {
   const Options& options() const { return options_; }
 
  protected:
-  Status FitImpl(const Dataset& train) override;
+  [[nodiscard]] Status FitImpl(const Dataset& train) override;
 
  private:
   Options options_;

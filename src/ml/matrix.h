@@ -92,14 +92,14 @@ class Matrix {
 /// Solves A x = b for symmetric positive-definite A via Cholesky
 /// factorization. Returns NumericError when A is not positive definite
 /// (within tolerance). A is n x n, b has length n.
-Result<std::vector<double>> CholeskySolve(const Matrix& a,
+[[nodiscard]] Result<std::vector<double>> CholeskySolve(const Matrix& a,
                                           std::span<const double> b);
 
 /// Solves the ridge-regularized least squares problem
 ///   min_w ||X w - y||^2 + l2 * ||w||^2
 /// via the normal equations (X^T X + l2 I) w = X^T y.
 /// With l2 = 0 a tiny jitter is retried on numerically singular systems.
-Result<std::vector<double>> SolveLeastSquares(const Matrix& x,
+[[nodiscard]] Result<std::vector<double>> SolveLeastSquares(const Matrix& x,
                                               std::span<const double> y,
                                               double l2 = 0.0);
 

@@ -14,20 +14,20 @@ namespace nextmaint {
 namespace ml {
 
 /// Mean squared error. Fails on length mismatch or empty input.
-Result<double> MeanSquaredError(const std::vector<double>& truth,
+[[nodiscard]] Result<double> MeanSquaredError(const std::vector<double>& truth,
                                 const std::vector<double>& predicted);
 
 /// Root mean squared error.
-Result<double> RootMeanSquaredError(const std::vector<double>& truth,
+[[nodiscard]] Result<double> RootMeanSquaredError(const std::vector<double>& truth,
                                     const std::vector<double>& predicted);
 
 /// Mean absolute error.
-Result<double> MeanAbsoluteError(const std::vector<double>& truth,
+[[nodiscard]] Result<double> MeanAbsoluteError(const std::vector<double>& truth,
                                  const std::vector<double>& predicted);
 
 /// Coefficient of determination R^2. Returns NumericError when the truth is
 /// constant (undefined denominator).
-Result<double> R2Score(const std::vector<double>& truth,
+[[nodiscard]] Result<double> R2Score(const std::vector<double>& truth,
                        const std::vector<double>& predicted);
 
 }  // namespace ml

@@ -30,7 +30,7 @@ struct FoldSplit {
 /// randomized with `seed`; otherwise folds are contiguous blocks (preserving
 /// time order, which avoids leakage for autocorrelated series).
 /// Fails when k < 2 or k > n.
-Result<std::vector<FoldSplit>> KFoldSplits(size_t n, size_t k, bool shuffle,
+[[nodiscard]] Result<std::vector<FoldSplit>> KFoldSplits(size_t n, size_t k, bool shuffle,
                                            uint64_t seed = 0);
 
 /// Cartesian hyper-parameter grid: each key maps to its candidate values.
@@ -81,7 +81,7 @@ struct GridSearchOptions {
 /// `score` (defaults to MAE when null). Returns the argmin combination.
 /// Individual fold failures (e.g. a degenerate fold) fail the whole search:
 /// silent skipping would bias the selection.
-Result<GridSearchResult> GridSearchCV(const RegressorFactory& factory,
+[[nodiscard]] Result<GridSearchResult> GridSearchCV(const RegressorFactory& factory,
                                       const ParamGrid& grid,
                                       const Dataset& train,
                                       const GridSearchOptions& options = {},

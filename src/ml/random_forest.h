@@ -45,16 +45,16 @@ class RandomForestRegressor final : public Regressor {
   /// "min_samples_leaf", "num_threads".
   static Options OptionsFromParams(const ParamMap& params);
 
-  Result<double> Predict(std::span<const double> features) const override;
+  [[nodiscard]] Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "RF"; }
   bool is_fitted() const override { return !trees_.empty(); }
   std::unique_ptr<Regressor> Clone() const override {
     return std::make_unique<RandomForestRegressor>(*this);
   }
-  Status Save(std::ostream& out) const override;
+  [[nodiscard]] Status Save(std::ostream& out) const override;
 
   /// Reads a model body serialized by Save (header already consumed).
-  static Result<RandomForestRegressor> LoadBody(std::istream& in);
+  [[nodiscard]] static Result<RandomForestRegressor> LoadBody(std::istream& in);
 
   /// Mean impurity-based feature importances across the trees (normalized
   /// to sum to 1; zeros when every tree is a stump).
@@ -67,7 +67,7 @@ class RandomForestRegressor final : public Regressor {
     double mean = 0.0;
     double stddev = 0.0;
   };
-  Result<PredictionInterval> PredictWithSpread(
+  [[nodiscard]] Result<PredictionInterval> PredictWithSpread(
       std::span<const double> features) const;
 
   size_t tree_count() const { return trees_.size(); }
@@ -79,11 +79,11 @@ class RandomForestRegressor final : public Regressor {
   double oob_mae() const { return oob_mae_; }
 
  protected:
-  Status FitImpl(const Dataset& train) override;
+  [[nodiscard]] Status FitImpl(const Dataset& train) override;
   /// Per-row tree-sum average, trees visited in order — bit-identical to
   /// looping Predict, but with the virtual dispatch and fitted checks
   /// hoisted out of the row loop.
-  Result<std::vector<double>> PredictBatchImpl(const Matrix& x) const override;
+  [[nodiscard]] Result<std::vector<double>> PredictBatchImpl(const Matrix& x) const override;
 
  private:
   Options options_;

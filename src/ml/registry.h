@@ -25,12 +25,12 @@ std::vector<std::string> RegisteredModelNames();
 /// Builds a model by name with the given hyper-parameters (each model
 /// documents its recognised keys on its OptionsFromParams). Unknown names
 /// fail with NotFound.
-Result<std::unique_ptr<Regressor>> MakeRegressor(const std::string& name,
+[[nodiscard]] Result<std::unique_ptr<Regressor>> MakeRegressor(const std::string& name,
                                                  const ParamMap& params = {});
 
 /// Returns a factory that builds `name` models (for GridSearchCV).
 /// The name is validated immediately.
-Result<RegressorFactory> MakeFactory(const std::string& name);
+[[nodiscard]] Result<RegressorFactory> MakeFactory(const std::string& name);
 
 /// The default hyper-parameter grid the paper sweeps for each model:
 ///   RF / XGB: max depth 3..50, estimators 10..1000;

@@ -42,7 +42,7 @@ class Regressor {
 
   /// Trains the model. Returns InvalidArgument for empty or non-finite
   /// data, NumericError when optimization fails.
-  Status Fit(const Dataset& train);
+  [[nodiscard]] Status Fit(const Dataset& train);
 
   /// Predicts the target for one feature row. The length must equal the
   /// training feature count.
@@ -51,7 +51,7 @@ class Regressor {
   /// Predicts a batch in one call. Equivalent to looping Predict over the
   /// rows (bit-identical results), but lets models amortize per-call
   /// overhead; RF and XGB override the loop.
-  Result<std::vector<double>> PredictBatch(const Matrix& x) const;
+  [[nodiscard]] Result<std::vector<double>> PredictBatch(const Matrix& x) const;
 
   /// Short identifier, e.g. "LR", "LSVR", "RF", "XGB".
   virtual std::string name() const = 0;

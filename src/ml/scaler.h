@@ -20,17 +20,17 @@ namespace ml {
 class MinMaxScaler {
  public:
   /// Learns per-column min/max. Fails on an empty matrix.
-  Status Fit(const Matrix& x);
+  [[nodiscard]] Status Fit(const Matrix& x);
 
   /// Maps each column through (v - min) / (max - min); constant columns
   /// map to 0. Must be fitted; column count must match.
-  Result<Matrix> Transform(const Matrix& x) const;
+  [[nodiscard]] Result<Matrix> Transform(const Matrix& x) const;
 
   /// Fit followed by Transform on the same data.
-  Result<Matrix> FitTransform(const Matrix& x);
+  [[nodiscard]] Result<Matrix> FitTransform(const Matrix& x);
 
   /// Inverse mapping for column `col`.
-  Result<double> InverseTransform(size_t col, double scaled) const;
+  [[nodiscard]] Result<double> InverseTransform(size_t col, double scaled) const;
 
   bool is_fitted() const { return !mins_.empty(); }
   const std::vector<double>& mins() const { return mins_; }
@@ -44,9 +44,9 @@ class MinMaxScaler {
 /// Scales each column to zero mean and unit variance.
 class StandardScaler {
  public:
-  Status Fit(const Matrix& x);
-  Result<Matrix> Transform(const Matrix& x) const;
-  Result<Matrix> FitTransform(const Matrix& x);
+  [[nodiscard]] Status Fit(const Matrix& x);
+  [[nodiscard]] Result<Matrix> Transform(const Matrix& x) const;
+  [[nodiscard]] Result<Matrix> FitTransform(const Matrix& x);
 
   bool is_fitted() const { return !means_.empty(); }
   const std::vector<double>& means() const { return means_; }

@@ -31,16 +31,16 @@ inline constexpr const char* kModelVersion = "v1";
 /// Reads the "nextmaint-model v1 <name>" header and returns the model name,
 /// leaving the stream positioned at the model body. Fails with DataError on
 /// malformed or version-mismatched headers.
-Result<std::string> ReadModelHeader(std::istream& in);
+[[nodiscard]] Result<std::string> ReadModelHeader(std::istream& in);
 
 /// Reconstructs a model serialized by Regressor::Save. Fails with NotFound
 /// for model names this reader does not know (e.g. "BL" — see
 /// core::LoadAnyModel).
-Result<std::unique_ptr<Regressor>> LoadRegressor(std::istream& in);
+[[nodiscard]] Result<std::unique_ptr<Regressor>> LoadRegressor(std::istream& in);
 
 /// Loads a model whose header has already been consumed (used by
 /// LoadRegressor and by core::LoadAnyModel to dispatch on the name).
-Result<std::unique_ptr<Regressor>> LoadRegressorBody(
+[[nodiscard]] Result<std::unique_ptr<Regressor>> LoadRegressorBody(
     const std::string& name, std::istream& in);
 
 }  // namespace ml

@@ -67,7 +67,7 @@ struct CanDayOptions {
 /// target working time is met; signal values follow the regime.
 /// Total working time across frames matches `working_seconds` up to frame
 /// granularity. Fails on out-of-range options.
-Result<std::vector<CanFrame>> SimulateCanDay(const CanDayOptions& options,
+[[nodiscard]] Result<std::vector<CanFrame>> SimulateCanDay(const CanDayOptions& options,
                                              Rng* rng);
 
 /// Sums the working time represented by a frame sequence, in seconds

@@ -51,7 +51,7 @@ struct ControllerOptions {
 /// Windows one day of CAN frames into summary reports. Windows with no
 /// frames produce no report (the cloud treats absent windows as zero usage).
 /// Frames must be time-ordered; fails with DataError otherwise.
-Result<std::vector<SummaryReport>> SummarizeDay(
+[[nodiscard]] Result<std::vector<SummaryReport>> SummarizeDay(
     const std::string& vehicle_id, Date date,
     const std::vector<CanFrame>& frames, const ControllerOptions& options);
 
@@ -67,12 +67,12 @@ class ReportCollector {
   /// All reports of one vehicle as a relational table with columns
   /// (date: string, window_start_s, working_seconds, mean_engine_rpm,
   /// max_coolant_temp_c, min_oil_pressure_kpa, message_count).
-  Result<data::Table> ReportsTable(const std::string& vehicle_id) const;
+  [[nodiscard]] Result<data::Table> ReportsTable(const std::string& vehicle_id) const;
 
   /// Daily utilization series of one vehicle: the aggregation step of the
   /// preparation pipeline applied to the report table. Days inside the
   /// observed range with no reports come back as NaN for the cleaning step.
-  Result<data::DailySeries> DailyUtilization(
+  [[nodiscard]] Result<data::DailySeries> DailyUtilization(
       const std::string& vehicle_id) const;
 
  private:

@@ -40,7 +40,7 @@ struct Fleet {
   WeatherSeries weather;
 
   /// Lookup by vehicle id; NotFound when absent.
-  Result<const VehicleHistory*> Find(const std::string& id) const;
+  [[nodiscard]] Result<const VehicleHistory*> Find(const std::string& id) const;
 };
 
 /// Options for fleet construction.
@@ -74,11 +74,11 @@ struct FleetOptions {
 std::vector<VehicleProfile> DefaultFleetProfiles(int num_vehicles, Rng* rng);
 
 /// Simulates the full history of a fleet with the default profiles.
-Result<Fleet> SimulateFleet(const FleetOptions& options);
+[[nodiscard]] Result<Fleet> SimulateFleet(const FleetOptions& options);
 
 /// Simulates the full history of a fleet with caller-provided profiles
 /// (each profile is validated).
-Result<Fleet> SimulateFleetWithProfiles(
+[[nodiscard]] Result<Fleet> SimulateFleetWithProfiles(
     const FleetOptions& options, const std::vector<VehicleProfile>& profiles);
 
 /// Simulates one vehicle: iterates the usage model day by day, tracks
@@ -87,7 +87,7 @@ Result<Fleet> SimulateFleetWithProfiles(
 /// cycle). The first-cycle usage reduction ends at the first event.
 /// When `weather` is non-null (its size must cover num_days) each day's
 /// utilization is scaled by the day's workability factor.
-Result<VehicleHistory> SimulateVehicle(const VehicleProfile& profile,
+[[nodiscard]] Result<VehicleHistory> SimulateVehicle(const VehicleProfile& profile,
                                        Date start_date, int num_days,
                                        double missing_day_fraction, Rng* rng,
                                        const WeatherSeries* weather = nullptr);
