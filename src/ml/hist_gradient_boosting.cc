@@ -12,7 +12,7 @@
 namespace nextmaint {
 namespace ml {
 
-void BinMapper::Fit(const Matrix& x, int max_bins) {
+void BinMapper::Compute(const Matrix& x, int max_bins) {
   NM_CHECK(max_bins >= 2 && max_bins <= 65535);
   thresholds_.assign(x.cols(), {});
   std::vector<double> values;
@@ -145,7 +145,7 @@ Status HistGradientBoostingRegressor::FitImpl(const Dataset& train) {
   const size_t valid_rows = total_rows - n;
   num_features_ = train.num_features();
 
-  bins_.Fit(train.x(), options_.max_bins);
+  bins_.Compute(train.x(), options_.max_bins);
 
   // Column-major binned representation for cache-friendly histogram fills.
   // Features are binned independently (one column per task), so the

@@ -434,7 +434,7 @@ TEST(BinMapperTest, QuantileBinsAreMonotone) {
   Matrix x(1000, 1);
   for (size_t r = 0; r < 1000; ++r) x(r, 0) = rng.Normal(0, 1);
   BinMapper mapper;
-  mapper.Fit(x, 16);
+  mapper.Compute(x, 16);
   EXPECT_LE(mapper.BinCount(0), 16u);
   // Bins are monotone in the raw value.
   uint16_t prev = mapper.BinOf(0, -10.0);
@@ -450,7 +450,7 @@ TEST(BinMapperTest, FewDistinctValuesOneBinEach) {
   const double values[] = {1, 1, 2, 2, 3, 3};
   for (size_t r = 0; r < 6; ++r) x(r, 0) = values[r];
   BinMapper mapper;
-  mapper.Fit(x, 256);
+  mapper.Compute(x, 256);
   EXPECT_EQ(mapper.BinCount(0), 3u);
   EXPECT_NE(mapper.BinOf(0, 1.0), mapper.BinOf(0, 2.0));
   EXPECT_NE(mapper.BinOf(0, 2.0), mapper.BinOf(0, 3.0));
@@ -461,7 +461,7 @@ TEST(BinMapperTest, UpperBoundBracketsBin) {
   const double values[] = {0.0, 1.0, 2.0, 3.0};
   for (size_t r = 0; r < 4; ++r) x(r, 0) = values[r];
   BinMapper mapper;
-  mapper.Fit(x, 256);
+  mapper.Compute(x, 256);
   for (double v : values) {
     const uint16_t bin = mapper.BinOf(0, v);
     EXPECT_LE(v, mapper.UpperBound(0, bin));
