@@ -30,7 +30,9 @@ nextmaint::ml::Dataset MakeTrainingData(int window) {
   static const nextmaint::telem::Fleet* const kFleet = [] {
     BenchConfig config;  // fixed config: timing must not depend on env
     config.num_vehicles = 5;
-    auto* fleet = new nextmaint::telem::Fleet(MakeReferenceFleet(config));
+    // Leaky singleton: the fleet outlives every benchmark registration.
+    auto* fleet = new nextmaint::telem::Fleet(  // nextmaint-lint: allow(naked-new)
+        MakeReferenceFleet(config));
     return fleet;
   }();
   const auto& vehicle = kFleet->vehicles[0];

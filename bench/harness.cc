@@ -101,7 +101,8 @@ Result<FleetEvaluation> EvaluateOnFleet(
 
 const std::vector<std::string>& PaperAlgorithms() {
   static const std::vector<std::string>* const kAlgorithms =
-      new std::vector<std::string>{"BL", "LR", "LSVR", "RF", "XGB"};
+      new std::vector<std::string>{  // nextmaint-lint: allow(naked-new)
+          "BL", "LR", "LSVR", "RF", "XGB"};
   return *kAlgorithms;
 }
 

@@ -1,0 +1,101 @@
+#ifndef NEXTMAINT_LINT_RULES_H_
+#define NEXTMAINT_LINT_RULES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/source_scan.h"
+
+/// \file rules.h
+/// The project-invariant checks enforced by `nextmaint_lint`.
+///
+/// Each rule is a pure function from a scrubbed source file to findings, so
+/// rules are unit-testable on inline fixture snippets without touching the
+/// filesystem. Rule semantics are documented in docs/static-analysis.md;
+/// any rule can be suppressed on a single line with
+/// `// nextmaint-lint: allow(<rule-name>)`.
+
+namespace nextmaint {
+namespace lint {
+
+/// Identifies one lint rule.
+enum class Rule {
+  /// Nondeterminism primitives (rand(), std::random_device, time(), ...)
+  /// outside the seeded-RNG module.
+  kBannedPrimitive,
+  /// A Status/Result-returning call used as a bare discarding statement.
+  kUncheckedStatus,
+  /// An #include that violates the layer dependency order.
+  kLayering,
+  /// A naked new/delete expression outside allow-listed files.
+  kNakedNew,
+};
+
+/// Canonical kebab-case rule name ("banned-primitive", ...), as used by
+/// suppression comments and finding output.
+const char* RuleName(Rule rule);
+
+/// One violation found in one file.
+struct Finding {
+  std::string path;
+  int line = 0;
+  Rule rule = Rule::kBannedPrimitive;
+  std::string message;
+
+  /// "path:line: [rule-name] message" — the tool's output format.
+  std::string ToString() const;
+};
+
+/// Policy knobs for the rules; LintConfig::ProjectDefault() (lint.h) holds
+/// the nextmaint policy.
+struct RulePolicy {
+  /// Layer path prefix (e.g. "src/common") -> include layers it may depend
+  /// on. Files under a prefix absent from the map are unconstrained.
+  std::map<std::string, std::set<std::string>> layers;
+  /// Path suffixes exempt from the banned-primitive rule (the seeded RNG
+  /// implementation itself).
+  std::vector<std::string> banned_primitive_allowlist;
+  /// Path suffixes exempt from the naked-new rule (documented leaky
+  /// singletons).
+  std::vector<std::string> naked_new_allowlist;
+};
+
+/// True when `path` ends with one of `suffixes` (paths use '/' separators).
+bool PathMatchesSuffix(const std::string& path,
+                       const std::vector<std::string>& suffixes);
+
+/// Rule 1: banned nondeterminism primitives.
+std::vector<Finding> CheckBannedPrimitives(const std::string& path,
+                                           const ScrubbedSource& src,
+                                           const RulePolicy& policy);
+
+/// Rule 2: discarded Status/Result calls. `status_functions` is the set of
+/// function names known to return Status or Result<...>, harvested with
+/// CollectStatusFunctions across the whole tree first.
+std::vector<Finding> CheckUncheckedStatus(
+    const std::string& path, const ScrubbedSource& src,
+    const std::set<std::string>& status_functions);
+
+/// Rule 3: include layering. Reads raw `content` for the include lines and
+/// `src` for suppressions.
+std::vector<Finding> CheckLayering(const std::string& path,
+                                   const std::string& content,
+                                   const ScrubbedSource& src,
+                                   const RulePolicy& policy);
+
+/// Rule 4: naked new/delete expressions.
+std::vector<Finding> CheckNakedNew(const std::string& path,
+                                   const ScrubbedSource& src,
+                                   const RulePolicy& policy);
+
+/// Harvests names of functions declared or defined to return Status or
+/// Result<...> from one scrubbed file into `out`.
+void CollectStatusFunctions(const ScrubbedSource& src,
+                            std::set<std::string>* out);
+
+}  // namespace lint
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_LINT_RULES_H_

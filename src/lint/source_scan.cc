@@ -1,0 +1,199 @@
+#include "lint/source_scan.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace nextmaint {
+namespace lint {
+namespace {
+
+/// True when `c` can appear in an identifier or number, which makes a
+/// following `'` a digit separator (2'000'000) rather than a char literal.
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Parses rule names out of one comment's text and records them as
+/// suppressions for `line`. Grammar: `nextmaint-lint: allow(rule)` with
+/// `rule` a dash/word token or `*`; multiple rules separated by commas.
+void RecordSuppressions(std::string_view comment, int line,
+                        std::map<int, std::set<std::string>>* allowed) {
+  const std::string_view kMarker = "nextmaint-lint:";
+  const size_t marker = comment.find(kMarker);
+  if (marker == std::string_view::npos) return;
+  std::string_view rest = comment.substr(marker + kMarker.size());
+  const size_t open = rest.find("allow(");
+  if (open == std::string_view::npos) return;
+  const size_t close = rest.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string_view list = rest.substr(open + 6, close - open - 6);
+  std::string token;
+  auto flush = [&] {
+    if (!token.empty()) (*allowed)[line].insert(token);
+    token.clear();
+  };
+  for (char c : list) {
+    if (c == ',') {
+      flush();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      token.push_back(c);
+    }
+  }
+  flush();
+}
+
+}  // namespace
+
+int ScrubbedSource::LineOf(size_t pos) const {
+  // line_starts is sorted; the line containing pos starts at the last
+  // element <= pos.
+  auto it = std::upper_bound(line_starts.begin() + 1, line_starts.end(), pos);
+  return static_cast<int>(it - line_starts.begin()) - 1;
+}
+
+bool ScrubbedSource::IsAllowed(int line, const std::string& rule) const {
+  auto it = allowed.find(line);
+  if (it == allowed.end()) return false;
+  return it->second.count(rule) > 0 || it->second.count("*") > 0;
+}
+
+ScrubbedSource Scrub(std::string_view content) {
+  ScrubbedSource out;
+  out.code.assign(content.begin(), content.end());
+  out.line_starts.assign(2, 0);  // index 0 unused; line 1 starts at 0
+  for (size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') out.line_starts.push_back(i + 1);
+  }
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  size_t token_start = 0;  // start offset of the current comment/literal
+  std::string raw_delim;   // closing delimiter of an active raw string
+
+  auto blank = [&](size_t pos) {
+    if (out.code[pos] != '\n') out.code[pos] = ' ';
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          token_start = i;
+          blank(i);
+          blank(i + 1);
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          token_start = i;
+          blank(i);
+          blank(i + 1);
+          ++i;
+        } else if (c == '"') {
+          // Raw string? Look back for R / uR / u8R / LR prefix.
+          if (i > 0 && content[i - 1] == 'R' &&
+              (i == 1 || !IsWordChar(content[i - 2]) || content[i - 2] == 'u' ||
+               content[i - 2] == 'U' || content[i - 2] == 'L' ||
+               content[i - 2] == '8')) {
+            const size_t open = content.find('(', i + 1);
+            if (open == std::string_view::npos) break;  // malformed; give up
+            // Built char-by-char appends: the assign-then-append sequence
+            // trips GCC 12's -Wrestrict false positive at -O2.
+            raw_delim.clear();
+            raw_delim.push_back(')');
+            raw_delim.append(content.data() + i + 1, open - i - 1);
+            raw_delim.push_back('"');
+            const size_t close = content.find(raw_delim, open + 1);
+            const size_t end =
+                close == std::string_view::npos
+                    ? content.size()
+                    : close + raw_delim.size();
+            for (size_t j = i + 1; j < end - 1 && j < content.size(); ++j) {
+              blank(j);
+            }
+            i = end - 1;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'' && (i == 0 || !IsWordChar(content[i - 1]))) {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          RecordSuppressions(content.substr(token_start, i - token_start),
+                             out.LineOf(token_start), &out.allowed);
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      case State::kBlockComment:
+        blank(i);
+        if (c == '*' && next == '/') {
+          blank(i + 1);
+          ++i;
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          blank(i);
+          if (i + 1 < content.size()) blank(i + 1);
+          ++i;
+        } else if (c == quote || c == '\n') {
+          // Unterminated-literal lines (or the closing quote) end the state.
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      }
+    }
+  }
+  // A line comment at EOF without a trailing newline still counts.
+  if (state == State::kLineComment) {
+    RecordSuppressions(content.substr(token_start), out.LineOf(token_start),
+                       &out.allowed);
+  }
+  return out;
+}
+
+std::vector<std::pair<int, std::string>> ExtractQuotedIncludes(
+    std::string_view content) {
+  std::vector<std::pair<int, std::string>> includes;
+  int line = 1;
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string_view::npos) eol = content.size();
+    std::string_view text = content.substr(pos, eol - pos);
+    // Trim leading whitespace.
+    size_t first = text.find_first_not_of(" \t");
+    if (first != std::string_view::npos && text[first] == '#') {
+      std::string_view directive = text.substr(first + 1);
+      size_t word = directive.find_first_not_of(" \t");
+      if (word != std::string_view::npos &&
+          directive.substr(word).rfind("include", 0) == 0) {
+        const size_t open = directive.find('"');
+        if (open != std::string_view::npos) {
+          const size_t close = directive.find('"', open + 1);
+          if (close != std::string_view::npos) {
+            includes.emplace_back(
+                line, std::string(directive.substr(open + 1, close - open - 1)));
+          }
+        }
+      }
+    }
+    line += 1;
+    pos = eol + 1;
+  }
+  return includes;
+}
+
+}  // namespace lint
+}  // namespace nextmaint

@@ -1,0 +1,56 @@
+#ifndef NEXTMAINT_LINT_SOURCE_SCAN_H_
+#define NEXTMAINT_LINT_SOURCE_SCAN_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file source_scan.h
+/// Text-level preprocessing for the nextmaint lint rules.
+///
+/// The rules in rules.h are regex/token checks, so the scanner first blanks
+/// everything that is not code: comment bodies, string and character
+/// literal contents (including raw strings) are replaced by spaces. The
+/// result has exactly the same length and line structure as the input, so
+/// offsets computed on the scrubbed text map 1:1 onto the original file.
+
+namespace nextmaint {
+namespace lint {
+
+/// A source file preprocessed for linting.
+struct ScrubbedSource {
+  /// Input with comments and literal contents blanked (quotes kept).
+  std::string code;
+  /// Byte offset of the start of each 1-based line (index 0 unused).
+  std::vector<size_t> line_starts;
+  /// Per-line rule suppressions declared with
+  /// `// nextmaint-lint: allow(<rule>)` comments ("*" suppresses all rules
+  /// on that line). The comment applies to the line it sits on.
+  std::map<int, std::set<std::string>> allowed;
+
+  /// 1-based line number containing byte offset `pos` of `code`.
+  int LineOf(size_t pos) const;
+
+  /// True when `rule` is suppressed on `line` (exact name or "*").
+  bool IsAllowed(int line, const std::string& rule) const;
+};
+
+/// Scrubs `content`: blanks `//` and `/* */` comment bodies, string/char
+/// literal contents and raw strings, records suppression comments, and
+/// precomputes line starts. Digit separators (2'000'000) are not mistaken
+/// for character literals.
+ScrubbedSource Scrub(std::string_view content);
+
+/// Quoted `#include "path"` directives of the raw file as (line, path)
+/// pairs. Angle-bracket includes are system headers and exempt from the
+/// layering rules, so they are not reported.
+std::vector<std::pair<int, std::string>> ExtractQuotedIncludes(
+    std::string_view content);
+
+}  // namespace lint
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_LINT_SOURCE_SCAN_H_

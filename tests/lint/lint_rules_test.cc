@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/rules.h"
+#include "lint/source_scan.h"
+
+namespace nextmaint {
+namespace lint {
+namespace {
+
+/// Applies the full rule set to an inline fixture under the project policy.
+std::vector<Finding> Lint(const std::string& path, const std::string& content,
+                          std::set<std::string> status_functions = {}) {
+  const LintConfig config = LintConfig::ProjectDefault();
+  const ScrubbedSource src = Scrub(content);
+  CollectStatusFunctions(src, &status_functions);
+  return LintSource(path, content, config, status_functions);
+}
+
+bool HasRule(const std::vector<Finding>& findings, Rule rule) {
+  for (const Finding& finding : findings) {
+    if (finding.rule == rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- rule 1
+
+TEST(BannedPrimitiveRuleTest, FlagsRandCall) {
+  const auto findings = Lint("src/ml/foo.cc", "int x = rand() % 7;\n");
+  ASSERT_TRUE(HasRule(findings, Rule::kBannedPrimitive));
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(BannedPrimitiveRuleTest, FlagsRandomDeviceAndWallClock) {
+  EXPECT_TRUE(HasRule(Lint("src/core/a.cc", "std::random_device rd;\n"),
+                      Rule::kBannedPrimitive));
+  EXPECT_TRUE(HasRule(Lint("src/core/a.cc", "auto t = time(nullptr);\n"),
+                      Rule::kBannedPrimitive));
+  EXPECT_TRUE(HasRule(Lint("src/core/a.cc", "srand(42);\n"),
+                      Rule::kBannedPrimitive));
+  EXPECT_TRUE(
+      HasRule(Lint("src/core/a.cc",
+                   "auto n = std::chrono::system_clock::now();\n"),
+              Rule::kBannedPrimitive));
+}
+
+TEST(BannedPrimitiveRuleTest, PassesSeededRngAndSteadyClock) {
+  EXPECT_TRUE(Lint("src/ml/foo.cc",
+                   "Rng rng(42);\n"
+                   "auto t0 = std::chrono::steady_clock::now();\n")
+                  .empty());
+}
+
+TEST(BannedPrimitiveRuleTest, IgnoresMentionsInCommentsAndStrings) {
+  EXPECT_TRUE(Lint("src/ml/foo.cc",
+                   "// rand() is banned here\n"
+                   "const char* msg = \"do not call time()\";\n")
+                  .empty());
+}
+
+TEST(BannedPrimitiveRuleTest, DoesNotMatchIdentifierSuffixes) {
+  // "runtime(" contains "time(" but is not the banned token.
+  EXPECT_TRUE(Lint("src/ml/foo.cc", "double r = runtime(3);\n").empty());
+}
+
+TEST(BannedPrimitiveRuleTest, AllowlistExemptsRngModule) {
+  const std::string source = "std::random_device rd;\n";
+  EXPECT_TRUE(Lint("src/common/rng.cc", source).empty());
+  EXPECT_FALSE(Lint("src/common/statistics.cc", source).empty());
+}
+
+TEST(BannedPrimitiveRuleTest, InlineSuppressionSilencesOneLine) {
+  const auto findings = Lint(
+      "src/ml/foo.cc",
+      "auto t = time(nullptr);  // nextmaint-lint: allow(banned-primitive)\n"
+      "auto u = time(nullptr);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+// ---------------------------------------------------------------- rule 2
+
+TEST(UncheckedStatusRuleTest, FlagsDiscardedStatusCall) {
+  const auto findings = Lint("src/core/foo.cc",
+                             "Status DoThing();\n"
+                             "void F() {\n"
+                             "  DoThing();\n"
+                             "}\n");
+  ASSERT_TRUE(HasRule(findings, Rule::kUncheckedStatus));
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(UncheckedStatusRuleTest, FlagsDiscardedMemberCall) {
+  const auto findings =
+      Lint("src/core/foo.cc",
+           "void F(core::FleetScheduler& s) {\n"
+           "  s.TrainAll();\n"
+           "}\n",
+           {"TrainAll"});
+  ASSERT_TRUE(HasRule(findings, Rule::kUncheckedStatus));
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(UncheckedStatusRuleTest, PassesCheckedAssignedAndPropagated) {
+  EXPECT_TRUE(Lint("src/core/foo.cc",
+                   "Status DoThing();\n"
+                   "Status F() {\n"
+                   "  Status s = DoThing();\n"
+                   "  if (!s.ok()) return s;\n"
+                   "  NM_RETURN_NOT_OK(DoThing());\n"
+                   "  NM_CHECK(DoThing().ok());\n"
+                   "  return DoThing();\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(UncheckedStatusRuleTest, PassesExplicitIgnoreMacro) {
+  EXPECT_TRUE(Lint("src/core/foo.cc",
+                   "Status DoThing();\n"
+                   "void F() {\n"
+                   "  NEXTMAINT_IGNORE_STATUS(DoThing());\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(UncheckedStatusRuleTest, DeclarationsAreNotCalls) {
+  EXPECT_TRUE(Lint("src/core/foo.h",
+                   "class X {\n"
+                   " public:\n"
+                   "  Status TrainAll();\n"
+                   "  [[nodiscard]] Status Save(std::ostream& out) const;\n"
+                   "};\n"
+                   "Status FreeFunction(int arg);\n")
+                  .empty());
+}
+
+TEST(UncheckedStatusRuleTest, FlagsDiscardedResultCall) {
+  const auto findings = Lint("src/data/foo.cc",
+                             "Result<int> Parse(std::string_view t);\n"
+                             "void F() {\n"
+                             "  Parse(\"7\");\n"
+                             "}\n");
+  ASSERT_TRUE(HasRule(findings, Rule::kUncheckedStatus));
+}
+
+TEST(UncheckedStatusRuleTest, VoidFunctionsOfOtherNamesPass) {
+  EXPECT_TRUE(Lint("src/core/foo.cc",
+                   "void Log(const char* m);\n"
+                   "void F() {\n"
+                   "  Log(\"hello\");\n"
+                   "}\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------- rule 3
+
+TEST(LayeringRuleTest, FlagsCommonIncludingCore) {
+  const auto findings = Lint("src/common/util.cc",
+                             "#include \"core/scheduler.h\"\n");
+  ASSERT_TRUE(HasRule(findings, Rule::kLayering));
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LayeringRuleTest, FlagsMlIncludingData) {
+  EXPECT_TRUE(HasRule(Lint("src/ml/foo.cc", "#include \"data/csv.h\"\n"),
+                      Rule::kLayering));
+}
+
+TEST(LayeringRuleTest, PassesDeclaredDependencies) {
+  EXPECT_TRUE(Lint("src/core/foo.cc",
+                   "#include \"common/status.h\"\n"
+                   "#include \"data/time_series.h\"\n"
+                   "#include \"ml/regressor.h\"\n"
+                   "#include \"core/scheduler.h\"\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/cli/foo.cc",
+                   "#include \"telematics/fleet.h\"\n"
+                   "#include \"core/scheduler.h\"\n")
+                  .empty());
+}
+
+TEST(LayeringRuleTest, SystemIncludesAreExempt) {
+  EXPECT_TRUE(Lint("src/common/util.cc", "#include <vector>\n").empty());
+}
+
+TEST(LayeringRuleTest, UnconstrainedDirectoriesPass) {
+  // tests/ and bench/ may include anything.
+  EXPECT_TRUE(Lint("bench/harness.cc",
+                   "#include \"core/scheduler.h\"\n"
+                   "#include \"telematics/fleet.h\"\n")
+                  .empty());
+}
+
+TEST(LayeringRuleTest, UmbrellaHeaderBannedInLayeredCode) {
+  EXPECT_TRUE(HasRule(Lint("src/core/foo.cc", "#include \"nextmaint.h\"\n"),
+                      Rule::kLayering));
+  EXPECT_TRUE(Lint("bench/foo.cc", "#include \"nextmaint.h\"\n").empty());
+}
+
+// ---------------------------------------------------------------- rule 4
+
+TEST(NakedNewRuleTest, FlagsNewAndDeleteExpressions) {
+  const auto new_findings =
+      Lint("src/core/foo.cc", "auto* p = new int[4];\n");
+  ASSERT_TRUE(HasRule(new_findings, Rule::kNakedNew));
+  const auto delete_findings = Lint("src/core/foo.cc", "delete p;\n");
+  ASSERT_TRUE(HasRule(delete_findings, Rule::kNakedNew));
+  EXPECT_TRUE(HasRule(Lint("src/core/foo.cc", "delete[] p;\n"),
+                      Rule::kNakedNew));
+}
+
+TEST(NakedNewRuleTest, PassesSmartPointersAndDeletedFunctions) {
+  EXPECT_TRUE(Lint("src/core/foo.cc",
+                   "auto p = std::make_unique<int>(4);\n"
+                   "X(const X&) = delete;\n"
+                   "X& operator=(const X&) = delete;\n")
+                  .empty());
+}
+
+TEST(NakedNewRuleTest, AllowlistedLeakySingletonFilesPass) {
+  const std::string source = "auto* s = new std::string();\n";
+  EXPECT_TRUE(Lint("src/common/status.cc", source).empty());
+  EXPECT_FALSE(Lint("src/common/date.cc", source).empty());
+}
+
+TEST(NakedNewRuleTest, InlineSuppressionWorks) {
+  EXPECT_TRUE(
+      Lint("src/core/foo.cc",
+           "auto* p = new Pool();  // nextmaint-lint: allow(naked-new)\n")
+          .empty());
+}
+
+// ------------------------------------------------------------- plumbing
+
+TEST(FindingTest, ToStringFormat) {
+  const Finding finding{"src/core/foo.cc", 12, Rule::kLayering, "bad"};
+  EXPECT_EQ(finding.ToString(), "src/core/foo.cc:12: [layering] bad");
+}
+
+TEST(RuleNameTest, KebabCaseNames) {
+  EXPECT_STREQ(RuleName(Rule::kBannedPrimitive), "banned-primitive");
+  EXPECT_STREQ(RuleName(Rule::kUncheckedStatus), "unchecked-status");
+  EXPECT_STREQ(RuleName(Rule::kLayering), "layering");
+  EXPECT_STREQ(RuleName(Rule::kNakedNew), "naked-new");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace nextmaint

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/source_scan.h"
+
+/// The linter's reason to exist: the real tree must be clean. This test is
+/// the in-repo equivalent of the CI `lint` job, so a change that introduces
+/// a nondeterminism primitive, drops a Status, breaks layering or leaks a
+/// naked new fails the unit suite locally too.
+
+#ifndef NEXTMAINT_LINT_SOURCE_ROOT
+#error "tests/CMakeLists.txt must define NEXTMAINT_LINT_SOURCE_ROOT"
+#endif
+
+namespace nextmaint {
+namespace lint {
+namespace {
+
+TEST(SelfScanTest, SourceTreeIsClean) {
+  const auto findings =
+      LintTree(NEXTMAINT_LINT_SOURCE_ROOT, {"src", "tools", "bench"},
+               LintConfig::ProjectDefault());
+  ASSERT_TRUE(findings.ok()) << findings.status().ToString();
+  std::string report;
+  for (const Finding& finding : findings.ValueOrDie()) {
+    report += finding.ToString() + "\n";
+  }
+  EXPECT_TRUE(findings.ValueOrDie().empty()) << report;
+}
+
+TEST(SelfScanTest, HarvestFindsRealStatusApis) {
+  // Guards against the harvest pass silently matching nothing (which would
+  // make the unchecked-status rule vacuously pass on the real tree).
+  std::ifstream in(std::string(NEXTMAINT_LINT_SOURCE_ROOT) +
+                   "/src/core/scheduler.h");
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::set<std::string> harvested;
+  CollectStatusFunctions(Scrub(buffer.str()), &harvested);
+  EXPECT_TRUE(harvested.count("TrainAll")) << "harvested " << harvested.size();
+  EXPECT_TRUE(harvested.count("RegisterVehicle"));
+  EXPECT_TRUE(harvested.count("FleetForecast"));
+}
+
+TEST(LintTreeTest, MissingPathFails) {
+  const auto findings =
+      LintTree(NEXTMAINT_LINT_SOURCE_ROOT, {"no-such-directory"},
+               LintConfig::ProjectDefault());
+  EXPECT_FALSE(findings.ok());
+  EXPECT_EQ(findings.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace nextmaint
