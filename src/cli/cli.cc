@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "common/failpoints.h"
 #include "common/macros.h"
 #include "common/parallel.h"
 #include "common/strings.h"
@@ -75,15 +76,23 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
 
 namespace {
 
+/// Result of loading a fleet directory: the usable vehicle series plus the
+/// vehicles skipped because their CSV would not read or aggregate.
+struct FleetLoad {
+  std::vector<std::pair<std::string, data::DailySeries>> vehicles;
+  std::vector<std::pair<std::string, Status>> skipped;
+};
+
 /// Loads every `*.csv` vehicle series in `dir` (fleet.csv excluded).
-/// The file stem is the vehicle id.
-Result<std::vector<std::pair<std::string, data::DailySeries>>> LoadFleetDir(
-    const std::string& dir) {
+/// The file stem is the vehicle id. With `strict` the first unreadable
+/// vehicle aborts the load; otherwise it is recorded in `skipped` and the
+/// rest of the fleet is served (docs/fault-injection.md).
+Result<FleetLoad> LoadFleetDir(const std::string& dir, bool strict) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
     return Status::NotFound("'" + dir + "' is not a directory");
   }
-  std::vector<std::pair<std::string, data::DailySeries>> vehicles;
+  FleetLoad load;
   std::vector<fs::path> paths;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (entry.path().extension() == ".csv" &&
@@ -94,24 +103,60 @@ Result<std::vector<std::pair<std::string, data::DailySeries>>> LoadFleetDir(
   }
   std::sort(paths.begin(), paths.end());
   for (const fs::path& path : paths) {
-    NM_ASSIGN_OR_RETURN(data::Table table, data::ReadCsvFile(path.string()));
-    // Accept either column name for the daily seconds.
-    Result<data::DailySeries> loaded =
-        data::AggregateDaily(table, "date", "utilization_s");
+    const auto read_series = [&]() -> Result<data::DailySeries> {
+      NM_ASSIGN_OR_RETURN(data::Table table,
+                          data::ReadCsvFile(path.string()));
+      // Accept either column name for the daily seconds.
+      Result<data::DailySeries> loaded =
+          data::AggregateDaily(table, "date", "utilization_s");
+      if (!loaded.ok()) {
+        loaded = data::AggregateDaily(table, "date", "usage");
+      }
+      if (!loaded.ok()) {
+        return loaded.status().WithContext(path.string());
+      }
+      return loaded;
+    };
+    Result<data::DailySeries> loaded = read_series();
     if (!loaded.ok()) {
-      loaded = data::AggregateDaily(table, "date", "usage");
-    }
-    if (!loaded.ok()) {
-      return loaded.status().WithContext(path.string());
+      if (strict) return loaded.status();
+      telemetry::Count("cli.vehicles_skipped");
+      load.skipped.emplace_back(path.stem().string(), loaded.status());
+      continue;
     }
     data::DailySeries series = std::move(loaded).ValueOrDie();
     data::Clean(&series);
-    vehicles.emplace_back(path.stem().string(), std::move(series));
+    load.vehicles.emplace_back(path.stem().string(), std::move(series));
   }
-  if (vehicles.empty()) {
+  if (load.vehicles.empty()) {
+    if (!load.skipped.empty()) {
+      return load.skipped.front().second.WithContext(
+          "no loadable vehicle CSVs under '" + dir + "'");
+    }
     return Status::NotFound("no vehicle CSVs under '" + dir + "'");
   }
-  return vehicles;
+  return load;
+}
+
+/// Prints one line per vehicle the loader skipped.
+void ReportSkippedVehicles(const FleetLoad& load, std::ostream& out) {
+  for (const auto& [id, error] : load.skipped) {
+    out << "skipped vehicle " << id << ": " << error.ToString() << "\n";
+  }
+}
+
+/// Prints one line per vehicle the scheduler quarantined, plus a summary.
+void ReportDegradations(const core::FleetScheduler& scheduler,
+                        std::ostream& out) {
+  const core::DegradationReport report = scheduler.LastDegradationReport();
+  if (report.empty()) return;
+  for (const auto& d : report.vehicles) {
+    out << "degraded vehicle " << d.vehicle_id << " (" << d.stage
+        << "): " << d.error.ToString()
+        << (d.fallback ? " [BL fallback]" : " [no fallback]") << "\n";
+  }
+  out << report.vehicles.size() << " vehicle(s) degraded; rerun with "
+      << "--strict to fail fast\n";
 }
 
 /// --threads value: malformed or negative input is a user error, rejected
@@ -129,10 +174,15 @@ Result<int> ThreadCountFromArgs(const ParsedArgs& args) {
 }
 
 /// Builds a scheduler from the vehicles in `dir`. Models come from
-/// `--load-models FILE` when given, otherwise from TrainAll.
+/// `--load-models FILE` when given, otherwise from TrainAll. Vehicles the
+/// loader skipped (non-strict mode) are reported on `out`.
 Result<core::FleetScheduler> MakeTrainedScheduler(const ParsedArgs& args,
-                                                  const std::string& dir) {
-  NM_ASSIGN_OR_RETURN(auto vehicles, LoadFleetDir(dir));
+                                                  const std::string& dir,
+                                                  std::ostream& out) {
+  const bool strict = args.HasFlag("strict");
+  NM_ASSIGN_OR_RETURN(FleetLoad load, LoadFleetDir(dir, strict));
+  ReportSkippedVehicles(load, out);
+  const auto& vehicles = load.vehicles;
   core::SchedulerOptions options;
   NM_ASSIGN_OR_RETURN(double tv, args.DoubleFlagOr("tv", 2'000'000.0));
   NM_ASSIGN_OR_RETURN(int64_t window, args.IntFlagOr("window", 6));
@@ -145,6 +195,7 @@ Result<core::FleetScheduler> MakeTrainedScheduler(const ParsedArgs& args,
   options.maintenance_interval_s = tv;
   options.window = static_cast<int>(window);
   options.num_threads = threads;
+  options.strict = strict;
   options.selection.tune = args.HasFlag("tune");
   options.selection.train_on_last29_only = true;
   options.selection.resampling_shifts = 2;
@@ -226,8 +277,9 @@ Status RunForecast(const ParsedArgs& args, std::ostream& out) {
     return Status::InvalidArgument("forecast requires --data DIR");
   }
   NM_ASSIGN_OR_RETURN(core::FleetScheduler scheduler,
-                      MakeTrainedScheduler(args, args.flags.at("data")));
+                      MakeTrainedScheduler(args, args.flags.at("data"), out));
   NM_ASSIGN_OR_RETURN(auto forecasts, scheduler.FleetForecast());
+  ReportDegradations(scheduler, out);
   out << StrFormat("%-8s %-10s %-18s %10s %12s\n", "vehicle", "category",
                    "model", "days left", "due date");
   for (const auto& f : forecasts) {
@@ -249,8 +301,9 @@ Status RunPlan(const ParsedArgs& args, std::ostream& out) {
     return Status::InvalidArgument("plan requires --data DIR");
   }
   NM_ASSIGN_OR_RETURN(core::FleetScheduler scheduler,
-                      MakeTrainedScheduler(args, args.flags.at("data")));
+                      MakeTrainedScheduler(args, args.flags.at("data"), out));
   NM_ASSIGN_OR_RETURN(auto forecasts, scheduler.FleetForecast());
+  ReportDegradations(scheduler, out);
   if (forecasts.empty()) {
     return Status::FailedPrecondition("no forecastable vehicle");
   }
@@ -298,7 +351,11 @@ Status RunEvaluate(const ParsedArgs& args, std::ostream& out) {
   if (!args.HasFlag("data")) {
     return Status::InvalidArgument("evaluate requires --data DIR");
   }
-  NM_ASSIGN_OR_RETURN(auto vehicles, LoadFleetDir(args.flags.at("data")));
+  NM_ASSIGN_OR_RETURN(
+      FleetLoad load,
+      LoadFleetDir(args.flags.at("data"), args.HasFlag("strict")));
+  ReportSkippedVehicles(load, out);
+  const auto& vehicles = load.vehicles;
   NM_ASSIGN_OR_RETURN(double tv, args.DoubleFlagOr("tv", 2'000'000.0));
   NM_ASSIGN_OR_RETURN(int64_t window, args.IntFlagOr("window", 6));
 
@@ -342,13 +399,33 @@ std::string UsageText() {
       "results are bit-identical at any thread count (docs/parallelism.md).\n"
       "--metrics-json FILE (any command) records telemetry for the run and\n"
       "writes the metrics snapshot as JSON (docs/observability.md); the\n"
-      "NEXTMAINT_METRICS env var enables recording without the file.\n";
+      "NEXTMAINT_METRICS env var enables recording without the file.\n"
+      "--strict aborts on the first per-vehicle failure; by default failing\n"
+      "vehicles are skipped or served the BL fallback and reported\n"
+      "(docs/fault-injection.md).\n"
+      "--failpoints SPEC (any command) arms deterministic fault-injection\n"
+      "sites, SPEC = site[:nth[:kind]][,...]; same grammar as the\n"
+      "NEXTMAINT_FAILPOINTS env var (docs/fault-injection.md).\n";
 }
 
 Status RunCommand(const std::vector<std::string>& args, std::ostream& out) {
   const ParsedArgs parsed = ParseArgs(args);
   if (parsed.positional.empty()) {
     return Status::InvalidArgument("missing command\n" + UsageText());
+  }
+  if (parsed.HasFlag("failpoints")) {
+    if (!failpoints::CompiledIn()) {
+      return Status::InvalidArgument(
+          "--failpoints requires a build with NEXTMAINT_ENABLE_FAILPOINTS=ON "
+          "(docs/fault-injection.md)");
+    }
+    const std::string& spec = parsed.flags.at("failpoints");
+    if (spec.empty()) {
+      return Status::InvalidArgument(
+          "--failpoints requires a spec (site[:nth[:kind]], comma "
+          "separated)\n" + UsageText());
+    }
+    NM_RETURN_NOT_OK(failpoints::Arm(spec));
   }
   // --metrics-json implies recording; without it telemetry follows the
   // NEXTMAINT_METRICS env default and nothing is written.

@@ -26,6 +26,12 @@
 ///
 /// Every command returns a Status; errors print nothing to `out` besides
 /// what was already produced.
+///
+/// Fleet commands degrade per vehicle by default: unreadable CSVs and
+/// failing per-vehicle training/forecasting are reported on `out` and the
+/// rest of the fleet is served (BL fallback where possible). `--strict`
+/// restores fail-fast, and `--failpoints SPEC` arms deterministic fault
+/// injection for chaos drills. See docs/fault-injection.md.
 
 namespace nextmaint {
 namespace cli {

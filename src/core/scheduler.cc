@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 
 #include <optional>
 #include <utility>
 
+#include "common/failpoints.h"
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/parallel.h"
@@ -38,6 +40,7 @@ Status FleetScheduler::RegisterVehicle(const std::string& id, Date first_day) {
 
 Status FleetScheduler::IngestUsage(const std::string& id, Date day,
                                    double seconds) {
+  NEXTMAINT_FAILPOINT("scheduler.ingest");
   auto it = vehicles_.find(id);
   if (it == vehicles_.end()) {
     return Status::NotFound("vehicle '" + id + "' is not registered");
@@ -61,6 +64,7 @@ Status FleetScheduler::IngestUsage(const std::string& id, Date day,
 
 Status FleetScheduler::IngestSeries(const std::string& id,
                                     const data::DailySeries& series) {
+  NEXTMAINT_FAILPOINT("scheduler.ingest");
   auto it = vehicles_.find(id);
   if (it == vehicles_.end()) {
     return Status::NotFound("vehicle '" + id + "' is not registered");
@@ -119,9 +123,15 @@ Status FleetScheduler::TrainAll() {
         ++num_new;  // no data yet: categorically a new vehicle
         continue;
       }
-      NM_ASSIGN_OR_RETURN(
-          VehicleCategory category,
-          CategorizeUsage(state.usage, options_.maintenance_interval_s));
+      Result<VehicleCategory> categorized =
+          CategorizeUsage(state.usage, options_.maintenance_interval_s);
+      if (!categorized.ok()) {
+        if (options_.strict) return categorized.status().WithContext(id);
+        // Uncategorizable vehicles contribute nothing to the corpus or the
+        // category mix; pass 2 hits the same error and quarantines them.
+        continue;
+      }
+      const VehicleCategory category = categorized.ValueOrDie();
       switch (category) {
         case VehicleCategory::kOld:
           ++num_old;
@@ -274,19 +284,69 @@ Status FleetScheduler::TrainAll() {
   std::vector<std::pair<const std::string*, VehicleState*>> work;
   work.reserve(vehicles_.size());
   for (auto& [id, state] : vehicles_) work.emplace_back(&id, &state);
-  return ParallelFor(
+  // Quarantines land in index-ordered slots so the assembled report follows
+  // the deterministic task (vehicle-id) order, never completion order.
+  std::vector<std::optional<VehicleDegradation>> quarantined(work.size());
+  train_degradation_.vehicles.clear();
+  NM_RETURN_NOT_OK(ParallelFor(
       0, work.size(), /*grain=*/1,
       [&](size_t chunk_begin, size_t chunk_end) -> Status {
         for (size_t v = chunk_begin; v < chunk_end; ++v) {
-          NM_RETURN_NOT_OK(train_vehicle(*work[v].first, *work[v].second));
+          const std::string& id = *work[v].first;
+          VehicleState& state = *work[v].second;
+          // The ordinal makes nth-selecting failpoint specs
+          // ("scheduler.train_vehicle:3") target the vehicle's position in
+          // the task order, independent of thread scheduling.
+          failpoints::ScopedOrdinal ordinal(static_cast<uint64_t>(v) + 1);
+          const Status status = [&]() -> Status {
+            NEXTMAINT_FAILPOINT("scheduler.train_vehicle");
+            return train_vehicle(id, state);
+          }();
+          if (status.ok()) continue;
+          if (options_.strict) return status.WithContext(id);
+          // Quarantine the vehicle: drop whatever partial model state the
+          // failed training left behind and serve it with the untrained BL
+          // baseline so the fleet keeps a forecast for it.
+          state.model.reset();
+          state.model_name.clear();
+          VehicleDegradation degradation;
+          degradation.vehicle_id = id;
+          degradation.stage = "train";
+          degradation.error = status;
+          Result<double> avg = AverageUtilization(state.usage);
+          if (avg.ok()) {
+            const double l_scale =
+                options_.selection.normalize_features
+                    ? 1.0 / options_.maintenance_interval_s
+                    : 1.0;
+            state.model = std::make_shared<BaselinePredictor>(
+                avg.ValueOrDie(), l_scale);
+            state.model_name = "BL_fallback";
+            degradation.fallback = true;
+          }
+          quarantined[v] = std::move(degradation);
         }
         return Status::OK();
       },
-      options_.num_threads);
+      options_.num_threads));
+  for (std::optional<VehicleDegradation>& slot : quarantined) {
+    if (!slot.has_value()) continue;
+    if (slot->fallback) telemetry::Count("scheduler.train.fallback_bl");
+    NM_LOG(Warning) << slot->vehicle_id << ": training degraded ("
+                    << slot->error.ToString() << "); "
+                    << (slot->fallback ? "serving BL fallback"
+                                       : "left unmodeled");
+    train_degradation_.vehicles.push_back(*std::move(slot));
+  }
+  telemetry::SetGauge(
+      "scheduler.degraded_vehicles",
+      static_cast<double>(train_degradation_.vehicles.size()));
+  return Status::OK();
 }
 
 Result<MaintenanceForecast> FleetScheduler::Forecast(
     const std::string& id) const {
+  NEXTMAINT_FAILPOINT("scheduler.forecast_vehicle");
   telemetry::ScopedTimer forecast_timer("scheduler.forecast.vehicle.seconds");
   NM_ASSIGN_OR_RETURN(const VehicleState* state, FindVehicle(id));
   if (state->model == nullptr) {
@@ -349,23 +409,48 @@ Result<std::vector<MaintenanceForecast>> FleetScheduler::FleetForecast()
     if (state.model != nullptr) ids.push_back(&id);
   }
   std::vector<std::optional<MaintenanceForecast>> slots(ids.size());
+  std::vector<std::optional<VehicleDegradation>> quarantined(ids.size());
+  forecast_degradation_.vehicles.clear();
   NM_RETURN_NOT_OK(ParallelFor(
       0, ids.size(), /*grain=*/1,
       [&](size_t chunk_begin, size_t chunk_end) -> Status {
         for (size_t v = chunk_begin; v < chunk_end; ++v) {
-          Result<MaintenanceForecast> forecast = Forecast(*ids[v]);
-          // Unforecastable vehicles (e.g. too little data for the feature
-          // window) are skipped, as in the serial loop.
+          const std::string& id = *ids[v];
+          failpoints::ScopedOrdinal ordinal(static_cast<uint64_t>(v) + 1);
+          Result<MaintenanceForecast> forecast = Forecast(id);
           if (forecast.ok()) {
             telemetry::Count("scheduler.forecast.count");
             slots[v] = std::move(forecast).ValueOrDie();
+            continue;
+          }
+          if (options_.strict) return forecast.status().WithContext(id);
+          // Quarantine the vehicle and serve it with the untrained BL
+          // baseline (needs no model or feature window); only when even
+          // that is impossible is the vehicle dropped from the output.
+          VehicleDegradation degradation;
+          degradation.vehicle_id = id;
+          degradation.stage = "forecast";
+          degradation.error = forecast.status();
+          Result<MaintenanceForecast> fallback = FallbackForecast(id);
+          if (fallback.ok()) {
+            degradation.fallback = true;
+            telemetry::Count("scheduler.fallback_forecasts");
+            slots[v] = std::move(fallback).ValueOrDie();
           } else {
             telemetry::Count("scheduler.forecast.skipped");
           }
+          quarantined[v] = std::move(degradation);
         }
         return Status::OK();
       },
       options_.num_threads));
+  for (std::optional<VehicleDegradation>& slot : quarantined) {
+    if (!slot.has_value()) continue;
+    NM_LOG(Warning) << slot->vehicle_id << ": forecast degraded ("
+                    << slot->error.ToString() << "); "
+                    << (slot->fallback ? "serving BL fallback" : "skipped");
+    forecast_degradation_.vehicles.push_back(*std::move(slot));
+  }
   std::vector<MaintenanceForecast> forecasts;
   forecasts.reserve(slots.size());
   for (std::optional<MaintenanceForecast>& slot : slots) {
@@ -376,6 +461,47 @@ Result<std::vector<MaintenanceForecast>> FleetScheduler::FleetForecast()
               return a.predicted_date < b.predicted_date;
             });
   return forecasts;
+}
+
+Result<MaintenanceForecast> FleetScheduler::FallbackForecast(
+    const std::string& id) const {
+  NM_ASSIGN_OR_RETURN(const VehicleState* state, FindVehicle(id));
+  if (state->usage.empty()) {
+    return Status::FailedPrecondition(
+        "vehicle '" + id + "' has no usage data for a BL fallback forecast");
+  }
+  NM_ASSIGN_OR_RETURN(const double avg, AverageUtilization(state->usage));
+  // Same virtual-today construction as Forecast so L is defined for the day
+  // after the last observation; D_BL = L / AVG needs nothing else — in
+  // particular no trained model and no feature window, and no failpoint
+  // sits on this path, so a quarantined vehicle always reaches it.
+  data::DailySeries extended = state->usage;
+  extended.Append(0.0);
+  NM_ASSIGN_OR_RETURN(
+      VehicleSeries today_series,
+      DeriveSeries(extended, options_.maintenance_interval_s));
+  const size_t today = today_series.size() - 1;
+  const double days_left = std::max(0.0, today_series.l[today] / avg);
+
+  MaintenanceForecast forecast;
+  forecast.vehicle_id = id;
+  Result<VehicleCategory> category = CategoryOf(id);
+  forecast.category =
+      category.ok() ? category.ValueOrDie() : VehicleCategory::kNew;
+  forecast.model_name = "BL_fallback";
+  forecast.days_left = days_left;
+  forecast.usage_seconds_left = today_series.l[today];
+  forecast.predicted_date = state->usage.end_date().AddDays(
+      static_cast<int64_t>(std::llround(days_left)));
+  return forecast;
+}
+
+DegradationReport FleetScheduler::LastDegradationReport() const {
+  DegradationReport merged = train_degradation_;
+  merged.vehicles.insert(merged.vehicles.end(),
+                         forecast_degradation_.vehicles.begin(),
+                         forecast_degradation_.vehicles.end());
+  return merged;
 }
 
 
@@ -400,6 +526,7 @@ Result<DriftReport> FleetScheduler::CheckDrift(
 }
 
 Status FleetScheduler::SaveModels(std::ostream& out) const {
+  NEXTMAINT_FAILPOINT("scheduler.save_models");
   for (const auto& [id, state] : vehicles_) {
     if (state.model == nullptr) continue;
     // Unified models are shared across vehicles; each vehicle writes its
@@ -413,20 +540,57 @@ Status FleetScheduler::SaveModels(std::ostream& out) const {
 }
 
 Status FleetScheduler::SaveModels(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::IOError("cannot open '" + path + "' for writing");
+  // Write-to-temp + rename so a mid-stream failure never leaves a
+  // truncated model file at `path`: readers see either the previous
+  // complete file or the new complete file. Assumes a single writer per
+  // path (concurrent savers would share the temp name).
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open '" + tmp_path + "' for writing");
+    }
+    Status status = SaveModels(out).WithContext(path);
+    if (status.ok()) {
+      out.flush();
+      if (!out) {
+        status = Status::IOError("write to '" + tmp_path + "' failed");
+      }
+    }
+    if (!status.ok()) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return status;
+    }
   }
-  NM_RETURN_NOT_OK(SaveModels(out).WithContext(path));
-  out.flush();
-  if (!out) return Status::IOError("write to '" + path + "' failed");
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename '" + tmp_path + "' to '" + path +
+                           "'");
+  }
   return Status::OK();
 }
 
 Status FleetScheduler::LoadModels(std::istream& in) {
+  NEXTMAINT_FAILPOINT("scheduler.load_models");
+  // Parse into a staging map and commit only after the fleet-end marker:
+  // a truncated or corrupt stream must not leave the scheduler half-loaded
+  // (some vehicles on new models, some on old ones).
+  struct StagedModel {
+    std::shared_ptr<ml::Regressor> model;
+    std::string model_name;
+  };
+  std::map<std::string, StagedModel> staged;
   std::string token;
   while (in >> token) {
-    if (token == "fleet-end") return Status::OK();
+    if (token == "fleet-end") {
+      for (auto& [id, entry] : staged) {
+        VehicleState& state = vehicles_.at(id);
+        state.model = std::move(entry.model);
+        state.model_name = std::move(entry.model_name);
+      }
+      return Status::OK();
+    }
     if (token != "vehicle") {
       return Status::DataError("expected 'vehicle', got '" + token + "'");
     }
@@ -434,15 +598,15 @@ Status FleetScheduler::LoadModels(std::istream& in) {
     if (!(in >> id >> model_name)) {
       return Status::DataError("truncated vehicle model header");
     }
-    auto it = vehicles_.find(id);
-    if (it == vehicles_.end()) {
+    if (vehicles_.count(id) == 0) {
       return Status::NotFound("model for unregistered vehicle '" + id +
                               "'");
     }
     NM_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
                         LoadAnyModel(in));
-    it->second.model = std::move(model);
-    it->second.model_name = model_name;
+    // Duplicate entries keep the last occurrence, matching the previous
+    // in-place loader.
+    staged[id] = StagedModel{std::move(model), std::move(model_name)};
   }
   return Status::DataError("missing fleet-end marker");
 }

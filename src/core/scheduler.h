@@ -39,6 +39,38 @@ struct MaintenanceForecast {
   double usage_seconds_left = 0.0;
 };
 
+/// One vehicle quarantined during TrainAll or FleetForecast: the fleet run
+/// carried on without it (SchedulerOptions::strict == false) and this entry
+/// records why.
+struct VehicleDegradation {
+  std::string vehicle_id;
+  /// Pipeline stage that failed: "train" or "forecast".
+  std::string stage;
+  /// The isolated per-vehicle error.
+  Status error;
+  /// True when the vehicle was served by the untrained BL baseline instead
+  /// (the paper's BL needs only the usage history, so a fallback almost
+  /// always exists); false when even the fallback was impossible and the
+  /// vehicle is left unmodeled/unforecast.
+  bool fallback = false;
+};
+
+/// Quarantine ledger of a fleet run. Ordered by vehicle id (the
+/// deterministic task order of TrainAll/FleetForecast).
+struct DegradationReport {
+  std::vector<VehicleDegradation> vehicles;
+
+  bool empty() const { return vehicles.empty(); }
+
+  /// True when `vehicle_id` was quarantined in this run.
+  bool Contains(const std::string& vehicle_id) const {
+    for (const VehicleDegradation& d : vehicles) {
+      if (d.vehicle_id == vehicle_id) return true;
+    }
+    return false;
+  }
+};
+
 /// Configuration of the scheduler.
 struct SchedulerOptions {
   /// Allowed usage seconds between maintenances, fleet-wide default.
@@ -59,6 +91,13 @@ struct SchedulerOptions {
   /// (ThreadPool::DefaultThreadCount()). Any value yields bit-identical
   /// models and forecasts; see docs/parallelism.md.
   int num_threads = 0;
+  /// Fleet deployments keep serving healthy vehicles when one vehicle's
+  /// data or training fails: TrainAll/FleetForecast quarantine the failing
+  /// vehicle (see LastDegradationReport) and fall back to the BL baseline.
+  /// `strict` restores fail-fast: the first per-vehicle error aborts the
+  /// whole fleet operation (option-validation errors such as a negative
+  /// num_threads always fail fast). See docs/fault-injection.md.
+  bool strict = false;
 };
 
 /// Fleet-level next-maintenance scheduler.
@@ -135,6 +174,13 @@ class FleetScheduler {
   /// (IOError when the file cannot be opened).
   [[nodiscard]] Status LoadModels(const std::string& path);
 
+  /// Vehicles quarantined by the most recent TrainAll plus those
+  /// quarantined by the most recent FleetForecast, in deterministic
+  /// (vehicle-id) order per stage. Empty after fully healthy runs and in
+  /// strict mode (strict aborts instead of quarantining). Not synchronized
+  /// with concurrent TrainAll/FleetForecast calls on the same scheduler.
+  DegradationReport LastDegradationReport() const;
+
  private:
   struct VehicleState {
     Date first_day;
@@ -145,8 +191,20 @@ class FleetScheduler {
 
   [[nodiscard]] Result<const VehicleState*> FindVehicle(const std::string& id) const;
 
+  /// Builds the untrained-BL forecast for `id` (paper Eq. 5/6:
+  /// D_BL = L(today) / AVG). Needs only the usage history — no trained
+  /// model, no feature window — so it serves quarantined vehicles.
+  [[nodiscard]] Result<MaintenanceForecast> FallbackForecast(
+      const std::string& id) const;
+
   SchedulerOptions options_;
   std::map<std::string, VehicleState> vehicles_;
+  /// Quarantines recorded by the last TrainAll.
+  DegradationReport train_degradation_;
+  /// Quarantines recorded by the last FleetForecast (mutable: FleetForecast
+  /// is const; a concurrent-FleetForecast data race is excluded by contract,
+  /// see LastDegradationReport).
+  mutable DegradationReport forecast_degradation_;
 };
 
 }  // namespace core

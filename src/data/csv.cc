@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoints.h"
 #include "common/macros.h"
 #include "common/strings.h"
 #include "common/telemetry.h"
@@ -47,6 +48,7 @@ Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options) {
   size_t line_number = 0;
   while (std::getline(input, line)) {
     ++line_number;
+    NEXTMAINT_FAILPOINT("csv.read_row");
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() && header.empty() && rows.empty()) continue;
     std::vector<std::string> fields = Split(line, options.delimiter);
@@ -107,6 +109,7 @@ Result<Table> ReadCsvFile(const std::string& path,
   if (!file) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
+  NEXTMAINT_FAILPOINT("csv.open_file");
   telemetry::Count("data.csv.files_read");
   telemetry::ScopedTimer timer("data.csv.read_file.seconds");
   Result<Table> result = ReadCsv(file, options);

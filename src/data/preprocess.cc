@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 
+#include "common/failpoints.h"
 #include "common/macros.h"
 
 namespace nextmaint {
@@ -139,6 +140,7 @@ void ApplyMinMax(const MinMaxParams& params, DailySeries* series) {
 Result<DailySeries> AggregateDaily(const Table& table,
                                    const std::string& date_column,
                                    const std::string& duration_column) {
+  NEXTMAINT_FAILPOINT("preprocess.aggregate");
   NM_ASSIGN_OR_RETURN(const Column* dates, table.GetColumn(date_column));
   NM_ASSIGN_OR_RETURN(const Column* durations,
                       table.GetColumn(duration_column));

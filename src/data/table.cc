@@ -148,28 +148,29 @@ Status Table::AddColumn(Column column) {
         std::to_string(column.size()) + " rows, table has " +
         std::to_string(num_rows()));
   }
-  for (const Column& existing : columns_) {
-    if (existing.name() == column.name()) {
-      return Status::AlreadyExists("column '" + column.name() +
-                                   "' already present");
-    }
+  if (name_index_.count(column.name()) > 0) {
+    return Status::AlreadyExists("column '" + column.name() +
+                                 "' already present");
   }
+  name_index_.emplace(column.name(), columns_.size());
   columns_.push_back(std::move(column));
   return Status::OK();
 }
 
 Result<const Column*> Table::GetColumn(const std::string& name) const {
-  for (const Column& column : columns_) {
-    if (column.name() == name) return &column;
+  auto it = name_index_.find(name);
+  if (it == name_index_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
   }
-  return Status::NotFound("no column named '" + name + "'");
+  return &columns_[it->second];
 }
 
 Result<size_t> Table::ColumnIndex(const std::string& name) const {
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    if (columns_[i].name() == name) return i;
+  auto it = name_index_.find(name);
+  if (it == name_index_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
   }
-  return Status::NotFound("no column named '" + name + "'");
+  return it->second;
 }
 
 std::vector<std::string> Table::ColumnNames() const {

@@ -1,5 +1,6 @@
 #include "ml/regressor.h"
 
+#include "common/failpoints.h"
 #include "common/macros.h"
 #include "common/telemetry.h"
 
@@ -7,6 +8,8 @@ namespace nextmaint {
 namespace ml {
 
 Status Regressor::Fit(const Dataset& train) {
+  // The NVI entry point covers every concrete model with one site.
+  NEXTMAINT_FAILPOINT("ml.fit");
   if (!telemetry::Enabled()) return FitImpl(train);
   telemetry::ScopedTimer timer("ml.fit.seconds." + name());
   const Status status = FitImpl(train);

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli/cli.h"
+#include "common/failpoints.h"
+
+/// Chaos sweep: arm every catalogued failpoint in turn against a small
+/// simulated fleet and drive the full CLI pipeline. The contract
+/// (docs/fault-injection.md): whatever fails, the run ends in a clean
+/// Status or a documented BL fallback — never a crash, hang or NaN in the
+/// output — and the outcome is bit-identical at 1 and 4 threads.
+
+namespace nextmaint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ChaosSweepTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoints::CompiledIn()) {
+      GTEST_SKIP() << "failpoints compiled out "
+                      "(NEXTMAINT_ENABLE_FAILPOINTS=OFF)";
+    }
+    failpoints::DisarmAll();
+    dir_ = fs::path(testing::TempDir()) / "nextmaint_chaos_test";
+    fs::remove_all(dir_);
+    std::ostringstream out;
+    ASSERT_TRUE(cli::RunCommand({"simulate", "--out", Dir(), "--vehicles",
+                                 "3", "--days", "600", "--tv", "500000"},
+                                out)
+                    .ok());
+    // A healthy model file for the --load-models leg of the sweep.
+    models_path_ = (dir_ / "models.txt").string();
+    std::ostringstream save_out;
+    ASSERT_TRUE(RunPipeline(1, {"--save-models", models_path_}, &save_out)
+                    .ok());
+  }
+  void TearDown() override {
+    if (failpoints::CompiledIn()) failpoints::DisarmAll();
+    fs::remove_all(dir_);
+  }
+
+  std::string Dir() const { return dir_.string(); }
+
+  /// One full forecast run over the simulated fleet.
+  Status RunPipeline(int threads, const std::vector<std::string>& extra,
+                     std::ostringstream* out) const {
+    std::vector<std::string> args = {
+        "forecast",  "--data",   Dir(),           "--tv", "500000",
+        "--window",  "3",        "--threads",     std::to_string(threads)};
+    args.insert(args.end(), extra.begin(), extra.end());
+    return cli::RunCommand(args, *out);
+  }
+
+  fs::path dir_;
+  std::string models_path_;
+};
+
+/// The pipeline output and final status of one armed run.
+struct ChaosOutcome {
+  Status status;
+  std::string output;
+};
+
+TEST_F(ChaosSweepTest, EverySiteDegradesCleanlyAndDeterministically) {
+  for (const std::string& site : failpoints::RegisteredSites()) {
+    // `site` alone fires on every hit (total outage of that seam);
+    // `site:1` fires on exactly the first vehicle/hit (partial outage, the
+    // graceful-degradation case).
+    for (const std::string& spec : {site, site + ":1"}) {
+      SCOPED_TRACE(spec);
+      std::vector<std::string> extra;
+      if (site == "scheduler.load_models") {
+        extra = {"--load-models", models_path_};
+      } else {
+        extra = {"--save-models", (dir_ / "sweep_models.txt").string()};
+      }
+
+      uint64_t hits = 0;
+      std::vector<ChaosOutcome> outcomes;
+      for (int threads : {1, 4}) {
+        // Re-arm per run so the uncontexted nth counter restarts: both
+        // thread counts must see the very same injection schedule.
+        failpoints::DisarmAll();
+        ASSERT_TRUE(failpoints::Arm(spec).ok());
+        std::ostringstream out;
+        ChaosOutcome outcome;
+        outcome.status = RunPipeline(threads, extra, &out);
+        outcome.output = out.str();
+        hits += failpoints::HitCount(site);
+        failpoints::DisarmAll();
+
+        // Clean Status or documented fallback — and never a NaN/Inf
+        // leaking into operator-facing output.
+        if (!outcome.status.ok()) {
+          EXPECT_FALSE(outcome.status.message().empty());
+        }
+        EXPECT_EQ(outcome.output.find("nan"), std::string::npos)
+            << outcome.output;
+        EXPECT_EQ(outcome.output.find("inf"), std::string::npos)
+            << outcome.output;
+        outcomes.push_back(std::move(outcome));
+      }
+
+      // The site must actually be wired into the exercised pipeline.
+      EXPECT_GT(hits, 0u) << "failpoint '" << site
+                          << "' was never evaluated by the sweep";
+
+      // Bit-identical at 1 vs 4 threads: same status, same output bytes.
+      ASSERT_EQ(outcomes.size(), 2u);
+      EXPECT_EQ(outcomes[0].status.code(), outcomes[1].status.code());
+      EXPECT_EQ(outcomes[0].status.message(), outcomes[1].status.message());
+      EXPECT_EQ(outcomes[0].output, outcomes[1].output);
+    }
+  }
+}
+
+TEST_F(ChaosSweepTest, PartialTrainingOutageStillServesWholeFleet) {
+  failpoints::DisarmAll();
+  ASSERT_TRUE(failpoints::Arm("scheduler.train_vehicle:1").ok());
+  std::ostringstream out;
+  const Status status = RunPipeline(1, {}, &out);
+  failpoints::DisarmAll();
+  ASSERT_TRUE(status.ok()) << status;
+  const std::string text = out.str();
+  // The quarantined vehicle is reported and served by the BL fallback...
+  EXPECT_NE(text.find("degraded vehicle v1"), std::string::npos) << text;
+  EXPECT_NE(text.find("BL_fallback"), std::string::npos) << text;
+  // ...and the healthy vehicles still appear in the forecast table.
+  EXPECT_NE(text.find("v2"), std::string::npos) << text;
+  EXPECT_NE(text.find("v3"), std::string::npos) << text;
+}
+
+TEST_F(ChaosSweepTest, StrictModeTurnsInjectionIntoFailFast) {
+  failpoints::DisarmAll();
+  ASSERT_TRUE(failpoints::Arm("scheduler.train_vehicle:1").ok());
+  std::ostringstream out;
+  const Status status = RunPipeline(1, {"--strict"}, &out);
+  failpoints::DisarmAll();
+  EXPECT_EQ(status.code(), StatusCode::kUnknown);
+  EXPECT_NE(status.message().find("injected failure"), std::string::npos)
+      << status;
+}
+
+TEST_F(ChaosSweepTest, SaveOutageLeavesNoTruncatedModelFile) {
+  const std::string path = (dir_ / "atomic_models.txt").string();
+  failpoints::DisarmAll();
+  ASSERT_TRUE(failpoints::Arm("scheduler.save_models").ok());
+  std::ostringstream out;
+  const Status status = RunPipeline(1, {"--save-models", path}, &out);
+  failpoints::DisarmAll();
+  EXPECT_FALSE(status.ok());
+  // Neither a truncated target nor a stray temp file survives the failure.
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(ChaosSweepTest, UnknownFailpointSpecRejectedUpFront) {
+  std::ostringstream out;
+  const Status status =
+      RunPipeline(1, {"--failpoints", "no.such.site"}, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("no.such.site"), std::string::npos);
+}
+
+TEST_F(ChaosSweepTest, FailpointsFlagArmsThePipeline) {
+  std::ostringstream out;
+  const Status status = RunPipeline(
+      1, {"--failpoints", "scheduler.forecast_vehicle:1"}, &out);
+  failpoints::DisarmAll();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.str().find("BL_fallback"), std::string::npos) << out.str();
+}
+
+}  // namespace
+}  // namespace nextmaint

@@ -163,6 +163,8 @@ TEST_F(CliPipelineTest, ForecastOnMissingDirectoryFails) {
 }
 
 TEST_F(CliPipelineTest, CorruptCsvSurfacesDataError) {
+  // With every vehicle corrupt there is nothing to degrade to: the error
+  // surfaces even in the default (non-strict) mode.
   fs::create_directories(dir_);
   std::ofstream bad(dir_ / "vbad.csv");
   bad << "date,utilization_s\n2015-01-01,10,EXTRA\n";
@@ -170,6 +172,37 @@ TEST_F(CliPipelineTest, CorruptCsvSurfacesDataError) {
   std::ostringstream out;
   const Status status = RunCommand({"forecast", "--data", Dir()}, out);
   EXPECT_EQ(status.code(), StatusCode::kDataError);
+}
+
+TEST_F(CliPipelineTest, CorruptVehicleSkippedUnlessStrict) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "2",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  std::ofstream bad(dir_ / "vbad.csv");
+  bad << "date,utilization_s\n2015-01-01,10,EXTRA\n";
+  bad.close();
+
+  // Default mode: the corrupt vehicle is skipped (and reported), the two
+  // healthy vehicles are still forecast.
+  std::ostringstream degraded_out;
+  ASSERT_TRUE(RunCommand({"forecast", "--data", Dir(), "--tv", "500000",
+                          "--window", "3"},
+                         degraded_out)
+                  .ok());
+  const std::string text = degraded_out.str();
+  EXPECT_NE(text.find("skipped vehicle vbad"), std::string::npos) << text;
+  EXPECT_NE(text.find("v1"), std::string::npos);
+  EXPECT_NE(text.find("v2"), std::string::npos);
+
+  // --strict restores fail-fast on the same fleet.
+  std::ostringstream strict_out;
+  const Status strict_status =
+      RunCommand({"forecast", "--data", Dir(), "--tv", "500000", "--window",
+                  "3", "--strict"},
+                 strict_out);
+  EXPECT_EQ(strict_status.code(), StatusCode::kDataError);
 }
 
 TEST_F(CliPipelineTest, MalformedThreadsFlagRejectedWithUsage) {

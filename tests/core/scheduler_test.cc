@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <utility>
 
+#include "common/failpoints.h"
 #include "common/telemetry.h"
 #include "telematics/fleet.h"
 
@@ -377,6 +382,139 @@ TEST(FleetSchedulerTest, TelemetryDoesNotChangeResults) {
     EXPECT_TRUE(snapshot.gauges.empty());
 #endif
   }
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// ISSUE 4 acceptance: with one vehicle's training armed to fail, the
+/// fleet still trains and forecasts end to end; the quarantined vehicle is
+/// served by the BL fallback and every other vehicle's forecast is
+/// bit-identical to a failure-free run.
+TEST(FleetSchedulerTest, GracefulDegradationQuarantinesOnlyFailingVehicle) {
+  if (!failpoints::CompiledIn()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  failpoints::DisarmAll();
+
+  const auto populate = [](FleetScheduler& scheduler) {
+    for (int v = 1; v <= 3; ++v) {
+      const std::string id = std::string("v") + std::to_string(v);
+      ASSERT_TRUE(scheduler.RegisterVehicle(id, Day(0)).ok());
+      ASSERT_TRUE(
+          scheduler.IngestSeries(id, SimulatedVehicle(80 + v, 600)).ok());
+    }
+  };
+
+  FleetScheduler healthy(FastOptions());
+  populate(healthy);
+  ASSERT_TRUE(healthy.TrainAll().ok());
+  EXPECT_TRUE(healthy.LastDegradationReport().empty());
+  const std::vector<MaintenanceForecast> baseline =
+      healthy.FleetForecast().ValueOrDie();
+
+  telemetry::SetEnabled(true);
+  telemetry::MetricsRegistry::Global().Reset();
+  FleetScheduler degraded(FastOptions());
+  populate(degraded);
+  ASSERT_TRUE(failpoints::Arm("scheduler.train_vehicle:1").ok());
+  ASSERT_TRUE(degraded.TrainAll().ok());
+  failpoints::DisarmAll();
+  const std::vector<MaintenanceForecast> forecasts =
+      degraded.FleetForecast().ValueOrDie();
+  const telemetry::MetricsSnapshot snapshot = telemetry::Snapshot();
+  telemetry::MetricsRegistry::Global().Reset();
+  telemetry::SetEnabled(false);
+
+  // The report names exactly the injected vehicle, with its Status.
+  const DegradationReport report = degraded.LastDegradationReport();
+  ASSERT_EQ(report.vehicles.size(), 1u);
+  EXPECT_EQ(report.vehicles[0].vehicle_id, "v1");
+  EXPECT_EQ(report.vehicles[0].stage, "train");
+  EXPECT_TRUE(report.vehicles[0].fallback);
+  EXPECT_NE(report.vehicles[0].error.message().find("injected"),
+            std::string::npos);
+  EXPECT_TRUE(report.Contains("v1"));
+  EXPECT_FALSE(report.Contains("v2"));
+
+  // FleetForecast orders by predicted date, so compare keyed by vehicle.
+  ASSERT_EQ(forecasts.size(), baseline.size());
+  std::map<std::string, const MaintenanceForecast*> by_vehicle;
+  for (const auto& forecast : forecasts) {
+    by_vehicle[forecast.vehicle_id] = &forecast;
+  }
+  for (const auto& expected : baseline) {
+    ASSERT_TRUE(by_vehicle.count(expected.vehicle_id))
+        << expected.vehicle_id;
+    const MaintenanceForecast& got = *by_vehicle.at(expected.vehicle_id);
+    if (expected.vehicle_id == "v1") {
+      EXPECT_EQ(got.model_name, "BL_fallback");
+      EXPECT_TRUE(std::isfinite(got.days_left));
+      EXPECT_GE(got.days_left, 0.0);
+      continue;
+    }
+    EXPECT_EQ(got.model_name, expected.model_name);
+    EXPECT_EQ(got.days_left, expected.days_left);
+    EXPECT_EQ(got.usage_seconds_left, expected.usage_seconds_left);
+    EXPECT_EQ(got.predicted_date, expected.predicted_date);
+  }
+
+#ifndef NEXTMAINT_TELEMETRY_DISABLED
+  EXPECT_EQ(snapshot.gauges.at("scheduler.degraded_vehicles"), 1.0);
+  EXPECT_EQ(snapshot.counters.at("scheduler.train.fallback_bl"), 1u);
+#endif
+}
+
+TEST(FleetSchedulerTest, SaveModelsFailureLeavesExistingFileIntact) {
+  if (!failpoints::CompiledIn()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  failpoints::DisarmAll();
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(52, 600)).ok());
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+  const std::string path = ::testing::TempDir() + "/atomic_models.txt";
+  ASSERT_TRUE(scheduler.SaveModels(path).ok());
+  const std::string before = ReadAll(path);
+  ASSERT_FALSE(before.empty());
+
+  ASSERT_TRUE(failpoints::Arm("scheduler.save_models").ok());
+  EXPECT_FALSE(scheduler.SaveModels(path).ok());
+  failpoints::DisarmAll();
+
+  // The failed save neither truncated the live file nor left a temp file:
+  // writes go to `path + ".tmp"` and only rename on success.
+  EXPECT_EQ(ReadAll(path), before);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(FleetSchedulerTest, LoadModelsFailureCommitsNothing) {
+  FleetScheduler trained(FastOptions());
+  ASSERT_TRUE(trained.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(trained.IngestSeries("v1", SimulatedVehicle(53, 600)).ok());
+  ASSERT_TRUE(trained.TrainAll().ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(trained.SaveModels(buffer).ok());
+  const std::string full = buffer.str();
+
+  // Cut the stream after v1's complete model but before the fleet-end
+  // marker: every record parses, yet nothing may commit.
+  const size_t cut = full.rfind("fleet-end");
+  ASSERT_NE(cut, std::string::npos);
+  FleetScheduler restored(FastOptions());
+  ASSERT_TRUE(restored.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(restored.IngestSeries("v1", SimulatedVehicle(53, 600)).ok());
+  std::stringstream truncated(full.substr(0, cut));
+  EXPECT_EQ(restored.LoadModels(truncated).code(), StatusCode::kDataError);
+  // No partially loaded model leaks into serving.
+  EXPECT_EQ(restored.Forecast("v1").status().code(),
+            StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

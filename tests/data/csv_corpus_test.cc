@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "data/csv.h"
+#include "data/preprocess.h"
+
+/// Fuzz-style corpus for the CSV ingestion path: every fixture under
+/// tests/data/corpus/ is an adversarial file observed (or plausible) from
+/// fleet telematics exports — truncated rows, embedded NULs, exotic line
+/// endings, duplicate dates, overflowing magnitudes. The contract under
+/// test: ReadCsv and AggregateDaily stay well-defined on all of them —
+/// a clean Status in, a clean Status or usable series out, never a crash,
+/// hang or silent NaN leak past Clean().
+
+namespace nextmaint {
+namespace data {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CorpusExpectation {
+  /// Whether ReadCsvFile must succeed.
+  bool read_ok;
+  /// Whether AggregateDaily(date, utilization_s) on the read table must
+  /// succeed. Meaningless when read_ok is false.
+  bool aggregate_ok;
+};
+
+/// One entry per fixture; the test fails when the directory and this table
+/// drift apart, so adding a fixture forces writing down its contract.
+const std::map<std::string, CorpusExpectation>& Expectations() {
+  static const std::map<std::string, CorpusExpectation> expectations = {
+      {"bad_dates.csv", {true, false}},
+      {"big_magnitudes.csv", {true, true}},
+      {"cr_only.csv", {true, false}},
+      {"crlf.csv", {true, true}},
+      {"duplicate_columns.csv", {false, false}},
+      {"duplicate_dates.csv", {true, true}},
+      {"embedded_nul.csv", {true, false}},
+      {"empty.csv", {true, false}},
+      {"gap_dates.csv", {true, true}},
+      {"header_only.csv", {true, false}},
+      {"huge_field.csv", {true, false}},
+      {"mixed_line_endings.csv", {true, true}},
+      {"nan_inf_tokens.csv", {true, true}},
+      {"negative_usage.csv", {true, true}},
+      {"null_tokens.csv", {true, true}},
+      {"overflow_to_string.csv", {true, false}},
+      {"quoted_fields.csv", {false, false}},
+      {"ragged_extra_field.csv", {false, false}},
+      {"semicolon_delimiter.csv", {true, false}},
+      {"truncated_row.csv", {false, false}},
+      {"unsorted_dates.csv", {true, true}},
+      {"utf8_bom.csv", {true, false}},
+      {"wide_header.csv", {true, false}},
+  };
+  return expectations;
+}
+
+std::string CorpusDir() { return NEXTMAINT_TEST_CORPUS_DIR; }
+
+TEST(CsvCorpusTest, ExpectationTableMatchesCheckedInFixtures) {
+  std::set<std::string> on_disk;
+  for (const auto& entry : fs::directory_iterator(CorpusDir())) {
+    on_disk.insert(entry.path().filename().string());
+  }
+  std::set<std::string> expected;
+  for (const auto& [name, unused] : Expectations()) expected.insert(name);
+  EXPECT_EQ(on_disk, expected)
+      << "tests/data/corpus/ and the expectation table must list the same "
+         "fixtures";
+}
+
+TEST(CsvCorpusTest, EveryFixtureStaysWellDefined) {
+  for (const auto& [name, expect] : Expectations()) {
+    SCOPED_TRACE(name);
+    const std::string path = CorpusDir() + "/" + name;
+    const Result<Table> table = ReadCsvFile(path);
+    EXPECT_EQ(table.ok(), expect.read_ok)
+        << (table.ok() ? "unexpectedly readable"
+                       : table.status().ToString());
+    if (!table.ok()) {
+      // Failures must be categorized errors with a message, not aborts.
+      EXPECT_NE(table.status().code(), StatusCode::kOk);
+      EXPECT_FALSE(table.status().message().empty());
+      continue;
+    }
+    Result<DailySeries> series =
+        AggregateDaily(table.ValueOrDie(), "date", "utilization_s");
+    EXPECT_EQ(series.ok(), expect.aggregate_ok)
+        << (series.ok() ? "unexpectedly aggregable"
+                        : series.status().ToString());
+    if (!series.ok()) {
+      EXPECT_FALSE(series.status().message().empty());
+      continue;
+    }
+    // An aggregable fixture must clean into a fully finite series: this is
+    // the boundary past which the ML layer assumes well-formed numbers.
+    DailySeries cleaned = std::move(series).ValueOrDie();
+    Clean(&cleaned);
+    for (size_t i = 0; i < cleaned.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(cleaned[i])) << "day " << i;
+    }
+  }
+}
+
+TEST(CsvCorpusTest, DuplicateDatesAreSummed) {
+  const Result<Table> table =
+      ReadCsvFile(CorpusDir() + "/duplicate_dates.csv");
+  ASSERT_TRUE(table.ok()) << table.status();
+  const Result<DailySeries> series =
+      AggregateDaily(table.ValueOrDie(), "date", "utilization_s");
+  ASSERT_TRUE(series.ok()) << series.status();
+  ASSERT_EQ(series.ValueOrDie().size(), 2u);
+  EXPECT_DOUBLE_EQ(series.ValueOrDie()[0], 5400.0);  // 3600 + 1800
+  EXPECT_DOUBLE_EQ(series.ValueOrDie()[1], 600.0);
+}
+
+TEST(CsvCorpusTest, HundredThousandColumnHeaderCompletesQuickly) {
+  // Generated rather than checked in: the point is the O(columns) table
+  // assembly (a linear duplicate-name scan in Table::AddColumn turned this
+  // into ~5e9 string compares, an effective hang).
+  std::ostringstream input;
+  input << "date";
+  for (int c = 1; c < 100'000; ++c) input << ",c" << c;
+  input << "\n2015-01-01";
+  for (int c = 1; c < 100'000; ++c) input << ",1";
+  input << "\n";
+  std::istringstream stream(input.str());
+  const Result<Table> table = ReadCsv(stream);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table.ValueOrDie().num_columns(), 100'000u);
+  EXPECT_EQ(table.ValueOrDie().num_rows(), 1u);
+  EXPECT_TRUE(table.ValueOrDie().GetColumn("c99999").ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace nextmaint

@@ -148,6 +148,18 @@ TEST(UncheckedStatusRuleTest, FlagsDiscardedResultCall) {
   ASSERT_TRUE(HasRule(findings, Rule::kUncheckedStatus));
 }
 
+TEST(UncheckedStatusRuleTest, FailpointMacroStatementsPass) {
+  // NEXTMAINT_FAILPOINT("site"); expands to a self-checking block (the
+  // injected Status is tested and returned inside the macro), so a bare
+  // macro statement must not read as a discarded Status-returning call.
+  EXPECT_TRUE(Lint("src/data/foo.cc",
+                   "Status Read() {\n"
+                   "  NEXTMAINT_FAILPOINT(\"csv.read_row\");\n"
+                   "  return Status::OK();\n"
+                   "}\n")
+                  .empty());
+}
+
 TEST(UncheckedStatusRuleTest, VoidFunctionsOfOtherNamesPass) {
   EXPECT_TRUE(Lint("src/core/foo.cc",
                    "void Log(const char* m);\n"

@@ -5,8 +5,11 @@
 
 #include <cmath>
 #include <map>
+#include <set>
 #include <tuple>
+#include <utility>
 
+#include "common/failpoints.h"
 #include "nextmaint.h"
 
 namespace nextmaint {
@@ -382,6 +385,131 @@ TEST_P(IngestionOrderTest, ParallelPermutedFleetMatchesSerialCanonical) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IngestionOrderTest,
                          testing::Values(uint64_t{3}, uint64_t{14},
                                          uint64_t{159}));
+
+// ---------------------------------------------------------------------------
+// Failure isolation: whatever random subset of vehicles has its training
+// sabotaged, every non-failing vehicle's forecast is bit-identical to a
+// failure-free run, the failing vehicles are served by the BL fallback,
+// and the degradation report names exactly the injected set — at 1 and 4
+// threads alike.
+// ---------------------------------------------------------------------------
+
+class DegradationIsolationTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(DegradationIsolationTest, FailingSubsetNeverPerturbsTheRest) {
+  if (!failpoints::CompiledIn()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  const uint64_t seed = GetParam();
+  constexpr double kTv = 500'000.0;
+  constexpr int kFleetSize = 5;
+
+  std::vector<data::DailySeries> series;
+  for (int v = 0; v < kFleetSize; ++v) {
+    Rng profile_rng(uint64_t{300} + static_cast<uint64_t>(v));
+    telem::VehicleProfile profile =
+        telem::DefaultFleetProfiles(1, &profile_rng)[0];
+    profile.maintenance_interval_s = kTv;
+    Rng sim_rng(uint64_t{23} * static_cast<uint64_t>(v) + 9);
+    series.push_back(telem::SimulateVehicle(profile, Day(0), 650, 0.0,
+                                            &sim_rng)
+                         .ValueOrDie()
+                         .utilization);
+  }
+
+  // A random, non-empty, proper subset of failing vehicles.
+  Rng subset_rng(seed);
+  std::set<int> failing;
+  while (failing.empty() ||
+         failing.size() == static_cast<size_t>(kFleetSize)) {
+    failing.clear();
+    for (int v = 0; v < kFleetSize; ++v) {
+      if (subset_rng.NextDouble() < 0.4) failing.insert(v);
+    }
+  }
+
+  core::SchedulerOptions options;
+  options.maintenance_interval_s = kTv;
+  options.window = 3;
+  options.algorithms = {"BL", "LR"};
+  options.unified_algorithm = "LR";
+  options.selection.tune = false;
+  options.selection.resampling_shifts = 0;
+
+  // Vehicles train in sorted-id order, so vehicle v maps to ordinal v + 1.
+  const auto run_fleet = [&](const std::set<int>& sabotage,
+                             int num_threads) {
+    core::SchedulerOptions opts = options;
+    opts.num_threads = num_threads;
+    core::FleetScheduler scheduler(opts);
+    for (int v = 0; v < kFleetSize; ++v) {
+      const std::string id = std::string("v") + std::to_string(v);
+      EXPECT_TRUE(scheduler.RegisterVehicle(id, Day(0)).ok());
+      EXPECT_TRUE(
+          scheduler.IngestSeries(id, series[static_cast<size_t>(v)]).ok());
+    }
+    failpoints::DisarmAll();
+    for (int v : sabotage) {
+      EXPECT_TRUE(
+          failpoints::Arm("scheduler.train_vehicle:" + std::to_string(v + 1))
+              .ok());
+    }
+    EXPECT_TRUE(scheduler.TrainAll().ok());
+    failpoints::DisarmAll();
+    auto forecasts = scheduler.FleetForecast().ValueOrDie();
+    std::pair<std::vector<core::MaintenanceForecast>, core::DegradationReport>
+        result{std::move(forecasts), scheduler.LastDegradationReport()};
+    return result;
+  };
+
+  const auto [baseline, baseline_report] = run_fleet({}, 1);
+  ASSERT_TRUE(baseline_report.empty());
+  ASSERT_EQ(baseline.size(), static_cast<size_t>(kFleetSize));
+
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    const auto [forecasts, report] = run_fleet(failing, threads);
+
+    // The report names exactly the sabotaged vehicles, each with a BL
+    // fallback in place.
+    std::set<std::string> reported;
+    for (const auto& entry : report.vehicles) {
+      EXPECT_EQ(entry.stage, "train");
+      EXPECT_TRUE(entry.fallback) << entry.vehicle_id;
+      reported.insert(entry.vehicle_id);
+    }
+    std::set<std::string> injected;
+    for (int v : failing) injected.insert("v" + std::to_string(v));
+    EXPECT_EQ(reported, injected);
+
+    // FleetForecast orders by predicted date, so compare keyed by vehicle.
+    ASSERT_EQ(forecasts.size(), baseline.size());
+    std::map<std::string, const core::MaintenanceForecast*> by_vehicle;
+    for (const auto& forecast : forecasts) {
+      by_vehicle[forecast.vehicle_id] = &forecast;
+    }
+    for (const auto& expected : baseline) {
+      ASSERT_TRUE(by_vehicle.count(expected.vehicle_id))
+          << expected.vehicle_id;
+      const core::MaintenanceForecast& got =
+          *by_vehicle.at(expected.vehicle_id);
+      if (injected.count(expected.vehicle_id)) {
+        EXPECT_EQ(got.model_name, "BL_fallback");
+        EXPECT_GE(got.days_left, 0.0);
+        continue;
+      }
+      // Bit-identical: the sabotage of other vehicles leaks nothing.
+      EXPECT_EQ(got.model_name, expected.model_name);
+      EXPECT_EQ(got.days_left, expected.days_left);
+      EXPECT_EQ(got.usage_seconds_left, expected.usage_seconds_left);
+      EXPECT_EQ(got.predicted_date, expected.predicted_date);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegradationIsolationTest,
+                         testing::Values(uint64_t{7}, uint64_t{28},
+                                         uint64_t{2020}));
 
 // ---------------------------------------------------------------------------
 // Workshop-planner invariants across capacities and fleet sizes.
