@@ -1,0 +1,188 @@
+// Serving-engine benchmark: incremental refresh vs from-scratch batch run.
+//
+// The deployment story behind src/serve/: a telematics collector delivers
+// one day of utilization for one vehicle, and the fleet forecast must be
+// brought up to date. The batch facade pays a full-fleet retrain for that
+// single day; the ServingEngine retrains exactly the dirty vehicle. This
+// bench measures both paths on the same fleet, verifies the forecasts are
+// bit-identical, and emits a machine-readable JSON record (also written to
+// the file named by NEXTMAINT_BENCH_JSON, for CI trend tracking).
+//
+// ISSUE 5 acceptance: incremental refresh after a single-day append on a
+// >=50-vehicle fleet must be >=10x faster than the batch re-run.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/scheduler.h"
+#include "serve/serving_engine.h"
+
+namespace {
+
+using nextmaint::bench::BenchConfig;
+using nextmaint::bench::ConfigFromEnv;
+using nextmaint::bench::MakeReferenceFleet;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+nextmaint::core::SchedulerOptions ServingOptions(const BenchConfig& config,
+                                                 double tv) {
+  nextmaint::core::SchedulerOptions options;
+  options.maintenance_interval_s = tv;
+  options.window = 3;
+  options.algorithms = {"BL", "LR"};
+  options.unified_algorithm = "LR";
+  options.selection.tune = false;
+  options.selection.train_on_last29_only = true;
+  options.selection.resampling_shifts = 0;
+  options.num_threads = config.num_threads;
+  return options;
+}
+
+bool ForecastsIdentical(
+    const std::vector<nextmaint::core::MaintenanceForecast>& a,
+    const std::vector<nextmaint::core::MaintenanceForecast>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].vehicle_id != b[i].vehicle_id ||
+        a[i].model_name != b[i].model_name ||
+        a[i].days_left != b[i].days_left ||
+        a[i].usage_seconds_left != b[i].usage_seconds_left ||
+        !(a[i].predicted_date == b[i].predicted_date)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config = ConfigFromEnv();
+  // The serving scenario: a mid-size fleet with short cycles so every
+  // vehicle is old and carries a per-vehicle model (the expensive case for
+  // a batch re-run). Kept small enough for the CI quick-bench loop.
+  config.num_vehicles = 50;
+  config.num_days = 500;
+  config.maintenance_interval_s = 500'000.0;
+  const double tv = config.maintenance_interval_s;
+  const nextmaint::telem::Fleet fleet = MakeReferenceFleet(config);
+
+  const nextmaint::core::SchedulerOptions options =
+      ServingOptions(config, tv);
+
+  // Warm-start the engine on everything but each vehicle's last day.
+  nextmaint::serve::ServingEngine engine(options);
+  for (const auto& vehicle : fleet.vehicles) {
+    const auto& series = vehicle.utilization;
+    if (!engine.Register(vehicle.profile.id, series.start_date()).ok() ||
+        !engine
+             .LoadHistory(vehicle.profile.id,
+                          series.Slice(0, series.size() - 1))
+             .ok()) {
+      std::fprintf(stderr, "warm-start failed for %s\n",
+                   vehicle.profile.id.c_str());
+      return 1;
+    }
+  }
+  if (!engine.RefreshForecasts().ok()) {
+    std::fprintf(stderr, "warm-start refresh failed\n");
+    return 1;
+  }
+
+  // Deliver the held-out day for a few vehicles, one at a time, timing the
+  // incremental refresh each delivery triggers.
+  const size_t kDeliveries = 3;
+  double incremental_total = 0.0;
+  for (size_t v = 0; v < kDeliveries; ++v) {
+    const auto& vehicle = fleet.vehicles[v];
+    const auto& series = vehicle.utilization;
+    const size_t last = series.size() - 1;
+    if (!engine
+             .Append(vehicle.profile.id,
+                     series.start_date().AddDays(static_cast<int64_t>(last)),
+                     series[last])
+             .ok()) {
+      std::fprintf(stderr, "append failed for %s\n",
+                   vehicle.profile.id.c_str());
+      return 1;
+    }
+    const Clock::time_point start = Clock::now();
+    const auto stats = engine.RefreshForecasts();
+    const double elapsed = SecondsSince(start);
+    if (!stats.ok() || stats.ValueOrDie().refreshed != 1) {
+      std::fprintf(stderr, "incremental refresh did not isolate the dirty "
+                           "vehicle\n");
+      return 1;
+    }
+    incremental_total += elapsed;
+  }
+  const double incremental_seconds = incremental_total / kDeliveries;
+
+  // The from-scratch batch run over the exact same data.
+  nextmaint::core::FleetScheduler batch(options);
+  for (size_t v = 0; v < fleet.vehicles.size(); ++v) {
+    const auto& vehicle = fleet.vehicles[v];
+    const auto& series = vehicle.utilization;
+    const size_t days = v < kDeliveries ? series.size() : series.size() - 1;
+    if (!batch.RegisterVehicle(vehicle.profile.id, series.start_date())
+             .ok() ||
+        !batch.IngestSeries(vehicle.profile.id, series.Slice(0, days)).ok()) {
+      std::fprintf(stderr, "batch ingest failed for %s\n",
+                   vehicle.profile.id.c_str());
+      return 1;
+    }
+  }
+  const Clock::time_point batch_start = Clock::now();
+  const bool batch_ok = batch.TrainAll().ok();
+  const auto batch_forecasts = batch.FleetForecast();
+  const double batch_seconds = SecondsSince(batch_start);
+  if (!batch_ok || !batch_forecasts.ok()) {
+    std::fprintf(stderr, "batch run failed\n");
+    return 1;
+  }
+
+  const bool identical = ForecastsIdentical(
+      engine.Snapshot()->forecasts, batch_forecasts.ValueOrDie());
+  const double speedup =
+      incremental_seconds > 0.0 ? batch_seconds / incremental_seconds : 0.0;
+
+  char json[512];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"serving\",\"schema\":1,\"vehicles\":%d,\"days\":%d,"
+      "\"threads\":%d,\"deliveries\":%zu,\"batch_seconds\":%.6f,"
+      "\"incremental_seconds\":%.6f,\"speedup\":%.2f,"
+      "\"forecasts_identical\":%s}",
+      config.num_vehicles, config.num_days, config.num_threads, kDeliveries,
+      batch_seconds, incremental_seconds, speedup,
+      identical ? "true" : "false");
+  std::printf("%s\n", json);
+
+  if (const char* path = std::getenv("NEXTMAINT_BENCH_JSON")) {
+    if (*path != '\0') {
+      std::FILE* file = std::fopen(path, "w");
+      if (file == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+      }
+      std::fprintf(file, "%s\n", json);
+      std::fclose(file);
+    }
+  }
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "incremental and batch forecasts diverged — the serving "
+                 "engine broke bit-identity\n");
+    return 1;
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "core/workshop_planner.h"
 #include "data/csv.h"
 #include "data/preprocess.h"
+#include "serve/serving_engine.h"
 #include "telematics/fleet.h"
 
 namespace nextmaint {
@@ -72,6 +73,51 @@ ParsedArgs ParseArgs(const std::vector<std::string>& args) {
     }
   }
   return parsed;
+}
+
+Result<CommonOptions> ParseCommonOptions(const ParsedArgs& args) {
+  CommonOptions common;
+  const auto threads = args.flags.find("threads");
+  if (threads != args.flags.end()) {
+    // Malformed or negative input is a user error, rejected with the usage
+    // hint instead of silently falling back to the default.
+    const Result<int64_t> parsed = ParseInt64(threads->second);
+    if (!parsed.ok() || parsed.ValueOrDie() < 0) {
+      return Status::InvalidArgument(
+          "--threads expects a non-negative integer (0 = all cores), got '" +
+          threads->second + "'\n" + UsageText());
+    }
+    common.threads = static_cast<int>(parsed.ValueOrDie());
+  }
+  common.strict = args.HasFlag("strict");
+  if (args.HasFlag("metrics-json")) {
+    common.metrics_json = args.flags.at("metrics-json");
+    if (common.metrics_json.empty()) {
+      return Status::InvalidArgument("--metrics-json requires a file path\n" +
+                                     UsageText());
+    }
+  }
+  if (args.HasFlag("failpoints")) {
+    if (!failpoints::CompiledIn()) {
+      return Status::InvalidArgument(
+          "--failpoints requires a build with NEXTMAINT_ENABLE_FAILPOINTS=ON "
+          "(docs/fault-injection.md)");
+    }
+    common.failpoints = args.flags.at("failpoints");
+    if (common.failpoints.empty()) {
+      return Status::InvalidArgument(
+          "--failpoints requires a spec (site[:nth[:kind]], comma "
+          "separated)\n" + UsageText());
+    }
+  }
+  if (args.HasFlag("load-models")) {
+    common.load_models = args.flags.at("load-models");
+    if (common.load_models.empty()) {
+      return Status::InvalidArgument(
+          "--load-models requires a checkpoint file path\n" + UsageText());
+    }
+  }
+  return common;
 }
 
 namespace {
@@ -145,10 +191,9 @@ void ReportSkippedVehicles(const FleetLoad& load, std::ostream& out) {
   }
 }
 
-/// Prints one line per vehicle the scheduler quarantined, plus a summary.
-void ReportDegradations(const core::FleetScheduler& scheduler,
-                        std::ostream& out) {
-  const core::DegradationReport report = scheduler.LastDegradationReport();
+/// Prints one line per quarantined vehicle, plus a summary.
+void ReportDegradationReport(const core::DegradationReport& report,
+                             std::ostream& out) {
   if (report.empty()) return;
   for (const auto& d : report.vehicles) {
     out << "degraded vehicle " << d.vehicle_id << " (" << d.stage
@@ -159,54 +204,67 @@ void ReportDegradations(const core::FleetScheduler& scheduler,
       << "--strict to fail fast\n";
 }
 
-/// --threads value: malformed or negative input is a user error, rejected
-/// with the usage hint instead of silently falling back to the default.
-Result<int> ThreadCountFromArgs(const ParsedArgs& args) {
-  const auto it = args.flags.find("threads");
-  if (it == args.flags.end()) return 0;
-  const Result<int64_t> parsed = ParseInt64(it->second);
-  if (!parsed.ok() || parsed.ValueOrDie() < 0) {
-    return Status::InvalidArgument(
-        "--threads expects a non-negative integer (0 = all cores), got '" +
-        it->second + "'\n" + UsageText());
-  }
-  return static_cast<int>(parsed.ValueOrDie());
+/// Prints one line per vehicle the scheduler quarantined, plus a summary.
+void ReportDegradations(const core::FleetScheduler& scheduler,
+                        std::ostream& out) {
+  ReportDegradationReport(scheduler.LastDegradationReport(), out);
 }
 
-/// Builds a scheduler from the vehicles in `dir`. Models come from
-/// `--load-models FILE` when given, otherwise from TrainAll. Vehicles the
-/// loader skipped (non-strict mode) are reported on `out`.
-Result<core::FleetScheduler> MakeTrainedScheduler(const ParsedArgs& args,
-                                                  const std::string& dir,
-                                                  std::ostream& out) {
-  const bool strict = args.HasFlag("strict");
-  NM_ASSIGN_OR_RETURN(FleetLoad load, LoadFleetDir(dir, strict));
-  ReportSkippedVehicles(load, out);
-  const auto& vehicles = load.vehicles;
+/// The fleet forecast table shared by the forecast and serve commands.
+void PrintForecastTable(const std::vector<core::MaintenanceForecast>& forecasts,
+                        std::ostream& out) {
+  out << StrFormat("%-8s %-10s %-18s %10s %12s\n", "vehicle", "category",
+                   "model", "days left", "due date");
+  for (const auto& f : forecasts) {
+    out << StrFormat("%-8s %-10s %-18s %10.1f %12s\n", f.vehicle_id.c_str(),
+                     core::VehicleCategoryName(f.category),
+                     f.model_name.c_str(), f.days_left,
+                     f.predicted_date.ToString().c_str());
+  }
+}
+
+/// Scheduler options from the command line (--tv, --window, --tune plus the
+/// shared flags). Applies the --threads cap to the process-wide thread-pool
+/// default, which also bounds the model-level parallelism (RF trees, XGB
+/// histograms).
+Result<core::SchedulerOptions> SchedulerOptionsFromArgs(
+    const ParsedArgs& args, const CommonOptions& common) {
   core::SchedulerOptions options;
   NM_ASSIGN_OR_RETURN(double tv, args.DoubleFlagOr("tv", 2'000'000.0));
   NM_ASSIGN_OR_RETURN(int64_t window, args.IntFlagOr("window", 6));
-  NM_ASSIGN_OR_RETURN(int threads, ThreadCountFromArgs(args));
-  if (threads > 0) {
-    // Also caps the model-level parallelism (RF trees, XGB histograms),
-    // which follows the process-wide default.
-    ThreadPool::SetDefaultThreadCount(threads);
+  if (common.threads > 0) {
+    ThreadPool::SetDefaultThreadCount(common.threads);
   }
   options.maintenance_interval_s = tv;
   options.window = static_cast<int>(window);
-  options.num_threads = threads;
-  options.strict = strict;
+  options.num_threads = common.threads;
+  options.strict = common.strict;
   options.selection.tune = args.HasFlag("tune");
   options.selection.train_on_last29_only = true;
   options.selection.resampling_shifts = 2;
+  return options;
+}
+
+/// Builds a scheduler from the vehicles in `dir`. Models come from the
+/// `--load-models` checkpoint when given, otherwise from TrainAll. Vehicles
+/// the loader skipped (non-strict mode) are reported on `out`.
+Result<core::FleetScheduler> MakeTrainedScheduler(const ParsedArgs& args,
+                                                  const std::string& dir,
+                                                  std::ostream& out) {
+  NM_ASSIGN_OR_RETURN(const CommonOptions common, ParseCommonOptions(args));
+  NM_ASSIGN_OR_RETURN(FleetLoad load, LoadFleetDir(dir, common.strict));
+  ReportSkippedVehicles(load, out);
+  const auto& vehicles = load.vehicles;
+  NM_ASSIGN_OR_RETURN(core::SchedulerOptions options,
+                      SchedulerOptionsFromArgs(args, common));
 
   core::FleetScheduler scheduler(options);
   for (const auto& [id, series] : vehicles) {
     NM_RETURN_NOT_OK(scheduler.RegisterVehicle(id, series.start_date()));
     NM_RETURN_NOT_OK(scheduler.IngestSeries(id, series).WithContext(id));
   }
-  if (args.HasFlag("load-models")) {
-    NM_RETURN_NOT_OK(scheduler.LoadModels(args.flags.at("load-models")));
+  if (!common.load_models.empty()) {
+    NM_RETURN_NOT_OK(scheduler.LoadCheckpoint(common.load_models));
   } else {
     NM_RETURN_NOT_OK(scheduler.TrainAll());
   }
@@ -280,17 +338,10 @@ Status RunForecast(const ParsedArgs& args, std::ostream& out) {
                       MakeTrainedScheduler(args, args.flags.at("data"), out));
   NM_ASSIGN_OR_RETURN(auto forecasts, scheduler.FleetForecast());
   ReportDegradations(scheduler, out);
-  out << StrFormat("%-8s %-10s %-18s %10s %12s\n", "vehicle", "category",
-                   "model", "days left", "due date");
-  for (const auto& f : forecasts) {
-    out << StrFormat("%-8s %-10s %-18s %10.1f %12s\n", f.vehicle_id.c_str(),
-                     core::VehicleCategoryName(f.category),
-                     f.model_name.c_str(), f.days_left,
-                     f.predicted_date.ToString().c_str());
-  }
+  PrintForecastTable(forecasts, out);
   if (args.HasFlag("save-models")) {
     const std::string path = args.flags.at("save-models");
-    NM_RETURN_NOT_OK(scheduler.SaveModels(path));
+    NM_RETURN_NOT_OK(scheduler.SaveCheckpoint(path));
     out << "models saved to " << path << "\n";
   }
   return Status::OK();
@@ -383,6 +434,105 @@ Status RunEvaluate(const ParsedArgs& args, std::ostream& out) {
   return Status::OK();
 }
 
+Status RunServe(const ParsedArgs& args, std::ostream& out) {
+  if (!args.HasFlag("data")) {
+    return Status::InvalidArgument("serve requires --data DIR");
+  }
+  NM_ASSIGN_OR_RETURN(const CommonOptions common, ParseCommonOptions(args));
+  if (!common.load_models.empty()) {
+    return Status::InvalidArgument(
+        "serve trains incrementally from the replayed data and cannot start "
+        "from a checkpoint; drop --load-models");
+  }
+  NM_ASSIGN_OR_RETURN(int64_t replay_days, args.IntFlagOr("replay-days", 30));
+  NM_ASSIGN_OR_RETURN(int64_t refresh_every,
+                      args.IntFlagOr("refresh-every", 1));
+  if (replay_days < 1) {
+    return Status::InvalidArgument(
+        "--replay-days expects a positive integer\n" + UsageText());
+  }
+  if (refresh_every < 1) {
+    return Status::InvalidArgument(
+        "--refresh-every expects a positive integer\n" + UsageText());
+  }
+  NM_ASSIGN_OR_RETURN(
+      FleetLoad load, LoadFleetDir(args.flags.at("data"), common.strict));
+  ReportSkippedVehicles(load, out);
+  NM_ASSIGN_OR_RETURN(core::SchedulerOptions options,
+                      SchedulerOptionsFromArgs(args, common));
+  serve::ServingEngine engine(options);
+
+  // Warm start: everything but the trailing replay window is bulk-loaded,
+  // then the last `replay_days` arrive one day at a time like a live feed.
+  const size_t replay = static_cast<size_t>(replay_days);
+  const auto warm_size = [replay](const data::DailySeries& series) {
+    return series.size() > replay ? series.size() - replay : 0;
+  };
+  for (const auto& [id, series] : load.vehicles) {
+    NM_RETURN_NOT_OK(engine.Register(id, series.start_date()));
+    const size_t warm = warm_size(series);
+    if (warm == 0) continue;
+    const Status loaded = engine.LoadHistory(id, series.Slice(0, warm));
+    if (!loaded.ok()) {
+      if (common.strict) return loaded.WithContext(id);
+      out << "warm-start degraded vehicle " << id << ": "
+          << loaded.ToString() << "\n";
+    }
+  }
+
+  // One refresh. Non-strict keeps serving the previous snapshot when the
+  // whole refresh fails (per-vehicle failures degrade inside the engine).
+  const auto refresh = [&]() -> Status {
+    const Result<serve::RefreshStats> stats = engine.RefreshForecasts();
+    if (!stats.ok()) {
+      if (common.strict) return stats.status();
+      out << "refresh degraded: " << stats.status().ToString()
+          << " (serving stale snapshot)\n";
+      return Status::OK();
+    }
+    const serve::RefreshStats& s = stats.ValueOrDie();
+    out << "refresh epoch " << s.epoch << ": " << s.refreshed
+        << " refreshed, " << s.reused << " reused"
+        << (s.corpus_rebuilt ? ", corpus rebuilt" : "") << "\n";
+    return Status::OK();
+  };
+
+  NM_RETURN_NOT_OK(refresh());
+  int64_t steps_since_refresh = 0;
+  for (size_t step = 0; step < replay; ++step) {
+    bool any_data_left = false;
+    for (const auto& [id, series] : load.vehicles) {
+      const size_t idx = warm_size(series) + step;
+      if (idx >= series.size()) continue;
+      any_data_left = true;
+      const Date day = series.start_date().AddDays(static_cast<int64_t>(idx));
+      const Status appended = engine.Append(id, day, series[idx]);
+      if (!appended.ok()) {
+        if (common.strict) return appended.WithContext(id);
+        out << "append degraded vehicle " << id << " day "
+            << day.ToString() << ": " << appended.ToString() << "\n";
+      }
+    }
+    if (!any_data_left) break;
+    if (++steps_since_refresh >= refresh_every) {
+      steps_since_refresh = 0;
+      NM_RETURN_NOT_OK(refresh());
+    }
+  }
+  if (engine.DirtyCount() > 0) {
+    NM_RETURN_NOT_OK(refresh());
+  }
+
+  const std::shared_ptr<const serve::FleetSnapshot> snapshot =
+      engine.Snapshot();
+  ReportDegradationReport(snapshot->degradations, out);
+  out << "fleet snapshot at epoch " << snapshot->epoch << " ("
+      << snapshot->vehicles << " vehicles, " << snapshot->forecasts.size()
+      << " forecasts)\n";
+  PrintForecastTable(snapshot->forecasts, out);
+  return Status::OK();
+}
+
 std::string UsageText() {
   return
       "usage: nextmaint <command> [flags]\n"
@@ -394,7 +544,12 @@ std::string UsageText() {
       "  plan     --data DIR [--capacity N] [--horizon DAYS] [--weekends]\n"
       "           [--threads N]\n"
       "  evaluate --data DIR [--tv S] [--window W] [--last29] [--tune]\n"
+      "  serve    --data DIR [--tv S] [--window W] [--replay-days N]\n"
+      "           [--refresh-every N] [--threads N]\n"
       "\n"
+      "serve replays the trailing --replay-days of each vehicle through the\n"
+      "incremental engine: warm-start, then append day by day and refresh\n"
+      "only the dirty vehicles (docs/serving.md).\n"
       "--threads N trains/forecasts the fleet on N threads (0 = all cores);\n"
       "results are bit-identical at any thread count (docs/parallelism.md).\n"
       "--metrics-json FILE (any command) records telemetry for the run and\n"
@@ -413,28 +568,16 @@ Status RunCommand(const std::vector<std::string>& args, std::ostream& out) {
   if (parsed.positional.empty()) {
     return Status::InvalidArgument("missing command\n" + UsageText());
   }
-  if (parsed.HasFlag("failpoints")) {
-    if (!failpoints::CompiledIn()) {
-      return Status::InvalidArgument(
-          "--failpoints requires a build with NEXTMAINT_ENABLE_FAILPOINTS=ON "
-          "(docs/fault-injection.md)");
-    }
-    const std::string& spec = parsed.flags.at("failpoints");
-    if (spec.empty()) {
-      return Status::InvalidArgument(
-          "--failpoints requires a spec (site[:nth[:kind]], comma "
-          "separated)\n" + UsageText());
-    }
-    NM_RETURN_NOT_OK(failpoints::Arm(spec));
+  // One shared validation path; commands re-parse the (pure, cheap) result
+  // for their own use while the dispatcher owns the side effects.
+  NM_ASSIGN_OR_RETURN(const CommonOptions common, ParseCommonOptions(parsed));
+  if (!common.failpoints.empty()) {
+    NM_RETURN_NOT_OK(failpoints::Arm(common.failpoints));
   }
   // --metrics-json implies recording; without it telemetry follows the
   // NEXTMAINT_METRICS env default and nothing is written.
-  const bool write_metrics = parsed.HasFlag("metrics-json");
+  const bool write_metrics = !common.metrics_json.empty();
   if (write_metrics) {
-    if (parsed.flags.at("metrics-json").empty()) {
-      return Status::InvalidArgument("--metrics-json requires a file path\n" +
-                                     UsageText());
-    }
     telemetry::SetEnabled(true);
   }
 
@@ -448,15 +591,17 @@ Status RunCommand(const std::vector<std::string>& args, std::ostream& out) {
     status = RunPlan(parsed, out);
   } else if (command == "evaluate") {
     status = RunEvaluate(parsed, out);
+  } else if (command == "serve") {
+    status = RunServe(parsed, out);
   } else {
     return Status::InvalidArgument("unknown command '" + command + "'\n" +
                                    UsageText());
   }
 
   if (write_metrics && status.ok()) {
-    const std::string& path = parsed.flags.at("metrics-json");
-    NM_RETURN_NOT_OK(telemetry::WriteJsonFile(telemetry::Snapshot(), path));
-    out << "metrics written to " << path << "\n";
+    NM_RETURN_NOT_OK(telemetry::WriteJsonFile(telemetry::Snapshot(),
+                                              common.metrics_json));
+    out << "metrics written to " << common.metrics_json << "\n";
   }
   return status;
 }

@@ -23,6 +23,13 @@
 ///       Forecast, then book workshop slots under capacity constraints.
 ///   evaluate --data DIR [--tv SECONDS] [--window W] [--last29]
 ///       Compare the five paper algorithms per vehicle (E_MRE / E_Global).
+///   serve --data DIR [--tv SECONDS] [--window W] [--replay-days N]
+///         [--refresh-every N]
+///       Replay the trailing days of each vehicle series through the
+///       incremental serving engine: warm-start on the leading history,
+///       then append day by day and refresh only the dirty vehicles,
+///       printing per-refresh stats and the final fleet snapshot
+///       (docs/serving.md).
 ///
 /// Every command returns a Status; errors print nothing to `out` besides
 /// what was already produced.
@@ -59,11 +66,34 @@ struct ParsedArgs {
 /// another flag (or end of input) stores the empty string.
 ParsedArgs ParseArgs(const std::vector<std::string>& args);
 
+/// Flags shared by every fleet command, parsed and validated by
+/// ParseCommonOptions — one validation path instead of per-command copies.
+struct CommonOptions {
+  /// --threads N: fleet-level concurrency (0 = all cores).
+  int threads = 0;
+  /// --strict: fail fast instead of degrading per vehicle.
+  bool strict = false;
+  /// --metrics-json FILE: telemetry report destination; empty = none.
+  std::string metrics_json;
+  /// --failpoints SPEC: fault-injection arming spec; empty = none.
+  std::string failpoints;
+  /// --load-models FILE: checkpoint to load instead of training; empty =
+  /// train from the data.
+  std::string load_models;
+};
+
+/// Parses and validates the shared flags: --threads must be a non-negative
+/// integer, --metrics-json/--failpoints/--load-models must carry a value
+/// when present, and --failpoints requires a build with failpoints
+/// compiled in. InvalidArgument (with the usage text) otherwise.
+[[nodiscard]] Result<CommonOptions> ParseCommonOptions(const ParsedArgs& args);
+
 /// Command entry points. `out` receives human-readable results.
 [[nodiscard]] Status RunSimulate(const ParsedArgs& args, std::ostream& out);
 [[nodiscard]] Status RunForecast(const ParsedArgs& args, std::ostream& out);
 [[nodiscard]] Status RunPlan(const ParsedArgs& args, std::ostream& out);
 [[nodiscard]] Status RunEvaluate(const ParsedArgs& args, std::ostream& out);
+[[nodiscard]] Status RunServe(const ParsedArgs& args, std::ostream& out);
 
 /// Dispatches to the command named by the first positional argument.
 /// Unknown or missing commands return InvalidArgument with a usage string.

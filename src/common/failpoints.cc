@@ -192,6 +192,8 @@ const std::vector<std::string>& RegisteredSites() {
       "scheduler.load_models",
       "scheduler.save_models",
       "scheduler.train_vehicle",
+      "serve.append",
+      "serve.refresh",
   };
   return *sites;
 }

@@ -6,6 +6,8 @@
 #include <fstream>
 
 #include <optional>
+#include <set>
+#include <string_view>
 #include <utility>
 
 #include "common/failpoints.h"
@@ -57,7 +59,7 @@ Status FleetScheduler::IngestUsage(const std::string& id, Date day,
     telemetry::Count("scheduler.ingest.rejected");
     return Status::InvalidArgument("utilization must be in [0, 86400]");
   }
-  state.usage.Append(seconds);
+  state.usage.Append(seconds);  // nextmaint-lint: allow(unchecked-status): DailySeries::Append is void; the harvested name collides with ServingEngine::Append
   telemetry::Count("scheduler.ingest.days");
   return Status::OK();
 }
@@ -114,7 +116,7 @@ Status FleetScheduler::TrainAll() {
 
   // Pass 1: first-cycle corpus from old vehicles (for cold-start models),
   // tallying the fleet's category mix along the way.
-  std::vector<FirstCycleData> corpus;
+  ColdStartInputs inputs;
   size_t num_old = 0, num_semi_new = 0, num_new = 0;
   {
     telemetry::TraceSpan corpus_span("scheduler.train.corpus");
@@ -144,10 +146,8 @@ Status FleetScheduler::TrainAll() {
           break;
       }
       if (category != VehicleCategory::kOld) continue;
-      Result<FirstCycleData> data =
-          ExtractFirstCycle(id, state.usage, options_.maintenance_interval_s,
-                            options_.cold_start);
-      if (data.ok()) corpus.push_back(std::move(data).ValueOrDie());
+      std::optional<FirstCycleData> data = ContributionForOldVehicle(id, state);
+      if (data.has_value()) inputs.corpus.push_back(*std::move(data));
     }
   }
   telemetry::SetGauge("scheduler.fleet.vehicles.old",
@@ -157,135 +157,185 @@ Status FleetScheduler::TrainAll() {
   telemetry::SetGauge("scheduler.fleet.vehicles.new",
                       static_cast<double>(num_new));
 
-  // Unified model shared by every cold-start vehicle.
-  std::shared_ptr<ml::Regressor> unified;
-  if (!corpus.empty()) {
-    telemetry::TraceSpan unified_span("scheduler.train.unified");
-    Result<std::unique_ptr<ml::Regressor>> uni = TrainUnifiedModel(
-        options_.unified_algorithm, corpus, options_.cold_start);
-    if (uni.ok()) {
-      unified = std::move(uni).ValueOrDie();
+  // Unified model shared by every cold-start vehicle, then pass 2: every
+  // vehicle retrained against the shared inputs.
+  inputs.unified = TrainUnifiedFromCorpus(inputs.corpus);
+  return TrainVehicles(VehicleIds(), inputs);
+}
+
+std::optional<FirstCycleData> FleetScheduler::ContributionForOldVehicle(
+    const std::string& id, const VehicleState& state) const {
+  Result<FirstCycleData> data =
+      ExtractFirstCycle(id, state.usage, options_.maintenance_interval_s,
+                        options_.cold_start);
+  if (!data.ok()) return std::nullopt;
+  return std::move(data).ValueOrDie();
+}
+
+Result<std::optional<FirstCycleData>> FleetScheduler::CorpusContribution(
+    const std::string& id) const {
+  NM_ASSIGN_OR_RETURN(const VehicleState* state, FindVehicle(id));
+  if (state->usage.empty()) return std::optional<FirstCycleData>();
+  NM_ASSIGN_OR_RETURN(
+      VehicleCategory category,
+      CategorizeUsage(state->usage, options_.maintenance_interval_s));
+  if (category != VehicleCategory::kOld) {
+    return std::optional<FirstCycleData>();
+  }
+  return ContributionForOldVehicle(id, *state);
+}
+
+std::shared_ptr<ml::Regressor> FleetScheduler::TrainUnifiedFromCorpus(
+    const std::vector<FirstCycleData>& corpus) const {
+  if (corpus.empty()) return nullptr;
+  telemetry::TraceSpan unified_span("scheduler.train.unified");
+  Result<std::unique_ptr<ml::Regressor>> uni = TrainUnifiedModel(
+      options_.unified_algorithm, corpus, options_.cold_start);
+  if (!uni.ok()) {
+    NM_LOG(Warning) << "unified model training failed: "
+                    << uni.status().ToString();
+    return nullptr;
+  }
+  return std::move(uni).ValueOrDie();
+}
+
+Status FleetScheduler::TrainOneVehicle(const std::string& id,
+                                       VehicleState& state,
+                                       const ColdStartInputs& inputs) {
+  telemetry::ScopedTimer vehicle_timer("scheduler.train.vehicle.seconds");
+  state.model.reset();
+  state.model_name.clear();
+  if (state.usage.empty()) return Status::OK();
+  NM_ASSIGN_OR_RETURN(
+      VehicleCategory category,
+      CategorizeUsage(state.usage, options_.maintenance_interval_s));
+
+  if (category == VehicleCategory::kOld) {
+    // Select the best algorithm under the 70/30 protocol, then refit it
+    // on the complete history for deployment.
+    std::string chosen = "BL";
+    Result<ModelSelectionResult> selection = [&] {
+      telemetry::ScopedTimer selection_timer(
+          "scheduler.train.selection.seconds");
+      return SelectBestModelForVehicle(
+          options_.algorithms, state.usage,
+          options_.maintenance_interval_s, options_.selection);
+    }();
+    if (selection.ok()) {
+      const ModelSelectionResult& result = selection.ValueOrDie();
+      chosen = result.evaluations[result.best_index].algorithm;
     } else {
-      NM_LOG(Warning) << "unified model training failed: "
-                      << uni.status().ToString();
+      NM_LOG(Warning) << id << ": model selection failed ("
+                      << selection.status().ToString()
+                      << "); falling back to BL";
     }
+    telemetry::Count("scheduler.selection.winner." + chosen);
+
+    if (chosen == "BL") {
+      Result<double> avg = AverageUtilization(state.usage);
+      if (avg.ok()) {
+        const double l_scale =
+            options_.selection.normalize_features
+                ? 1.0 / options_.maintenance_interval_s
+                : 1.0;
+        state.model = std::make_shared<BaselinePredictor>(
+            avg.ValueOrDie(), l_scale);
+        state.model_name = "BL";
+      }
+      return Status::OK();
+    }
+    DatasetOptions dataset_options;
+    dataset_options.window = options_.window;
+    dataset_options.normalize_features =
+        options_.selection.normalize_features;
+    if (options_.selection.train_on_last29_only) {
+      dataset_options.target_filter = DaySet::Last29();
+    }
+    ResamplingOptions resampling;
+    resampling.num_shifts = options_.selection.resampling_shifts;
+    resampling.seed = options_.selection.seed;
+    NM_ASSIGN_OR_RETURN(
+        ml::Dataset full_data,
+        BuildResampledDataset(state.usage,
+                              options_.maintenance_interval_s,
+                              dataset_options, resampling));
+    NM_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
+                        ml::MakeRegressor(chosen));
+    NM_RETURN_NOT_OK(model->Fit(full_data).WithContext(id));
+    state.model = std::move(model);
+    state.model_name = chosen;
+    return Status::OK();
   }
 
-  // Pass 2: per-vehicle models. Each vehicle's training touches only its
-  // own state (corpus, unified model and options are read-only here), so
-  // vehicles fan out across the thread pool; map order fixes the task
-  // order, and no cross-vehicle reduction exists, so results match the
-  // serial loop exactly.
-  const auto train_vehicle = [&](const std::string& id,
-                                 VehicleState& state) -> Status {
-    telemetry::ScopedTimer vehicle_timer("scheduler.train.vehicle.seconds");
-    state.model.reset();
-    state.model_name.clear();
-    if (state.usage.empty()) return Status::OK();
-    NM_ASSIGN_OR_RETURN(
-        VehicleCategory category,
-        CategorizeUsage(state.usage, options_.maintenance_interval_s));
-
-    if (category == VehicleCategory::kOld) {
-      // Select the best algorithm under the 70/30 protocol, then refit it
-      // on the complete history for deployment.
-      std::string chosen = "BL";
-      Result<ModelSelectionResult> selection = [&] {
-        telemetry::ScopedTimer selection_timer(
-            "scheduler.train.selection.seconds");
-        return SelectBestModelForVehicle(
-            options_.algorithms, state.usage,
-            options_.maintenance_interval_s, options_.selection);
-      }();
-      if (selection.ok()) {
-        const ModelSelectionResult& result = selection.ValueOrDie();
-        chosen = result.evaluations[result.best_index].algorithm;
-      } else {
-        NM_LOG(Warning) << id << ": model selection failed ("
-                        << selection.status().ToString()
-                        << "); falling back to BL";
-      }
-      telemetry::Count("scheduler.selection.winner." + chosen);
-
-      if (chosen == "BL") {
-        Result<double> avg = AverageUtilization(state.usage);
-        if (avg.ok()) {
-          const double l_scale =
-              options_.selection.normalize_features
-                  ? 1.0 / options_.maintenance_interval_s
-                  : 1.0;
-          state.model = std::make_shared<BaselinePredictor>(
-              avg.ValueOrDie(), l_scale);
-          state.model_name = "BL";
-        }
+  if (category == VehicleCategory::kSemiNew) {
+    // Prefer Model_Sim; fall back to Model_Uni, then BL.
+    Result<std::vector<double>> first_half = FirstHalfCycleUsage(
+        state.usage, options_.maintenance_interval_s);
+    if (first_half.ok() && !inputs.corpus.empty()) {
+      Result<SimilarityModel> sim = TrainSimilarityModel(
+          options_.unified_algorithm, first_half.ValueOrDie(), inputs.corpus,
+          options_.cold_start);
+      if (sim.ok()) {
+        SimilarityModel value = std::move(sim).ValueOrDie();
+        state.model = std::move(value.model);
+        state.model_name =
+            options_.unified_algorithm + "_Sim(" + value.match.id + ")";
         return Status::OK();
       }
-      DatasetOptions dataset_options;
-      dataset_options.window = options_.window;
-      dataset_options.normalize_features =
-          options_.selection.normalize_features;
-      if (options_.selection.train_on_last29_only) {
-        dataset_options.target_filter = DaySet::Last29();
-      }
-      ResamplingOptions resampling;
-      resampling.num_shifts = options_.selection.resampling_shifts;
-      resampling.seed = options_.selection.seed;
-      NM_ASSIGN_OR_RETURN(
-          ml::Dataset full_data,
-          BuildResampledDataset(state.usage,
-                                options_.maintenance_interval_s,
-                                dataset_options, resampling));
-      NM_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
-                          ml::MakeRegressor(chosen));
-      NM_RETURN_NOT_OK(model->Fit(full_data).WithContext(id));
-      state.model = std::move(model);
-      state.model_name = chosen;
-      return Status::OK();
     }
-
-    if (category == VehicleCategory::kSemiNew) {
-      // Prefer Model_Sim; fall back to Model_Uni, then BL.
-      Result<std::vector<double>> first_half = FirstHalfCycleUsage(
-          state.usage, options_.maintenance_interval_s);
-      if (first_half.ok() && !corpus.empty()) {
-        Result<SimilarityModel> sim = TrainSimilarityModel(
-            options_.unified_algorithm, first_half.ValueOrDie(), corpus,
-            options_.cold_start);
-        if (sim.ok()) {
-          SimilarityModel value = std::move(sim).ValueOrDie();
-          state.model = std::move(value.model);
-          state.model_name =
-              options_.unified_algorithm + "_Sim(" + value.match.id + ")";
-          return Status::OK();
-        }
-      }
-      if (unified != nullptr) {
-        state.model = unified;
-        state.model_name = options_.unified_algorithm + "_Uni";
-        return Status::OK();
-      }
-      Result<std::unique_ptr<ml::Regressor>> bl = MakeSemiNewBaseline(
-          state.usage, options_.maintenance_interval_s, options_.cold_start);
-      if (bl.ok()) {
-        state.model = std::move(bl).ValueOrDie();
-        state.model_name = "BL_semi";
-      }
-      return Status::OK();
-    }
-
-    // New vehicle: only the unified model applies (Section 4.4.2).
-    if (unified != nullptr) {
-      state.model = unified;
+    if (inputs.unified != nullptr) {
+      state.model = inputs.unified;
       state.model_name = options_.unified_algorithm + "_Uni";
+      return Status::OK();
+    }
+    Result<std::unique_ptr<ml::Regressor>> bl = MakeSemiNewBaseline(
+        state.usage, options_.maintenance_interval_s, options_.cold_start);
+    if (bl.ok()) {
+      state.model = std::move(bl).ValueOrDie();
+      state.model_name = "BL_semi";
     }
     return Status::OK();
-  };
+  }
 
+  // New vehicle: only the unified model applies (Section 4.4.2).
+  if (inputs.unified != nullptr) {
+    state.model = inputs.unified;
+    state.model_name = options_.unified_algorithm + "_Uni";
+  }
+  return Status::OK();
+}
+
+Status FleetScheduler::TrainVehicles(const std::vector<std::string>& ids,
+                                     const ColdStartInputs& inputs) {
+  if (options_.num_threads < 0) {
+    return Status::InvalidArgument(
+        "SchedulerOptions::num_threads must be >= 0 (0 = all cores), got " +
+        std::to_string(options_.num_threads));
+  }
+  // Resolve every id up front: an unknown or duplicated id must fail the
+  // whole call, not quarantine mid-run (duplicates would race on the same
+  // VehicleState across workers).
   std::vector<std::pair<const std::string*, VehicleState*>> work;
-  work.reserve(vehicles_.size());
-  for (auto& [id, state] : vehicles_) work.emplace_back(&id, &state);
-  // Quarantines land in index-ordered slots so the assembled report follows
-  // the deterministic task (vehicle-id) order, never completion order.
+  work.reserve(ids.size());
+  std::set<std::string_view> seen;
+  for (const std::string& id : ids) {
+    auto it = vehicles_.find(id);
+    if (it == vehicles_.end()) {
+      return Status::NotFound("vehicle '" + id + "' is not registered");
+    }
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument("duplicate vehicle id '" + id +
+                                     "' in TrainVehicles");
+    }
+    work.emplace_back(&it->first, &it->second);
+  }
+
+  // Each vehicle's training touches only its own state (corpus, unified
+  // model and options are read-only here), so vehicles fan out across the
+  // thread pool; the given id order fixes the task order, and no
+  // cross-vehicle reduction exists, so results match the serial loop
+  // exactly. Quarantines land in index-ordered slots so the assembled
+  // report follows the deterministic task order, never completion order.
   std::vector<std::optional<VehicleDegradation>> quarantined(work.size());
   train_degradation_.vehicles.clear();
   NM_RETURN_NOT_OK(ParallelFor(
@@ -300,7 +350,7 @@ Status FleetScheduler::TrainAll() {
           failpoints::ScopedOrdinal ordinal(static_cast<uint64_t>(v) + 1);
           const Status status = [&]() -> Status {
             NEXTMAINT_FAILPOINT("scheduler.train_vehicle");
-            return train_vehicle(id, state);
+            return TrainOneVehicle(id, state, inputs);
           }();
           if (status.ok()) continue;
           if (options_.strict) return status.WithContext(id);
@@ -344,6 +394,11 @@ Status FleetScheduler::TrainAll() {
   return Status::OK();
 }
 
+Result<bool> FleetScheduler::HasTrainedModel(const std::string& id) const {
+  NM_ASSIGN_OR_RETURN(const VehicleState* state, FindVehicle(id));
+  return state->model != nullptr;
+}
+
 Result<MaintenanceForecast> FleetScheduler::Forecast(
     const std::string& id) const {
   NEXTMAINT_FAILPOINT("scheduler.forecast_vehicle");
@@ -363,7 +418,7 @@ Result<MaintenanceForecast> FleetScheduler::Forecast(
   // "today" with zero usage so that C/L are defined for it, D is the
   // unknown and BuildFeatureRow sees yesterday as U(t-1).
   data::DailySeries extended = state->usage;
-  extended.Append(0.0);
+  extended.Append(0.0);  // nextmaint-lint: allow(unchecked-status): DailySeries::Append is void
   NM_ASSIGN_OR_RETURN(
       VehicleSeries today_series,
       DeriveSeries(extended, options_.maintenance_interval_s));
@@ -398,6 +453,12 @@ Result<std::vector<MaintenanceForecast>> FleetScheduler::FleetForecast()
     return Status::InvalidArgument(
         "SchedulerOptions::num_threads must be >= 0 (0 = all cores), got " +
         std::to_string(options_.num_threads));
+  }
+  if (vehicles_.empty()) {
+    // A forecast over nothing is a caller bug, not an empty answer; see the
+    // error-code contract in scheduler.h.
+    return Status::FailedPrecondition(
+        "fleet forecast on an empty fleet: no vehicles registered");
   }
   telemetry::TraceSpan forecast_span("scheduler.forecast");
   // Fan out one forecast task per trained vehicle. Results land in
@@ -476,7 +537,7 @@ Result<MaintenanceForecast> FleetScheduler::FallbackForecast(
   // particular no trained model and no feature window, and no failpoint
   // sits on this path, so a quarantined vehicle always reaches it.
   data::DailySeries extended = state->usage;
-  extended.Append(0.0);
+  extended.Append(0.0);  // nextmaint-lint: allow(unchecked-status): DailySeries::Append is void
   NM_ASSIGN_OR_RETURN(
       VehicleSeries today_series,
       DeriveSeries(extended, options_.maintenance_interval_s));
@@ -525,7 +586,7 @@ Result<DriftReport> FleetScheduler::CheckDrift(
   return report;
 }
 
-Status FleetScheduler::SaveModels(std::ostream& out) const {
+Status FleetScheduler::WriteCheckpointPayload(std::ostream& out) const {
   NEXTMAINT_FAILPOINT("scheduler.save_models");
   for (const auto& [id, state] : vehicles_) {
     if (state.model == nullptr) continue;
@@ -539,9 +600,9 @@ Status FleetScheduler::SaveModels(std::ostream& out) const {
   return Status::OK();
 }
 
-Status FleetScheduler::SaveModels(const std::string& path) const {
+Status FleetScheduler::SaveCheckpoint(const std::string& path) const {
   // Write-to-temp + rename so a mid-stream failure never leaves a
-  // truncated model file at `path`: readers see either the previous
+  // truncated checkpoint at `path`: readers see either the previous
   // complete file or the new complete file. Assumes a single writer per
   // path (concurrent savers would share the temp name).
   const std::string tmp_path = path + ".tmp";
@@ -550,7 +611,7 @@ Status FleetScheduler::SaveModels(const std::string& path) const {
     if (!out) {
       return Status::IOError("cannot open '" + tmp_path + "' for writing");
     }
-    Status status = SaveModels(out).WithContext(path);
+    Status status = WriteCheckpointPayload(out).WithContext(path);
     if (status.ok()) {
       out.flush();
       if (!out) {
@@ -571,7 +632,7 @@ Status FleetScheduler::SaveModels(const std::string& path) const {
   return Status::OK();
 }
 
-Status FleetScheduler::LoadModels(std::istream& in) {
+Status FleetScheduler::ReadCheckpointPayload(std::istream& in) {
   NEXTMAINT_FAILPOINT("scheduler.load_models");
   // Parse into a staging map and commit only after the fleet-end marker:
   // a truncated or corrupt stream must not leave the scheduler half-loaded
@@ -611,12 +672,29 @@ Status FleetScheduler::LoadModels(std::istream& in) {
   return Status::DataError("missing fleet-end marker");
 }
 
-Status FleetScheduler::LoadModels(const std::string& path) {
+Status FleetScheduler::LoadCheckpoint(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
-  return LoadModels(in).WithContext(path);
+  return ReadCheckpointPayload(in).WithContext(path);
+}
+
+// Deprecated shims over the checkpoint API; see scheduler.h.
+Status FleetScheduler::SaveModels(std::ostream& out) const {
+  return WriteCheckpointPayload(out);
+}
+
+Status FleetScheduler::SaveModels(const std::string& path) const {
+  return SaveCheckpoint(path);
+}
+
+Status FleetScheduler::LoadModels(std::istream& in) {
+  return ReadCheckpointPayload(in);
+}
+
+Status FleetScheduler::LoadModels(const std::string& path) {
+  return LoadCheckpoint(path);
 }
 
 }  // namespace core

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -100,11 +101,34 @@ struct SchedulerOptions {
   bool strict = false;
 };
 
+/// Shared cold-start training inputs: the old vehicles' first-cycle corpus
+/// (vehicle-id order) plus the unified model trained on it. TrainAll builds
+/// one per run; the incremental serving engine (serve/serving_engine.h)
+/// caches one across refreshes and rebuilds it only when a vehicle's corpus
+/// contribution changes, so subset retrains see exactly the inputs a full
+/// batch run would.
+struct ColdStartInputs {
+  std::vector<FirstCycleData> corpus;
+  /// Model_Uni trained on `corpus`; nullptr when the corpus is empty or
+  /// unified training failed (cold-start vehicles then fall through to
+  /// their next option, matching TrainAll).
+  std::shared_ptr<ml::Regressor> unified;
+};
+
 /// Fleet-level next-maintenance scheduler.
 ///
 /// Usage: RegisterVehicle -> IngestUsage (day by day or in bulk) ->
 /// TrainAll -> Forecast / FleetForecast. Retraining after further ingestion
 /// is allowed at any time.
+///
+/// Error-code contract (shared by the batch facade and the serving engine):
+///  - NotFound: the vehicle id was never registered. Register it first.
+///  - FailedPrecondition: the vehicle (or fleet) is registered but not in a
+///    state that can answer the call — no trained model, too little data
+///    for the feature window, or a FleetForecast on a fleet with zero
+///    registered vehicles.
+///  - InvalidArgument: malformed inputs or options (negative num_threads,
+///    out-of-order ingestion, utilization outside [0, 86400]).
 class FleetScheduler {
  public:
   explicit FleetScheduler(SchedulerOptions options);
@@ -136,24 +160,86 @@ class FleetScheduler {
   /// Vehicles whose category has no viable model (e.g. a new vehicle in a
   /// fleet with no old vehicles) are left untrained; Forecast reports the
   /// failure for them.
+  ///
+  /// Equivalent to building the corpus from CorpusContribution over every
+  /// vehicle, training the unified model with TrainUnifiedFromCorpus and
+  /// running TrainVehicles over VehicleIds() — TrainAll is implemented on
+  /// exactly those building blocks, which is what makes incremental subset
+  /// retrains (serve/serving_engine.h) bit-identical to a batch run.
   [[nodiscard]] Status TrainAll();
 
+  /// This vehicle's contribution to the cold-start corpus: its first
+  /// completed maintenance cycle when it is an old vehicle and extraction
+  /// succeeds, nullopt otherwise (no data, not old yet, or no extractable
+  /// cycle). NotFound for unregistered ids; categorization errors
+  /// propagate. A vehicle's contribution is invariant under in-order
+  /// Append ingestion once present — the first cycle is a fixed prefix of
+  /// the history — which is what lets the serving engine cache it.
+  [[nodiscard]] Result<std::optional<FirstCycleData>> CorpusContribution(
+      const std::string& id) const;
+
+  /// Trains the unified cold-start model (Model_Uni) on `corpus`. Returns
+  /// nullptr for an empty corpus or when training fails (logged as a
+  /// warning) — the tolerant semantics of TrainAll.
+  std::shared_ptr<ml::Regressor> TrainUnifiedFromCorpus(
+      const std::vector<FirstCycleData>& corpus) const;
+
+  /// Retrains exactly the vehicles in `ids` (category-appropriate model,
+  /// same logic as TrainAll) against the given shared cold-start inputs,
+  /// fanning out over the thread pool in the order given. Failing vehicles
+  /// are quarantined behind the BL fallback (strict mode aborts instead);
+  /// LastDegradationReport's train entries cover this call only. `ids` must
+  /// be registered (NotFound) and free of duplicates (InvalidArgument);
+  /// nth-selecting failpoint specs address a vehicle by its 1-based
+  /// position in `ids`.
+  [[nodiscard]] Status TrainVehicles(const std::vector<std::string>& ids,
+                                     const ColdStartInputs& inputs);
+
+  /// True when `id` currently has a trained (or fallback) model, i.e. it
+  /// would be included in FleetForecast. NotFound for unregistered ids.
+  [[nodiscard]] Result<bool> HasTrainedModel(const std::string& id) const;
+
   /// Predicts the next maintenance for one vehicle (requires TrainAll).
+  /// NotFound for unregistered ids; FailedPrecondition when the vehicle has
+  /// no trained model or too little data for the feature window.
   [[nodiscard]] Result<MaintenanceForecast> Forecast(const std::string& id) const;
 
   /// Forecasts for every vehicle that has a trained model, sorted by
-  /// predicted date (most urgent first).
+  /// predicted date (most urgent first). FailedPrecondition when the fleet
+  /// has no registered vehicles at all (a forecast over nothing is a caller
+  /// bug, not an empty answer).
   [[nodiscard]] Result<std::vector<MaintenanceForecast>> FleetForecast() const;
 
-  /// Persists every trained per-vehicle model to `out` as a sequence of
-  /// "vehicle <id> <model-name>" headers followed by the model's text
-  /// serialization. Untrained vehicles are skipped. The usage data itself
-  /// is not saved (it lives in the telematics store); re-ingest it before
-  /// forecasting with loaded models.
+  /// Builds the untrained-BL forecast for `id` (paper Eq. 5/6:
+  /// D_BL = L(today) / AVG). Needs only the usage history — no trained
+  /// model, no feature window — so it serves quarantined vehicles; the
+  /// serving engine uses it to mirror FleetForecast's degradation path.
+  [[nodiscard]] Result<MaintenanceForecast> FallbackForecast(
+      const std::string& id) const;
+
+  /// Persists every trained per-vehicle model to `path` as one atomic
+  /// checkpoint: a sequence of "vehicle <id> <model-name>" headers, each
+  /// followed by the model's text serialization, then a "fleet-end" marker.
+  /// Written to a temp file and renamed into place, so readers see either
+  /// the previous complete checkpoint or the new one — never a truncated
+  /// file (single writer per path assumed). Untrained vehicles are skipped.
+  /// The usage data itself is not saved (it lives in the telematics store);
+  /// re-ingest it before forecasting with a loaded checkpoint.
+  [[nodiscard]] Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores models from a checkpoint written by SaveCheckpoint. Every
+  /// referenced vehicle must already be registered (NotFound otherwise);
+  /// vehicles absent from the checkpoint keep their current model. Parsed
+  /// into a staging area and committed only at the fleet-end marker, so a
+  /// truncated or corrupt checkpoint changes nothing.
+  [[nodiscard]] Status LoadCheckpoint(const std::string& path);
+
+  /// Deprecated: use SaveCheckpoint(path). Kept for one release. The
+  /// stream form writes the checkpoint payload without the atomic
+  /// temp-file-and-rename envelope.
   [[nodiscard]] Status SaveModels(std::ostream& out) const;
 
-  /// Convenience overload: writes SaveModels output to `path` (IOError when
-  /// the file cannot be created or written).
+  /// Deprecated: use SaveCheckpoint(path). Kept for one release.
   [[nodiscard]] Status SaveModels(const std::string& path) const;
 
   /// Runs the CUSUM usage-drift monitor for one vehicle: the reference
@@ -165,17 +251,15 @@ class FleetScheduler {
                                  double reference_fraction = 0.7,
                                  const DriftOptions& options = {}) const;
 
-  /// Restores models saved by SaveModels. Every referenced vehicle must
-  /// already be registered; models for unknown vehicles fail with
-  /// NotFound. Vehicles absent from the stream keep their current model.
+  /// Deprecated: use LoadCheckpoint(path). Kept for one release. The
+  /// stream form reads a bare checkpoint payload.
   [[nodiscard]] Status LoadModels(std::istream& in);
 
-  /// Convenience overload: reads a model file written by SaveModels(path)
-  /// (IOError when the file cannot be opened).
+  /// Deprecated: use LoadCheckpoint(path). Kept for one release.
   [[nodiscard]] Status LoadModels(const std::string& path);
 
-  /// Vehicles quarantined by the most recent TrainAll plus those
-  /// quarantined by the most recent FleetForecast, in deterministic
+  /// Vehicles quarantined by the most recent TrainAll/TrainVehicles plus
+  /// those quarantined by the most recent FleetForecast, in deterministic
   /// (vehicle-id) order per stage. Empty after fully healthy runs and in
   /// strict mode (strict aborts instead of quarantining). Not synchronized
   /// with concurrent TrainAll/FleetForecast calls on the same scheduler.
@@ -191,11 +275,21 @@ class FleetScheduler {
 
   [[nodiscard]] Result<const VehicleState*> FindVehicle(const std::string& id) const;
 
-  /// Builds the untrained-BL forecast for `id` (paper Eq. 5/6:
-  /// D_BL = L(today) / AVG). Needs only the usage history — no trained
-  /// model, no feature window — so it serves quarantined vehicles.
-  [[nodiscard]] Result<MaintenanceForecast> FallbackForecast(
-      const std::string& id) const;
+  /// First-cycle extraction for a vehicle already known to be old.
+  std::optional<FirstCycleData> ContributionForOldVehicle(
+      const std::string& id, const VehicleState& state) const;
+
+  /// Category-appropriate (re)training of one vehicle against the shared
+  /// cold-start inputs — the single training code path under both TrainAll
+  /// and TrainVehicles.
+  [[nodiscard]] Status TrainOneVehicle(const std::string& id,
+                                       VehicleState& state,
+                                       const ColdStartInputs& inputs);
+
+  /// Writes/reads the checkpoint payload (the stream behind
+  /// SaveCheckpoint/LoadCheckpoint and the deprecated stream shims).
+  [[nodiscard]] Status WriteCheckpointPayload(std::ostream& out) const;
+  [[nodiscard]] Status ReadCheckpointPayload(std::istream& in);
 
   SchedulerOptions options_;
   std::map<std::string, VehicleState> vehicles_;

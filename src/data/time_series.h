@@ -38,6 +38,14 @@ class DailySeries {
   /// Aborts on empty series.
   Date end_date() const;
 
+  /// Date the next Append() would cover: the day after end_date(), or
+  /// start_date() for an empty series. This is the "virtual today" the
+  /// serving path forecasts from and the date an in-order ingestor must
+  /// supply next.
+  Date next_date() const {
+    return start_.AddDays(static_cast<int64_t>(values_.size()));
+  }
+
   /// Value on day index `i` (0-based from start_date()).
   double operator[](size_t i) const { return values_[i]; }
   double& operator[](size_t i) { return values_[i]; }

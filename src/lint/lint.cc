@@ -64,9 +64,11 @@ LintConfig LintConfig::ProjectDefault() {
       {"src/ml", {"src/common", "src/ml"}},
       {"src/telematics", {"src/common", "src/data", "src/telematics"}},
       {"src/core", {"src/common", "src/data", "src/ml", "src/core"}},
+      {"src/serve", {"src/common", "src/data", "src/ml", "src/core",
+                     "src/serve"}},
       {"src/cli",
        {"src/common", "src/data", "src/ml", "src/telematics", "src/core",
-        "src/cli"}},
+        "src/serve", "src/cli"}},
   };
   // The seeded-RNG module wraps the only sanctioned randomness source.
   config.policy.banned_primitive_allowlist = {"src/common/rng.h",

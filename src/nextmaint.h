@@ -12,6 +12,8 @@
 ///   core/       the paper's contribution: series derivation, vehicle
 ///               categories, error metrics, dataset builder, per-category
 ///               methodologies, fleet scheduler
+///   serve/      incremental serving engine: cached per-vehicle state,
+///               dirty-tracked refreshes, epoch/snapshot reads
 
 #include "common/date.h"
 #include "common/logging.h"
@@ -47,6 +49,7 @@
 #include "ml/regressor.h"
 #include "ml/scaler.h"
 #include "ml/serialization.h"
+#include "serve/serving_engine.h"
 #include "telematics/can_bus.h"
 #include "telematics/controller.h"
 #include "telematics/fleet.h"

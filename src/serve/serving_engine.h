@@ -1,0 +1,223 @@
+#ifndef NEXTMAINT_SERVE_SERVING_ENGINE_H_
+#define NEXTMAINT_SERVE_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/status.h"
+#include "core/category.h"
+#include "core/scheduler.h"
+#include "data/time_series.h"
+
+/// \file serving_engine.h
+/// Incremental fleet serving: O(new data) refreshes over the batch facade.
+///
+/// The paper's system is deployed against a telematics collector that
+/// delivers utilization one day at a time, yet FleetScheduler is a batch
+/// facade — one appended day costs a full-fleet retrain and re-forecast.
+/// The ServingEngine closes that gap with per-vehicle cached feature state
+/// and dirty-tracking: `Append(id, day, seconds)` invalidates only that
+/// vehicle, and `RefreshForecasts()` retrains and re-forecasts only dirty
+/// vehicles (fanning out over the shared thread pool), reusing every clean
+/// vehicle's cached model and forecast.
+///
+/// The non-negotiable invariant: after any interleaving of appends and
+/// refreshes, the published forecasts are **bit-identical** to a
+/// from-scratch batch `TrainAll` + `FleetForecast` over the same data, at
+/// any thread count. The engine earns this by construction, not by
+/// approximation — it runs the exact same code paths the batch facade runs
+/// (CorpusContribution / TrainUnifiedFromCorpus / TrainVehicles /
+/// Forecast), only on the subset that changed, and it rebuilds the shared
+/// cold-start inputs whenever a dirty vehicle's corpus contribution
+/// changes (which dirties every cold-start consumer). See
+/// docs/serving.md for the full argument.
+///
+/// Threading contract: one writer (Register/Append/LoadHistory/
+/// RefreshForecasts must be externally serialized), any number of
+/// concurrent Snapshot() readers. Snapshots are immutable and published
+/// atomically under an epoch counter, so a reader holds a consistent fleet
+/// view while appends keep landing.
+
+namespace nextmaint {
+namespace serve {
+
+/// Cached per-vehicle feature state, maintained incrementally in O(1) per
+/// appended day by mirroring core::DeriveSeries' exact operation order
+/// (same additions, same comparisons, same carry), so every value is
+/// bit-identical to what a from-scratch derivation would produce for the
+/// "virtual today" the forecast path uses.
+struct VehicleServeState {
+  /// Days of utilization ingested.
+  uint64_t days_observed = 0;
+  /// Running fleet-telemetry total: sum of all ingested seconds.
+  double total_usage_s = 0.0;
+  /// C_v(today): days since the cycle-opening maintenance, for the day
+  /// after the last observation.
+  double days_since_maintenance = 0.0;
+  /// L_v(today): utilization seconds left until the next maintenance is
+  /// due, for the day after the last observation.
+  double usage_seconds_left = 0.0;
+  /// Completed maintenance cycles so far.
+  uint64_t completed_cycles = 0;
+  /// True when the vehicle has changes not yet covered by a refresh.
+  bool dirty = true;
+  /// True when the last refresh produced a forecast for this vehicle.
+  bool has_forecast = false;
+  /// Epoch of the refresh that last recomputed this vehicle (0 = never).
+  uint64_t last_refresh_epoch = 0;
+};
+
+/// Immutable point-in-time view of the fleet, published by
+/// RefreshForecasts. Readers keep the shared_ptr for as long as they need
+/// a consistent view; later refreshes publish new snapshots and never
+/// mutate old ones.
+struct FleetSnapshot {
+  /// Refresh generation: 0 before the first refresh, +1 per refresh.
+  uint64_t epoch = 0;
+  /// Vehicles registered when the snapshot was published.
+  size_t vehicles = 0;
+  /// Forecasts sorted by predicted date (most urgent first) — the same
+  /// content and order FleetForecast would return.
+  std::vector<core::MaintenanceForecast> forecasts;
+  /// Vehicles currently served degraded (train entries in vehicle-id
+  /// order, then forecast entries in vehicle-id order), reflecting the
+  /// cached state of the whole fleet — not just the last refresh.
+  core::DegradationReport degradations;
+};
+
+/// Bookkeeping of one RefreshForecasts call.
+struct RefreshStats {
+  /// Epoch this refresh published.
+  uint64_t epoch = 0;
+  /// Vehicles dirty at entry (before corpus invalidation fan-out).
+  size_t dirty_on_entry = 0;
+  /// Vehicles retrained and re-forecast by this refresh.
+  size_t refreshed = 0;
+  /// Vehicles whose cached model and forecast were reused untouched.
+  size_t reused = 0;
+  /// True when a dirty vehicle's corpus contribution changed and the
+  /// shared cold-start inputs (corpus + Model_Uni) were rebuilt.
+  bool corpus_rebuilt = false;
+};
+
+/// Incremental serving engine over a FleetScheduler.
+class ServingEngine {
+ public:
+  explicit ServingEngine(core::SchedulerOptions options);
+
+  /// Registers a vehicle whose data starts on `first_day`.
+  /// AlreadyExists on duplicates. The vehicle starts dirty.
+  [[nodiscard]] Status Register(const std::string& id, Date first_day);
+
+  /// Appends one day of utilization and marks only this vehicle dirty.
+  /// O(1): the cached feature state advances incrementally; nothing is
+  /// retrained until the next RefreshForecasts. Same validation and error
+  /// codes as FleetScheduler::IngestUsage; on error the cached state is
+  /// untouched and the vehicle's dirtiness is unchanged.
+  [[nodiscard]] Status Append(const std::string& id, Date day, double seconds);
+
+  /// Bulk-loads a gap-free history, replacing any prior data (the
+  /// warm-start path). O(series); marks the vehicle dirty.
+  [[nodiscard]] Status LoadHistory(const std::string& id,
+                                   const data::DailySeries& series);
+
+  /// Retrains and re-forecasts exactly the dirty vehicles, publishes a new
+  /// FleetSnapshot and bumps the epoch. When a dirty vehicle's first-cycle
+  /// corpus contribution changed, the shared cold-start inputs are rebuilt
+  /// first and every cold-start (non-old) vehicle is dirtied too — the
+  /// price of staying bit-identical to a batch run. FailedPrecondition on
+  /// an empty fleet (mirroring FleetForecast); strict mode aborts on the
+  /// first per-vehicle error, otherwise failing vehicles are quarantined
+  /// behind BL fallbacks exactly as the batch facade would.
+  [[nodiscard]] Result<RefreshStats> RefreshForecasts();
+
+  /// The current published snapshot. Never null; epoch 0 with no
+  /// forecasts before the first refresh. Thread-safe against the writer.
+  std::shared_ptr<const FleetSnapshot> Snapshot() const;
+
+  /// Cached feature state of one vehicle (NotFound when unregistered).
+  /// O(1) — no series walk.
+  [[nodiscard]] Result<VehicleServeState> CachedState(const std::string& id) const;
+
+  /// Vehicles with changes not yet covered by a refresh.
+  size_t DirtyCount() const;
+
+  /// Stats of the most recent refresh (all zeros before the first).
+  const RefreshStats& LastRefreshStats() const { return last_stats_; }
+
+  /// Registered ids, sorted.
+  std::vector<std::string> VehicleIds() const { return scheduler_.VehicleIds(); }
+
+  /// Current refresh generation.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Read access to the underlying batch facade (drift checks,
+  /// SaveCheckpoint, per-vehicle queries). The engine owns training and
+  /// ingestion; mutating the scheduler behind the engine's back voids the
+  /// bit-identity guarantee.
+  const core::FleetScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  /// Internal per-vehicle cache: the public VehicleServeState plus the
+  /// raw DeriveSeries mirror variables and the cached training inputs and
+  /// outputs.
+  struct CacheEntry {
+    // DeriveSeries mirror (exact FP-op order; see AdvanceCachedState).
+    uint64_t days = 0;
+    uint64_t cycle_start = 0;
+    uint64_t completed_cycles = 0;
+    double cycle_usage = 0.0;
+    double total_usage = 0.0;
+    // Cached category (refreshed alongside the model).
+    core::VehicleCategory category = core::VehicleCategory::kNew;
+    // Cached corpus contribution, used to detect corpus changes without
+    // comparing datasets: a contribution is append-invariant once present,
+    // so only present/absent transitions (and bulk history replacement)
+    // can change the corpus.
+    bool has_contribution = false;
+    std::optional<core::FirstCycleData> contribution;
+    /// Set by LoadHistory: the cached contribution may describe replaced
+    /// data, so the next refresh must treat it as changed.
+    bool contribution_stale = false;
+    // Cached outputs of the last refresh that touched this vehicle.
+    std::optional<core::MaintenanceForecast> forecast;
+    std::optional<core::VehicleDegradation> train_degradation;
+    std::optional<core::VehicleDegradation> forecast_degradation;
+    uint64_t last_refresh_epoch = 0;
+    bool dirty = true;
+  };
+
+  /// Advances the DeriveSeries mirror by one ingested day.
+  static void AdvanceCachedState(CacheEntry& entry, double seconds,
+                                 double maintenance_interval_s);
+
+  /// Rebuilds a mirror from scratch after LoadHistory.
+  static void RecomputeCachedState(CacheEntry& entry,
+                                   const data::DailySeries& series,
+                                   double maintenance_interval_s);
+
+  /// Assembles and publishes the snapshot for the current cache contents.
+  void PublishSnapshot();
+
+  core::SchedulerOptions options_;
+  core::FleetScheduler scheduler_;
+  std::map<std::string, CacheEntry> entries_;
+  /// Cached shared cold-start inputs (corpus in vehicle-id order +
+  /// Model_Uni), rebuilt only when a contribution changes.
+  core::ColdStartInputs cold_start_inputs_;
+  uint64_t epoch_ = 0;
+  RefreshStats last_stats_;
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const FleetSnapshot> snapshot_;
+};
+
+}  // namespace serve
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_SERVE_SERVING_ENGINE_H_

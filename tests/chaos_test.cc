@@ -28,7 +28,11 @@ class ChaosSweepTest : public testing::Test {
                       "(NEXTMAINT_ENABLE_FAILPOINTS=OFF)";
     }
     failpoints::DisarmAll();
-    dir_ = fs::path(testing::TempDir()) / "nextmaint_chaos_test";
+    // Unique per test: ctest -j runs suite members as concurrent processes
+    // and a shared directory would race SetUp's remove_all.
+    dir_ = fs::path(testing::TempDir()) /
+           (std::string("nextmaint_chaos_test_") +
+            testing::UnitTest::GetInstance()->current_test_info()->name());
     fs::remove_all(dir_);
     std::ostringstream out;
     ASSERT_TRUE(cli::RunCommand({"simulate", "--out", Dir(), "--vehicles",
@@ -58,6 +62,16 @@ class ChaosSweepTest : public testing::Test {
     return cli::RunCommand(args, *out);
   }
 
+  /// One incremental serve replay over the same fleet, for the serve.*
+  /// failpoint sites the batch pipeline never reaches.
+  Status RunServePipeline(int threads, std::ostringstream* out) const {
+    return cli::RunCommand(
+        {"serve", "--data", Dir(), "--tv", "500000", "--window", "3",
+         "--replay-days", "20", "--refresh-every", "5", "--threads",
+         std::to_string(threads)},
+        *out);
+  }
+
   fs::path dir_;
   std::string models_path_;
 };
@@ -75,6 +89,7 @@ TEST_F(ChaosSweepTest, EverySiteDegradesCleanlyAndDeterministically) {
     // graceful-degradation case).
     for (const std::string& spec : {site, site + ":1"}) {
       SCOPED_TRACE(spec);
+      const bool serve_site = site.rfind("serve.", 0) == 0;
       std::vector<std::string> extra;
       if (site == "scheduler.load_models") {
         extra = {"--load-models", models_path_};
@@ -91,7 +106,8 @@ TEST_F(ChaosSweepTest, EverySiteDegradesCleanlyAndDeterministically) {
         ASSERT_TRUE(failpoints::Arm(spec).ok());
         std::ostringstream out;
         ChaosOutcome outcome;
-        outcome.status = RunPipeline(threads, extra, &out);
+        outcome.status = serve_site ? RunServePipeline(threads, &out)
+                                    : RunPipeline(threads, extra, &out);
         outcome.output = out.str();
         hits += failpoints::HitCount(site);
         failpoints::DisarmAll();

@@ -5,6 +5,10 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoints.h"
 
 namespace nextmaint {
 namespace cli {
@@ -56,12 +60,68 @@ TEST(RunCommandTest, CommandsValidateRequiredFlags) {
   EXPECT_FALSE(RunCommand({"forecast"}, out).ok());
   EXPECT_FALSE(RunCommand({"plan"}, out).ok());
   EXPECT_FALSE(RunCommand({"evaluate"}, out).ok());
+  EXPECT_FALSE(RunCommand({"serve"}, out).ok());
+}
+
+TEST(ParseCommonOptionsTest, DefaultsAndHappyPath) {
+  const CommonOptions defaults =
+      ParseCommonOptions(ParseArgs({"forecast"})).ValueOrDie();
+  EXPECT_EQ(defaults.threads, 0);
+  EXPECT_FALSE(defaults.strict);
+  EXPECT_TRUE(defaults.metrics_json.empty());
+  EXPECT_TRUE(defaults.failpoints.empty());
+  EXPECT_TRUE(defaults.load_models.empty());
+
+  const CommonOptions parsed =
+      ParseCommonOptions(ParseArgs({"forecast", "--threads", "4", "--strict",
+                                    "--metrics-json", "m.json",
+                                    "--load-models", "ckpt.txt"}))
+          .ValueOrDie();
+  EXPECT_EQ(parsed.threads, 4);
+  EXPECT_TRUE(parsed.strict);
+  EXPECT_EQ(parsed.metrics_json, "m.json");
+  EXPECT_EQ(parsed.load_models, "ckpt.txt");
+}
+
+TEST(ParseCommonOptionsTest, RejectsMalformedValues) {
+  // One validation path for every command: bad shared flags fail the same
+  // way no matter which command carries them.
+  for (const auto& bad : std::vector<std::vector<std::string>>{
+           {"--threads", "abc"},
+           {"--threads", "-3"},
+           {"--metrics-json"},
+           {"--load-models"}}) {
+    const auto result = ParseCommonOptions(ParseArgs(bad));
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << bad.front();
+    EXPECT_NE(result.status().message().find("usage"), std::string::npos)
+        << bad.front();
+  }
+}
+
+TEST(ParseCommonOptionsTest, FailpointsSpecRequiresValue) {
+  if (!failpoints::CompiledIn()) {
+    const auto result =
+        ParseCommonOptions(ParseArgs({"--failpoints", "serve.refresh"}));
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    return;
+  }
+  EXPECT_EQ(ParseCommonOptions(ParseArgs({"--failpoints"})).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCommonOptions(ParseArgs({"--failpoints", "serve.refresh"}))
+                .ValueOrDie()
+                .failpoints,
+            "serve.refresh");
 }
 
 class CliPipelineTest : public testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path(testing::TempDir()) / "nextmaint_cli_test";
+    // Unique per test: ctest -j runs suite members as concurrent processes
+    // and a shared directory would race SetUp's remove_all.
+    dir_ = fs::path(testing::TempDir()) /
+           (std::string("nextmaint_cli_test_") +
+            testing::UnitTest::GetInstance()->current_test_info()->name());
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }
@@ -291,6 +351,56 @@ TEST_F(CliPipelineTest, ForecastLoadsSavedModels) {
                        missing_out)
                 .code(),
             StatusCode::kIOError);
+}
+
+TEST_F(CliPipelineTest, ServeReplayMatchesBatchForecast) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "3",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  std::ostringstream batch_out;
+  ASSERT_TRUE(RunCommand({"forecast", "--data", Dir(), "--tv", "500000",
+                          "--window", "3"},
+                         batch_out)
+                  .ok());
+  std::ostringstream serve_out;
+  ASSERT_TRUE(RunCommand({"serve", "--data", Dir(), "--tv", "500000",
+                          "--window", "3", "--replay-days", "7",
+                          "--refresh-every", "2"},
+                         serve_out)
+                  .ok());
+  const std::string text = serve_out.str();
+  // The replay narrates its refreshes and ends on the snapshot.
+  EXPECT_NE(text.find("refresh epoch 1:"), std::string::npos) << text;
+  EXPECT_NE(text.find("fleet snapshot at epoch"), std::string::npos);
+  // Bit-identity through the CLI: the final snapshot table is byte-equal
+  // to the batch forecast over the same data.
+  EXPECT_NE(text.find(batch_out.str()), std::string::npos)
+      << "serve table diverged from batch forecast\n"
+      << text << "\n---\n" << batch_out.str();
+}
+
+TEST_F(CliPipelineTest, ServeValidatesFlags) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "1",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  std::ostringstream serve_out;
+  // serve trains incrementally; checkpoints cannot seed it.
+  EXPECT_EQ(RunCommand({"serve", "--data", Dir(), "--load-models", "x.txt"},
+                       serve_out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCommand({"serve", "--data", Dir(), "--replay-days", "0"},
+                       serve_out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCommand({"serve", "--data", Dir(), "--refresh-every", "-1"},
+                       serve_out)
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

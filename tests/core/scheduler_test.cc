@@ -204,7 +204,19 @@ TEST(FleetSchedulerTest, VehicleIdsSorted) {
 }
 
 
-TEST(FleetSchedulerTest, ModelsRoundTripThroughSaveLoad) {
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteAll(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+}
+
+TEST(FleetSchedulerTest, CheckpointRoundTrip) {
   FleetScheduler scheduler(FastOptions());
   ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
   ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(41, 600)).ok());
@@ -213,17 +225,18 @@ TEST(FleetSchedulerTest, ModelsRoundTripThroughSaveLoad) {
   ASSERT_TRUE(scheduler.TrainAll().ok());
   const MaintenanceForecast before = scheduler.Forecast("v1").ValueOrDie();
 
-  std::stringstream buffer;
-  ASSERT_TRUE(scheduler.SaveModels(buffer).ok());
+  const std::string path = ::testing::TempDir() + "/checkpoint_roundtrip.txt";
+  ASSERT_TRUE(scheduler.SaveCheckpoint(path).ok());
 
   // A fresh scheduler with the same data but no training: loading the
-  // models must reproduce the forecasts exactly.
+  // checkpoint must reproduce the forecasts exactly.
   FleetScheduler restored(FastOptions());
   ASSERT_TRUE(restored.RegisterVehicle("v1", Day(0)).ok());
   ASSERT_TRUE(restored.IngestSeries("v1", SimulatedVehicle(41, 600)).ok());
   ASSERT_TRUE(restored.RegisterVehicle("v2", Day(0)).ok());
   ASSERT_TRUE(restored.IngestSeries("v2", SimulatedVehicle(42, 600)).ok());
-  ASSERT_TRUE(restored.LoadModels(buffer).ok());
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+  std::remove(path.c_str());
 
   const MaintenanceForecast after = restored.Forecast("v1").ValueOrDie();
   EXPECT_DOUBLE_EQ(after.days_left, before.days_left);
@@ -231,28 +244,65 @@ TEST(FleetSchedulerTest, ModelsRoundTripThroughSaveLoad) {
   EXPECT_EQ(after.predicted_date, before.predicted_date);
 }
 
-TEST(FleetSchedulerTest, LoadModelsRejectsUnknownVehicle) {
+TEST(FleetSchedulerTest, LoadCheckpointRejectsUnknownVehicle) {
   FleetScheduler scheduler(FastOptions());
   ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
   ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(43, 600)).ok());
   ASSERT_TRUE(scheduler.TrainAll().ok());
-  std::stringstream buffer;
-  ASSERT_TRUE(scheduler.SaveModels(buffer).ok());
+  const std::string path = ::testing::TempDir() + "/checkpoint_unknown.txt";
+  ASSERT_TRUE(scheduler.SaveCheckpoint(path).ok());
 
   FleetScheduler other(FastOptions());  // no vehicles registered
-  EXPECT_EQ(other.LoadModels(buffer).code(), StatusCode::kNotFound);
+  EXPECT_EQ(other.LoadCheckpoint(path).code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
 }
 
-TEST(FleetSchedulerTest, LoadModelsRejectsTruncatedStream) {
+TEST(FleetSchedulerTest, LoadCheckpointRejectsTruncatedFile) {
   FleetScheduler scheduler(FastOptions());
   ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
   ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(44, 600)).ok());
   ASSERT_TRUE(scheduler.TrainAll().ok());
+  const std::string path = ::testing::TempDir() + "/checkpoint_truncated.txt";
+  ASSERT_TRUE(scheduler.SaveCheckpoint(path).ok());
+  const std::string full = ReadAll(path);
+  WriteAll(path, full.substr(0, full.size() * 2 / 3));
+  EXPECT_FALSE(scheduler.LoadCheckpoint(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FleetSchedulerTest, DeprecatedModelShimsStillWork) {
+  // SaveModels/LoadModels are thin shims over the checkpoint API, kept for
+  // one release; the stream overloads remain the only stream entry point.
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(45, 600)).ok());
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+  const MaintenanceForecast before = scheduler.Forecast("v1").ValueOrDie();
+
   std::stringstream buffer;
   ASSERT_TRUE(scheduler.SaveModels(buffer).ok());
-  const std::string full = buffer.str();
-  std::stringstream truncated(full.substr(0, full.size() * 2 / 3));
-  EXPECT_FALSE(scheduler.LoadModels(truncated).ok());
+  const std::string path = ::testing::TempDir() + "/shim_models.txt";
+  ASSERT_TRUE(scheduler.SaveModels(path).ok());
+  // The path shim and the checkpoint API produce identical bytes.
+  EXPECT_EQ(ReadAll(path), buffer.str());
+
+  FleetScheduler restored(FastOptions());
+  ASSERT_TRUE(restored.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(restored.IngestSeries("v1", SimulatedVehicle(45, 600)).ok());
+  ASSERT_TRUE(restored.LoadModels(buffer).ok());
+  const MaintenanceForecast via_stream = restored.Forecast("v1").ValueOrDie();
+  FleetScheduler restored2(FastOptions());
+  ASSERT_TRUE(restored2.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(restored2.IngestSeries("v1", SimulatedVehicle(45, 600)).ok());
+  ASSERT_TRUE(restored2.LoadModels(path).ok());
+  const MaintenanceForecast via_path = restored2.Forecast("v1").ValueOrDie();
+  std::remove(path.c_str());
+
+  for (const MaintenanceForecast* after : {&via_stream, &via_path}) {
+    EXPECT_EQ(after->days_left, before.days_left);
+    EXPECT_EQ(after->model_name, before.model_name);
+    EXPECT_EQ(after->predicted_date, before.predicted_date);
+  }
 }
 
 
@@ -294,30 +344,58 @@ TEST(FleetSchedulerTest, NegativeNumThreadsRejected) {
             StatusCode::kInvalidArgument);
 }
 
-TEST(FleetSchedulerTest, ModelsRoundTripThroughSaveLoadByPath) {
+TEST(FleetSchedulerTest, CheckpointRejectsBadPaths) {
   FleetScheduler scheduler(FastOptions());
   ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
   ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(51, 600)).ok());
   ASSERT_TRUE(scheduler.TrainAll().ok());
-  const MaintenanceForecast before = scheduler.Forecast("v1").ValueOrDie();
-
-  const std::string path = ::testing::TempDir() + "/scheduler_models.txt";
-  ASSERT_TRUE(scheduler.SaveModels(path).ok());
-
-  FleetScheduler restored(FastOptions());
-  ASSERT_TRUE(restored.RegisterVehicle("v1", Day(0)).ok());
-  ASSERT_TRUE(restored.IngestSeries("v1", SimulatedVehicle(51, 600)).ok());
-  ASSERT_TRUE(restored.LoadModels(path).ok());
-
-  const MaintenanceForecast after = restored.Forecast("v1").ValueOrDie();
-  EXPECT_DOUBLE_EQ(after.days_left, before.days_left);
-  EXPECT_EQ(after.model_name, before.model_name);
-
   // Unwritable / missing paths surface as IOError.
-  EXPECT_EQ(scheduler.SaveModels("/nonexistent-dir/models.txt").code(),
+  EXPECT_EQ(scheduler.SaveCheckpoint("/nonexistent-dir/models.txt").code(),
             StatusCode::kIOError);
-  EXPECT_EQ(restored.LoadModels("/nonexistent-dir/models.txt").code(),
+  EXPECT_EQ(scheduler.LoadCheckpoint("/nonexistent-dir/models.txt").code(),
             StatusCode::kIOError);
+}
+
+TEST(FleetSchedulerTest, ErrorCodeContract) {
+  // scheduler.h documents: NotFound = never registered, FailedPrecondition
+  // = registered but not servable — including FleetForecast on a fleet
+  // with no vehicles at all.
+  FleetScheduler scheduler(FastOptions());
+  EXPECT_EQ(scheduler.FleetForecast().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(scheduler.Forecast("ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(scheduler.HasTrainedModel("ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(scheduler.FallbackForecast("ghost").status().code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(55, 600)).ok());
+  // Registered but untrained: not servable yet.
+  EXPECT_EQ(scheduler.Forecast("v1").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(scheduler.HasTrainedModel("v1").ValueOrDie());
+  ASSERT_TRUE(scheduler.TrainAll().ok());
+  EXPECT_TRUE(scheduler.HasTrainedModel("v1").ValueOrDie());
+  EXPECT_TRUE(scheduler.FleetForecast().ok());
+}
+
+TEST(FleetSchedulerTest, TrainVehiclesValidatesIds) {
+  FleetScheduler scheduler(FastOptions());
+  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(56, 600)).ok());
+  ColdStartInputs inputs;
+  EXPECT_EQ(scheduler.TrainVehicles({"ghost"}, inputs).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(scheduler.TrainVehicles({"v1", "v1"}, inputs).code(),
+            StatusCode::kInvalidArgument);
+  // The building blocks compose into exactly what TrainAll does.
+  const auto contribution = scheduler.CorpusContribution("v1").ValueOrDie();
+  if (contribution.has_value()) inputs.corpus.push_back(*contribution);
+  inputs.unified = scheduler.TrainUnifiedFromCorpus(inputs.corpus);
+  ASSERT_TRUE(scheduler.TrainVehicles({"v1"}, inputs).ok());
+  EXPECT_TRUE(scheduler.Forecast("v1").ok());
 }
 
 /// Trains the same 4-vehicle fleet and returns (serialized models,
@@ -337,9 +415,12 @@ std::pair<std::string, std::vector<MaintenanceForecast>> TrainAndForecast(
             .ok());
   }
   EXPECT_TRUE(scheduler.TrainAll().ok());
-  std::stringstream models;
-  EXPECT_TRUE(scheduler.SaveModels(models).ok());
-  return {models.str(), scheduler.FleetForecast().ValueOrDie()};
+  const std::string path = ::testing::TempDir() + "/telemetry_models_" +
+                           std::to_string(num_threads) + ".txt";
+  EXPECT_TRUE(scheduler.SaveCheckpoint(path).ok());
+  std::string models = ReadAll(path);
+  std::remove(path.c_str());
+  return {std::move(models), scheduler.FleetForecast().ValueOrDie()};
 }
 
 TEST(FleetSchedulerTest, TelemetryDoesNotChangeResults) {
@@ -382,13 +463,6 @@ TEST(FleetSchedulerTest, TelemetryDoesNotChangeResults) {
     EXPECT_TRUE(snapshot.gauges.empty());
 #endif
   }
-}
-
-std::string ReadAll(const std::string& path) {
-  std::ifstream in(path);
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
 }
 
 /// ISSUE 4 acceptance: with one vehicle's training armed to fail, the
@@ -469,7 +543,7 @@ TEST(FleetSchedulerTest, GracefulDegradationQuarantinesOnlyFailingVehicle) {
 #endif
 }
 
-TEST(FleetSchedulerTest, SaveModelsFailureLeavesExistingFileIntact) {
+TEST(FleetSchedulerTest, SaveCheckpointFailureLeavesExistingFileIntact) {
   if (!failpoints::CompiledIn()) {
     GTEST_SKIP() << "failpoints compiled out";
   }
@@ -479,12 +553,12 @@ TEST(FleetSchedulerTest, SaveModelsFailureLeavesExistingFileIntact) {
   ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(52, 600)).ok());
   ASSERT_TRUE(scheduler.TrainAll().ok());
   const std::string path = ::testing::TempDir() + "/atomic_models.txt";
-  ASSERT_TRUE(scheduler.SaveModels(path).ok());
+  ASSERT_TRUE(scheduler.SaveCheckpoint(path).ok());
   const std::string before = ReadAll(path);
   ASSERT_FALSE(before.empty());
 
   ASSERT_TRUE(failpoints::Arm("scheduler.save_models").ok());
-  EXPECT_FALSE(scheduler.SaveModels(path).ok());
+  EXPECT_FALSE(scheduler.SaveCheckpoint(path).ok());
   failpoints::DisarmAll();
 
   // The failed save neither truncated the live file nor left a temp file:
@@ -494,24 +568,25 @@ TEST(FleetSchedulerTest, SaveModelsFailureLeavesExistingFileIntact) {
   std::remove(path.c_str());
 }
 
-TEST(FleetSchedulerTest, LoadModelsFailureCommitsNothing) {
+TEST(FleetSchedulerTest, LoadCheckpointFailureCommitsNothing) {
   FleetScheduler trained(FastOptions());
   ASSERT_TRUE(trained.RegisterVehicle("v1", Day(0)).ok());
   ASSERT_TRUE(trained.IngestSeries("v1", SimulatedVehicle(53, 600)).ok());
   ASSERT_TRUE(trained.TrainAll().ok());
-  std::stringstream buffer;
-  ASSERT_TRUE(trained.SaveModels(buffer).ok());
-  const std::string full = buffer.str();
+  const std::string path = ::testing::TempDir() + "/checkpoint_commit.txt";
+  ASSERT_TRUE(trained.SaveCheckpoint(path).ok());
+  const std::string full = ReadAll(path);
 
-  // Cut the stream after v1's complete model but before the fleet-end
+  // Cut the payload after v1's complete model but before the fleet-end
   // marker: every record parses, yet nothing may commit.
   const size_t cut = full.rfind("fleet-end");
   ASSERT_NE(cut, std::string::npos);
+  WriteAll(path, full.substr(0, cut));
   FleetScheduler restored(FastOptions());
   ASSERT_TRUE(restored.RegisterVehicle("v1", Day(0)).ok());
   ASSERT_TRUE(restored.IngestSeries("v1", SimulatedVehicle(53, 600)).ok());
-  std::stringstream truncated(full.substr(0, cut));
-  EXPECT_EQ(restored.LoadModels(truncated).code(), StatusCode::kDataError);
+  EXPECT_EQ(restored.LoadCheckpoint(path).code(), StatusCode::kDataError);
+  std::remove(path.c_str());
   // No partially loaded model leaks into serving.
   EXPECT_EQ(restored.Forecast("v1").status().code(),
             StatusCode::kFailedPrecondition);

@@ -40,6 +40,16 @@ TEST(DailySeriesTest, AppendExtendsEndDate) {
   EXPECT_EQ(series.end_date(), Day(1));
 }
 
+TEST(DailySeriesTest, NextDateIsDayAfterEnd) {
+  DailySeries series(Day(0), {1.0, 2.0});
+  EXPECT_EQ(series.next_date(), Day(2));
+  series.Append(3.0);
+  EXPECT_EQ(series.next_date(), Day(3));
+  // An empty series has no end yet: the next append covers the start date.
+  DailySeries fresh(Day(5), {});
+  EXPECT_EQ(fresh.next_date(), Day(5));
+}
+
 TEST(DailySeriesTest, AtReturnsValueInsideRange) {
   DailySeries series(Day(0), {10.0, 20.0, 30.0});
   EXPECT_DOUBLE_EQ(series.At(Day(1)).ValueOrDie(), 20.0);

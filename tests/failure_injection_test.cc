@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -198,11 +200,16 @@ TEST(SchedulerFailureTest, TelemetryOutageRepairedUpstream) {
   EXPECT_TRUE(scheduler.Forecast("v").ok());
 }
 
-TEST(SchedulerFailureTest, LoadModelsFromGarbageFails) {
+TEST(SchedulerFailureTest, LoadCheckpointFromGarbageFails) {
   core::SchedulerOptions options;
   core::FleetScheduler scheduler(options);
-  std::istringstream garbage("vehicle v1 RF\nnot-a-model\n");
-  EXPECT_FALSE(scheduler.LoadModels(garbage).ok());
+  const std::string path = ::testing::TempDir() + "/garbage_checkpoint.txt";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "vehicle v1 RF\nnot-a-model\n";
+  }
+  EXPECT_FALSE(scheduler.LoadCheckpoint(path).ok());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -211,10 +213,18 @@ TEST(ParallelDeterminismTest, FleetSchedulerForecastsBitIdentical) {
   }
 
   // The persisted per-vehicle models must match byte for byte as well.
-  std::ostringstream serial_models, parallel_models;
-  ASSERT_TRUE(serial.SaveModels(serial_models).ok());
-  ASSERT_TRUE(parallel.SaveModels(parallel_models).ok());
-  EXPECT_EQ(serial_models.str(), parallel_models.str());
+  const auto checkpoint_bytes = [](const core::FleetScheduler& scheduler,
+                                   const std::string& name) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    EXPECT_TRUE(scheduler.SaveCheckpoint(path).ok());
+    std::ifstream in(path);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    std::remove(path.c_str());
+    return bytes.str();
+  };
+  EXPECT_EQ(checkpoint_bytes(serial, "determinism_serial.txt"),
+            checkpoint_bytes(parallel, "determinism_parallel.txt"));
 }
 
 TEST(ParallelDeterminismTest, PaperMetricsUnchangedByThreadCount) {

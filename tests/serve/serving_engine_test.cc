@@ -1,0 +1,309 @@
+#include "serve/serving_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "telematics/fleet.h"
+
+namespace nextmaint {
+namespace serve {
+namespace {
+
+constexpr double kTv = 500'000.0;
+
+Date Day(int offset) {
+  return Date::FromYmd(2015, 1, 1).ValueOrDie().AddDays(offset);
+}
+
+core::SchedulerOptions FastOptions(int num_threads = 0) {
+  core::SchedulerOptions options;
+  options.maintenance_interval_s = kTv;
+  options.window = 3;
+  options.algorithms = {"BL", "LR"};
+  options.unified_algorithm = "LR";
+  options.selection.tune = false;
+  options.selection.resampling_shifts = 0;
+  options.num_threads = num_threads;
+  return options;
+}
+
+data::DailySeries SimulatedVehicle(uint64_t seed, int days) {
+  Rng rng(seed);
+  telem::VehicleProfile profile = telem::DefaultFleetProfiles(1, &rng)[0];
+  profile.maintenance_interval_s = kTv;
+  Rng sim_rng(seed * 7 + 3);
+  return telem::SimulateVehicle(profile, Day(0), days, 0.0, &sim_rng)
+      .ValueOrDie()
+      .utilization;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Byte content of a scheduler checkpoint, via a throwaway temp file.
+std::string CheckpointBytes(const core::FleetScheduler& scheduler,
+                            const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(scheduler.SaveCheckpoint(path).ok());
+  std::string bytes = ReadAll(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+/// Requires every forecast field to be bit-identical, in the same order.
+void ExpectForecastsIdentical(
+    const std::vector<core::MaintenanceForecast>& got,
+    const std::vector<core::MaintenanceForecast>& want,
+    const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].vehicle_id, want[i].vehicle_id) << label << " #" << i;
+    EXPECT_EQ(got[i].category, want[i].category) << label << " #" << i;
+    EXPECT_EQ(got[i].model_name, want[i].model_name) << label << " #" << i;
+    EXPECT_EQ(got[i].days_left, want[i].days_left)
+        << label << " " << got[i].vehicle_id;
+    EXPECT_EQ(got[i].usage_seconds_left, want[i].usage_seconds_left)
+        << label << " " << got[i].vehicle_id;
+    EXPECT_EQ(got[i].predicted_date, want[i].predicted_date)
+        << label << " " << got[i].vehicle_id;
+  }
+}
+
+/// One vehicle of the property fleet: a full series plus how much of it the
+/// engine warm-starts on before the day-by-day replay.
+struct VehicleSpec {
+  std::string id;
+  data::DailySeries series;
+  size_t warm;
+};
+
+/// The fleet the property test replays. Covers every category transition
+/// the engine must survive: two old vehicles (stable corpus members), one
+/// vehicle crossing semi-new -> old mid-replay (its first completed cycle
+/// joins the corpus and must dirty every cold-start consumer), one vehicle
+/// crossing new -> semi-new, and one staying new throughout.
+std::vector<VehicleSpec> PropertyFleet() {
+  std::vector<VehicleSpec> fleet;
+  fleet.push_back({"old1", SimulatedVehicle(101, 600), 560});
+  fleet.push_back({"old2", SimulatedVehicle(102, 600), 560});
+  // 15000 s/day: 250k (semi-new) after ~17 days, 500k (old) after ~34.
+  fleet.push_back({"cross",
+                   data::DailySeries(Day(0), std::vector<double>(48, 15'000.0)),
+                   20});
+  // 18000 s/day starting tiny: crosses T_v/2 during the replay.
+  fleet.push_back({"rise",
+                   data::DailySeries(Day(0), std::vector<double>(40, 18'000.0)),
+                   8});
+  // 500 s/day: stays new forever.
+  fleet.push_back({"fresh",
+                   data::DailySeries(Day(0), std::vector<double>(35, 500.0)),
+                   5});
+  return fleet;
+}
+
+/// A from-scratch batch run over exactly `ingested[id]` days per vehicle:
+/// the ground truth the incremental engine must be bit-identical to.
+core::FleetScheduler BatchScheduler(
+    const std::vector<VehicleSpec>& fleet,
+    const std::map<std::string, size_t>& ingested, int num_threads) {
+  core::FleetScheduler scheduler(FastOptions(num_threads));
+  for (const VehicleSpec& v : fleet) {
+    EXPECT_TRUE(scheduler.RegisterVehicle(v.id, v.series.start_date()).ok());
+    const size_t days = ingested.at(v.id);
+    if (days == 0) continue;
+    EXPECT_TRUE(scheduler.IngestSeries(v.id, v.series.Slice(0, days)).ok());
+  }
+  EXPECT_TRUE(scheduler.TrainAll().ok());
+  return scheduler;
+}
+
+/// The tentpole invariant (ISSUE 5 acceptance): random interleavings of
+/// appends and refreshes produce forecasts bit-identical to a from-scratch
+/// batch run over the same data, at 1 and 4 threads — including vehicles
+/// that change category (and corpus membership) mid-replay.
+TEST(ServingEngineTest, IncrementalMatchesBatchUnderRandomInterleavings) {
+  for (const int threads : {1, 4}) {
+    for (const uint64_t round : {1u, 2u}) {
+      const std::vector<VehicleSpec> fleet = PropertyFleet();
+      ServingEngine engine(FastOptions(threads));
+      std::map<std::string, size_t> ingested;
+      for (const VehicleSpec& v : fleet) {
+        ASSERT_TRUE(engine.Register(v.id, v.series.start_date()).ok());
+        if (v.warm > 0) {
+          ASSERT_TRUE(
+              engine.LoadHistory(v.id, v.series.Slice(0, v.warm)).ok());
+        }
+        ingested[v.id] = v.warm;
+      }
+      ASSERT_TRUE(engine.RefreshForecasts().ok());
+
+      // The schedule depends only on (round) so both thread counts replay
+      // the identical interleaving.
+      Rng schedule(900 + round);
+      const std::string label =
+          "threads=" + std::to_string(threads) +
+          " round=" + std::to_string(round);
+      for (int step = 0; step < 30; ++step) {
+        for (const VehicleSpec& v : fleet) {
+          size_t& next = ingested[v.id];
+          if (next >= v.series.size()) continue;
+          // Vehicles advance at random, uneven rates.
+          if (!schedule.Bernoulli(0.75)) continue;
+          const Date day =
+              v.series.start_date().AddDays(static_cast<int64_t>(next));
+          ASSERT_TRUE(engine.Append(v.id, day, v.series[next]).ok())
+              << label << " " << v.id;
+          ++next;
+        }
+        if (schedule.Bernoulli(0.4)) {
+          ASSERT_TRUE(engine.RefreshForecasts().ok()) << label;
+        }
+      }
+      ASSERT_TRUE(engine.RefreshForecasts().ok()) << label;
+
+      const core::FleetScheduler batch =
+          BatchScheduler(fleet, ingested, threads);
+      ExpectForecastsIdentical(engine.Snapshot()->forecasts,
+                               batch.FleetForecast().ValueOrDie(), label);
+      // The trained state itself must match byte for byte, not just the
+      // forecasts derived from it.
+      EXPECT_EQ(CheckpointBytes(engine.scheduler(), "serve_inc.txt"),
+                CheckpointBytes(batch, "serve_batch.txt"))
+          << label;
+    }
+  }
+}
+
+TEST(ServingEngineTest, CachedStateMatchesBatchDerivation) {
+  const data::DailySeries series = SimulatedVehicle(7, 600);
+  ServingEngine engine(FastOptions());
+  ASSERT_TRUE(engine.Register("v1", series.start_date()).ok());
+  ASSERT_TRUE(engine.LoadHistory("v1", series.Slice(0, 550)).ok());
+  for (size_t i = 550; i < series.size(); ++i) {
+    ASSERT_TRUE(engine
+                    .Append("v1",
+                            series.start_date().AddDays(
+                                static_cast<int64_t>(i)),
+                            series[i])
+                    .ok());
+  }
+  ASSERT_TRUE(engine.RefreshForecasts().ok());
+
+  core::FleetScheduler batch(FastOptions());
+  ASSERT_TRUE(batch.RegisterVehicle("v1", series.start_date()).ok());
+  ASSERT_TRUE(batch.IngestSeries("v1", series).ok());
+  ASSERT_TRUE(batch.TrainAll().ok());
+  const core::MaintenanceForecast want = batch.Forecast("v1").ValueOrDie();
+
+  // The O(1) cached mirror reproduces the full DeriveSeries walk bit for
+  // bit: L_v(today) is the forecast's usage_seconds_left.
+  const VehicleServeState state = engine.CachedState("v1").ValueOrDie();
+  EXPECT_EQ(state.days_observed, series.size());
+  EXPECT_EQ(state.usage_seconds_left, want.usage_seconds_left);
+  EXPECT_TRUE(state.has_forecast);
+  EXPECT_FALSE(state.dirty);
+  EXPECT_GE(state.completed_cycles, 1u);
+  double total = 0.0;
+  for (size_t i = 0; i < series.size(); ++i) total += series[i];
+  EXPECT_EQ(state.total_usage_s, total);
+}
+
+TEST(ServingEngineTest, DirtyTrackingRefreshesOnlyChangedVehicles) {
+  ServingEngine engine(FastOptions());
+  for (int v = 1; v <= 3; ++v) {
+    const std::string id = std::string("v") + std::to_string(v);
+    const data::DailySeries series = SimulatedVehicle(40 + v, 600);
+    ASSERT_TRUE(engine.Register(id, series.start_date()).ok());
+    ASSERT_TRUE(engine.LoadHistory(id, series).ok());
+  }
+  EXPECT_EQ(engine.DirtyCount(), 3u);
+  const RefreshStats first = engine.RefreshForecasts().ValueOrDie();
+  EXPECT_EQ(first.epoch, 1u);
+  EXPECT_EQ(first.refreshed, 3u);
+  EXPECT_EQ(first.reused, 0u);
+  EXPECT_TRUE(first.corpus_rebuilt);
+  EXPECT_EQ(engine.DirtyCount(), 0u);
+
+  // One appended day to one old vehicle dirties exactly that vehicle; its
+  // corpus contribution is append-invariant, so nobody else retrains.
+  ASSERT_TRUE(engine.Append("v2", Day(600), 9'000.0).ok());
+  EXPECT_EQ(engine.DirtyCount(), 1u);
+  const RefreshStats second = engine.RefreshForecasts().ValueOrDie();
+  EXPECT_EQ(second.epoch, 2u);
+  EXPECT_EQ(second.refreshed, 1u);
+  EXPECT_EQ(second.reused, 2u);
+  EXPECT_FALSE(second.corpus_rebuilt);
+  EXPECT_EQ(engine.LastRefreshStats().epoch, 2u);
+
+  // A clean fleet refresh is a no-op that still publishes a new epoch.
+  const RefreshStats third = engine.RefreshForecasts().ValueOrDie();
+  EXPECT_EQ(third.refreshed, 0u);
+  EXPECT_EQ(third.reused, 3u);
+}
+
+TEST(ServingEngineTest, SnapshotsAreImmutableAndEpoched) {
+  ServingEngine engine(FastOptions());
+  const data::DailySeries series = SimulatedVehicle(55, 600);
+  ASSERT_TRUE(engine.Register("v1", series.start_date()).ok());
+  ASSERT_TRUE(engine.LoadHistory("v1", series.Slice(0, 599)).ok());
+
+  const std::shared_ptr<const FleetSnapshot> empty = engine.Snapshot();
+  EXPECT_EQ(empty->epoch, 0u);
+  EXPECT_TRUE(empty->forecasts.empty());
+
+  ASSERT_TRUE(engine.RefreshForecasts().ok());
+  const std::shared_ptr<const FleetSnapshot> one = engine.Snapshot();
+  ASSERT_EQ(one->forecasts.size(), 1u);
+  const double days_left_at_one = one->forecasts[0].days_left;
+
+  ASSERT_TRUE(engine.Append("v1", Day(599), series[599]).ok());
+  ASSERT_TRUE(engine.RefreshForecasts().ok());
+  const std::shared_ptr<const FleetSnapshot> two = engine.Snapshot();
+  EXPECT_EQ(two->epoch, 2u);
+  EXPECT_EQ(engine.epoch(), 2u);
+
+  // The older snapshot is untouched by the later refresh: a reader holding
+  // it keeps a consistent view.
+  EXPECT_EQ(empty->epoch, 0u);
+  EXPECT_TRUE(empty->forecasts.empty());
+  EXPECT_EQ(one->epoch, 1u);
+  EXPECT_EQ(one->forecasts[0].days_left, days_left_at_one);
+}
+
+TEST(ServingEngineTest, ErrorContract) {
+  ServingEngine engine(FastOptions());
+  // Refresh on an empty fleet mirrors FleetForecast's contract.
+  EXPECT_EQ(engine.RefreshForecasts().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.Append("ghost", Day(0), 1.0).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.CachedState("ghost").status().code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(engine.Register("v1", Day(0)).ok());
+  EXPECT_EQ(engine.Register("v1", Day(0)).code(),
+            StatusCode::kAlreadyExists);
+  // Failed appends leave the cached state untouched.
+  EXPECT_TRUE(engine.Append("v1", Day(0), 1'000.0).ok());
+  EXPECT_FALSE(engine.Append("v1", Day(5), 1'000.0).ok());  // gap
+  EXPECT_FALSE(engine.Append("v1", Day(1), -3.0).ok());     // bad value
+  const VehicleServeState state = engine.CachedState("v1").ValueOrDie();
+  EXPECT_EQ(state.days_observed, 1u);
+  EXPECT_EQ(state.total_usage_s, 1'000.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nextmaint
