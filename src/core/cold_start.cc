@@ -86,7 +86,8 @@ Result<std::unique_ptr<ml::Regressor>> TrainUnifiedModel(
                          .WithContext(vehicle.vehicle_id));
   }
   NM_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
-                      ml::MakeRegressor(algorithm, options.model_params));
+                      ml::MakeRegressor(algorithm, options.model_params,
+                                        options.backend));
   NM_RETURN_NOT_OK(model->Fit(merged).WithContext("Model_Uni " + algorithm));
   return model;
 }
@@ -111,7 +112,8 @@ Result<SimilarityModel> TrainSimilarityModel(
   NM_ASSIGN_OR_RETURN(out.match, MostSimilar(target_first_half_usage,
                                              candidates, measure));
   NM_ASSIGN_OR_RETURN(out.model,
-                      ml::MakeRegressor(algorithm, options.model_params));
+                      ml::MakeRegressor(algorithm, options.model_params,
+                                        options.backend));
   NM_RETURN_NOT_OK(out.model->Fit(corpus[out.match.index].dataset)
                        .WithContext("Model_Sim " + algorithm + " on " +
                                     out.match.id));

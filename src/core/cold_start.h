@@ -10,6 +10,7 @@
 #include "core/errors.h"
 #include "core/series.h"
 #include "core/similarity.h"
+#include "ml/binned_dataset.h"
 #include "ml/regressor.h"
 
 /// \file cold_start.h
@@ -45,6 +46,9 @@ struct ColdStartOptions {
   /// not recognise are ignored, so one map can serve several algorithms).
   ml::ParamMap model_params;
   uint64_t seed = 77;
+  /// Tree-learner training backend (core selection + optional shared
+  /// binning cache, e.g. the scheduler's unified-corpus cache).
+  ml::TrainingBackend backend{};
 };
 
 /// First-cycle training material extracted from one old vehicle.

@@ -9,6 +9,7 @@
 #include "core/dataset_builder.h"
 #include "core/errors.h"
 #include "core/series.h"
+#include "ml/binned_dataset.h"
 #include "ml/regressor.h"
 
 /// \file old_vehicle.h
@@ -45,6 +46,10 @@ struct OldVehicleOptions {
   const std::vector<double>* context = nullptr;
   int context_forecast_days = 0;
   uint64_t seed = 2020;
+  /// Tree-learner training backend (core selection + optional shared
+  /// binning cache). With a cache attached, every grid-search candidate and
+  /// CV fold on the same matrix bins the data once.
+  ml::TrainingBackend backend{};
 };
 
 /// Outcome of evaluating one algorithm on one vehicle.

@@ -23,9 +23,17 @@ namespace nextmaint {
 namespace core {
 
 FleetScheduler::FleetScheduler(SchedulerOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      unified_binning_cache_(std::make_shared<ml::BinningCache>()) {
   options_.selection.window = options_.window;
   options_.cold_start.window = options_.window;
+  // One tree core fleet-wide; every cold-start fit shares one binning
+  // cache (per-vehicle caches attach in TrainOneVehicle).
+  options_.selection.backend.core = options_.tree_core;
+  options_.cold_start.backend.core = options_.tree_core;
+  if (options_.tree_core == ml::TreeCore::kBinned) {
+    options_.cold_start.backend.binning_cache = unified_binning_cache_;
+  }
 }
 
 Status FleetScheduler::RegisterVehicle(const std::string& id, Date first_day) {
@@ -60,6 +68,9 @@ Status FleetScheduler::IngestUsage(const std::string& id, Date day,
     return Status::InvalidArgument("utilization must be in [0, 86400]");
   }
   state.usage.Append(seconds);  // nextmaint-lint: allow(unchecked-status): DailySeries::Append is void; the harvested name collides with ServingEngine::Append
+  // New data means the cached binnings of this vehicle's matrices can never
+  // be hit again; drop them so the next training starts a fresh cache.
+  binning_caches_.erase(id);
   telemetry::Count("scheduler.ingest.days");
   return Status::OK();
 }
@@ -78,6 +89,12 @@ Status FleetScheduler::IngestSeries(const std::string& id,
   it->second.first_day = series.start_date();
   it->second.usage = series;
   it->second.model.reset();
+  binning_caches_.erase(id);
+  // Unlike Append, a wholesale series replacement can change the vehicle's
+  // first cycle and therefore the cold-start corpus; reset the shared
+  // cold-start cache too (entries are content-addressed, so this is about
+  // memory, not correctness).
+  unified_binning_cache_->Clear();
   telemetry::Count("scheduler.ingest.series");
   telemetry::Count("scheduler.ingest.days", series.size());
   return Status::OK();
@@ -212,14 +229,22 @@ Status FleetScheduler::TrainOneVehicle(const std::string& id,
 
   if (category == VehicleCategory::kOld) {
     // Select the best algorithm under the 70/30 protocol, then refit it
-    // on the complete history for deployment.
+    // on the complete history for deployment. The vehicle's binning cache
+    // (created by TrainVehicles; absent when training is entered another
+    // way) makes every grid-search candidate and the refit bin each
+    // training matrix once.
+    OldVehicleOptions selection_options = options_.selection;
+    if (auto cache_it = binning_caches_.find(id);
+        cache_it != binning_caches_.end()) {
+      selection_options.backend.binning_cache = cache_it->second;
+    }
     std::string chosen = "BL";
     Result<ModelSelectionResult> selection = [&] {
       telemetry::ScopedTimer selection_timer(
           "scheduler.train.selection.seconds");
       return SelectBestModelForVehicle(
           options_.algorithms, state.usage,
-          options_.maintenance_interval_s, options_.selection);
+          options_.maintenance_interval_s, selection_options);
     }();
     if (selection.ok()) {
       const ModelSelectionResult& result = selection.ValueOrDie();
@@ -259,8 +284,9 @@ Status FleetScheduler::TrainOneVehicle(const std::string& id,
         BuildResampledDataset(state.usage,
                               options_.maintenance_interval_s,
                               dataset_options, resampling));
-    NM_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
-                        ml::MakeRegressor(chosen));
+    NM_ASSIGN_OR_RETURN(
+        std::unique_ptr<ml::Regressor> model,
+        ml::MakeRegressor(chosen, {}, selection_options.backend));
     NM_RETURN_NOT_OK(model->Fit(full_data).WithContext(id));
     state.model = std::move(model);
     state.model_name = chosen;
@@ -326,6 +352,12 @@ Status FleetScheduler::TrainVehicles(const std::vector<std::string>& ids,
     if (!seen.insert(id).second) {
       return Status::InvalidArgument("duplicate vehicle id '" + id +
                                      "' in TrainVehicles");
+    }
+    // Pre-create each vehicle's binning cache here, in the serial pass:
+    // the training fan-out below only ever reads binning_caches_.
+    if (options_.tree_core == ml::TreeCore::kBinned &&
+        binning_caches_.find(id) == binning_caches_.end()) {
+      binning_caches_.emplace(id, std::make_shared<ml::BinningCache>());
     }
     work.emplace_back(&it->first, &it->second);
   }
@@ -563,6 +595,17 @@ DegradationReport FleetScheduler::LastDegradationReport() const {
                          forecast_degradation_.vehicles.begin(),
                          forecast_degradation_.vehicles.end());
   return merged;
+}
+
+std::shared_ptr<const ml::BinningCache> FleetScheduler::VehicleBinningCache(
+    const std::string& id) const {
+  auto it = binning_caches_.find(id);
+  return it == binning_caches_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const ml::BinningCache> FleetScheduler::UnifiedBinningCache()
+    const {
+  return unified_binning_cache_;
 }
 
 

@@ -99,6 +99,12 @@ struct SchedulerOptions {
   /// whole fleet operation (option-validation errors such as a negative
   /// num_threads always fail fast). See docs/fault-injection.md.
   bool strict = false;
+  /// Tree-training core for every tree learner the scheduler trains
+  /// (selection candidates, refits, cold-start models). Both cores produce
+  /// byte-identical models; kRowOriented exists for differential testing.
+  /// Propagated into `selection` and `cold_start` by the constructor. See
+  /// docs/binned-training.md.
+  ml::TreeCore tree_core = ml::TreeCore::kBinned;
 };
 
 /// Shared cold-start training inputs: the old vehicles' first-cycle corpus
@@ -265,6 +271,18 @@ class FleetScheduler {
   /// with concurrent TrainAll/FleetForecast calls on the same scheduler.
   DegradationReport LastDegradationReport() const;
 
+  /// The binning cache currently attached to `id`'s per-vehicle training
+  /// (grid-search candidates and refits share it). Nullptr before the
+  /// vehicle's first training and after new data invalidated the cache;
+  /// the next TrainVehicles recreates it. Diagnostics/testing surface.
+  std::shared_ptr<const ml::BinningCache> VehicleBinningCache(
+      const std::string& id) const;
+
+  /// The cache shared by every cold-start fit (unified + similarity
+  /// models); created at construction and cleared when IngestSeries
+  /// replaces a vehicle's history.
+  std::shared_ptr<const ml::BinningCache> UnifiedBinningCache() const;
+
  private:
   struct VehicleState {
     Date first_day;
@@ -293,6 +311,16 @@ class FleetScheduler {
 
   SchedulerOptions options_;
   std::map<std::string, VehicleState> vehicles_;
+  /// Per-vehicle bin-mapper caches (binned core), created in TrainVehicles'
+  /// serial validation pass (the training fan-out only reads the map) and
+  /// dropped whenever new data for the vehicle arrives — keys are
+  /// content-addressed, so a stale entry could never be hit again anyway;
+  /// eviction just bounds memory.
+  std::map<std::string, std::shared_ptr<ml::BinningCache>> binning_caches_;
+  /// Cache behind every cold-start fit; lives in
+  /// options_.cold_start.backend (attached by the constructor), kept here
+  /// for invalidation and the UnifiedBinningCache accessor.
+  std::shared_ptr<ml::BinningCache> unified_binning_cache_;
   /// Quarantines recorded by the last TrainAll.
   DegradationReport train_degradation_;
   /// Quarantines recorded by the last FleetForecast (mutable: FleetForecast

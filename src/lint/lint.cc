@@ -76,6 +76,11 @@ LintConfig LintConfig::ProjectDefault() {
   // Documented leaky singletons (static-destruction-order safety).
   config.policy.naked_new_allowlist = {"src/common/status.cc",
                                        "src/common/telemetry.cc"};
+  // The binned training kernels must never fall back to row-oriented
+  // storage; the binned/row cores share this code, so a row access here
+  // would silently reintroduce the access pattern the refactor removed.
+  config.policy.row_iteration_paths = {"src/ml/histogram.h",
+                                       "src/ml/histogram.cc"};
   return config;
 }
 
@@ -92,6 +97,7 @@ std::vector<Finding> LintSource(
   append(CheckUncheckedStatus(path, src, status_functions));
   append(CheckLayering(path, content, src, config.policy));
   append(CheckNakedNew(path, src, config.policy));
+  append(CheckRowIteration(path, content, src, config.policy));
   return findings;
 }
 

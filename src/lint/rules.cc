@@ -47,6 +47,8 @@ const char* RuleName(Rule rule) {
       return "layering";
     case Rule::kNakedNew:
       return "naked-new";
+    case Rule::kRowIteration:
+      return "row-iteration";
   }
   return "unknown";
 }
@@ -215,6 +217,39 @@ std::vector<Finding> CheckLayering(const std::string& path,
                           ", ")
                          .c_str())});
     }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckRowIteration(const std::string& path,
+                                       const std::string& content,
+                                       const ScrubbedSource& src,
+                                       const RulePolicy& policy) {
+  std::vector<Finding> findings;
+  if (!PathMatchesSuffix(path, policy.row_iteration_paths)) return findings;
+  for (const auto& [line, include] : ExtractQuotedIncludes(content)) {
+    if (include != "ml/matrix.h" && include != "ml/dataset.h") continue;
+    if (src.IsAllowed(line, RuleName(Rule::kRowIteration))) continue;
+    findings.push_back(
+        {path, line, Rule::kRowIteration,
+         StrFormat("histogram kernels are columnar; include "
+                   "ml/binned_dataset.h and consume a BinSource instead of "
+                   "%s",
+                   include.c_str())});
+  }
+  static const std::regex* const kRowAccess =
+      new std::regex(  // nextmaint-lint: allow(naked-new)
+          R"((?:\.|->)\s*(Row|Col)\s*\()");
+  for (std::sregex_iterator it(src.code.begin(), src.code.end(), *kRowAccess),
+       end;
+       it != end; ++it) {
+    const int line = src.LineOf(static_cast<size_t>(it->position()));
+    if (src.IsAllowed(line, RuleName(Rule::kRowIteration))) continue;
+    findings.push_back(
+        {path, line, Rule::kRowIteration,
+         StrFormat("raw %s() access in a histogram kernel; go through the "
+                   "BinSource (BinnedDataset or OnTheFlyBins) instead",
+                   it->str(1).c_str())});
   }
   return findings;
 }

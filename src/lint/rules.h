@@ -31,6 +31,10 @@ enum class Rule {
   kLayering,
   /// A naked new/delete expression outside allow-listed files.
   kNakedNew,
+  /// Row-oriented matrix access (`ml/matrix.h` includes, `.Row(`/`.Col(`)
+  /// inside the columnar histogram kernels, which must consume pre-binned
+  /// sources exclusively.
+  kRowIteration,
 };
 
 /// Canonical kebab-case rule name ("banned-primitive", ...), as used by
@@ -60,6 +64,9 @@ struct RulePolicy {
   /// Path suffixes exempt from the naked-new rule (documented leaky
   /// singletons).
   std::vector<std::string> naked_new_allowlist;
+  /// Path suffixes the row-iteration rule applies to (the histogram kernel
+  /// files; everywhere else row access is legitimate).
+  std::vector<std::string> row_iteration_paths;
 };
 
 /// True when `path` ends with one of `suffixes` (paths use '/' separators).
@@ -89,6 +96,15 @@ std::vector<Finding> CheckLayering(const std::string& path,
 std::vector<Finding> CheckNakedNew(const std::string& path,
                                    const ScrubbedSource& src,
                                    const RulePolicy& policy);
+
+/// Rule 5: row-oriented storage access inside the columnar histogram
+/// kernels. Flags `ml/matrix.h` / `ml/dataset.h` includes and `.Row(` /
+/// `.Col(` member calls in files matching `policy.row_iteration_paths`.
+/// Reads raw `content` for the include lines and `src` for code tokens.
+std::vector<Finding> CheckRowIteration(const std::string& path,
+                                       const std::string& content,
+                                       const ScrubbedSource& src,
+                                       const RulePolicy& policy);
 
 /// Harvests names of functions declared or defined to return Status or
 /// Result<...> from one scrubbed file into `out`.

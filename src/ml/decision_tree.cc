@@ -1,27 +1,13 @@
 #include "ml/decision_tree.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 #include <numeric>
 
 #include "common/macros.h"
+#include "ml/histogram.h"
 
 namespace nextmaint {
 namespace ml {
-
-namespace {
-
-/// SplitMix64 step for cheap feature subsampling without dragging a full Rng
-/// through the recursion.
-uint64_t NextRandom(uint64_t* state) {
-  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
 
 DecisionTreeRegressor::Options DecisionTreeRegressor::OptionsFromParams(
     const ParamMap& params) {
@@ -31,6 +17,9 @@ DecisionTreeRegressor::Options DecisionTreeRegressor::OptionsFromParams(
   }
   if (auto it = params.find("min_samples_leaf"); it != params.end()) {
     options.min_samples_leaf = static_cast<int>(it->second);
+  }
+  if (auto it = params.find("max_bins"); it != params.end()) {
+    options.max_bins = static_cast<int>(it->second);
   }
   return options;
 }
@@ -47,6 +36,35 @@ Status DecisionTreeRegressor::FitIndices(const Dataset& train,
   if (train.empty() || indices.empty()) {
     return Status::InvalidArgument("cannot fit a tree on an empty dataset");
   }
+  if (options_.max_bins < 2 || options_.max_bins > 65535) {
+    return Status::InvalidArgument("tree requires 2 <= max_bins <= 65535");
+  }
+  // The mapper always covers the full training matrix (not the bootstrap
+  // subset), so every tree of a forest — and both tree cores — see the same
+  // bin boundaries.
+  if (options_.core == TreeCore::kBinned && options_.binning_cache) {
+    const std::shared_ptr<const PreBinned> cached =
+        options_.binning_cache->GetOrCompute(train.x(), options_.max_bins);
+    return FitBinned(train, cached->mapper, &cached->binned, indices);
+  }
+  BinMapper mapper;
+  mapper.Compute(train.x(), options_.max_bins);
+  if (options_.core == TreeCore::kBinned) {
+    BinnedDataset binned;
+    binned.Build(train.x(), mapper);
+    return FitBinned(train, mapper, &binned, indices);
+  }
+  return FitBinned(train, mapper, nullptr, indices);
+}
+
+Status DecisionTreeRegressor::FitBinned(const Dataset& train,
+                                        const BinMapper& mapper,
+                                        const BinnedDataset* binned,
+                                        const std::vector<size_t>& indices) {
+  nodes_.clear();
+  if (train.empty() || indices.empty()) {
+    return Status::InvalidArgument("cannot fit a tree on an empty dataset");
+  }
   if (!train.x().AllFinite()) {
     return Status::InvalidArgument("tree features contain non-finite values");
   }
@@ -54,129 +72,36 @@ Status DecisionTreeRegressor::FitIndices(const Dataset& train,
     return Status::InvalidArgument("min_samples_leaf must be >= 1");
   }
   num_features_ = train.num_features();
-  std::vector<size_t> work = indices;
-  uint64_t rng_state = options_.seed;
-  nodes_.reserve(2 * work.size());
-  BuildNode(train, &work, 0, work.size(), 0, &rng_state, num_features_);
+
+  const HistogramLayout layout(mapper);
+  GrowSpec spec;
+  spec.depth_limited = options_.max_depth >= 0;
+  spec.max_depth = options_.max_depth;
+  // size_t casts preserve the historic semantics: a negative setting wraps
+  // to a huge threshold (every node becomes a leaf immediately).
+  spec.min_samples_split = static_cast<size_t>(options_.min_samples_split);
+  spec.min_samples_leaf = static_cast<size_t>(options_.min_samples_leaf);
+  if (options_.max_features > 0) {
+    spec.max_features = static_cast<size_t>(options_.max_features);
+  }
+  spec.seed = options_.seed;
+  // A single tree stays serial: the forest already runs one tree per lane.
+  spec.num_threads = 1;
+
+  DataPartition partition;
+  partition.Reset(indices);
+  const std::vector<GrowNode> grown =
+      binned != nullptr
+          ? GrowHistTree(*binned, mapper, layout, train.y(), &partition,
+                         spec)
+          : GrowHistTree(OnTheFlyBins{&train.x(), &mapper}, mapper, layout,
+                         train.y(), &partition, spec);
+  nodes_.reserve(grown.size());
+  for (const GrowNode& node : grown) {
+    nodes_.push_back(Node{node.left, node.right, node.feature,
+                          node.threshold, node.value, node.gain});
+  }
   return Status::OK();
-}
-
-int32_t DecisionTreeRegressor::BuildNode(const Dataset& train,
-                                         std::vector<size_t>* indices,
-                                         size_t begin, size_t end, int depth,
-                                         uint64_t* rng_state,
-                                         size_t expected_features) {
-  const size_t count = end - begin;
-  NM_CHECK(count > 0);
-
-  double sum = 0.0;
-  for (size_t i = begin; i < end; ++i) sum += train.y()[(*indices)[i]];
-  const double mean = sum / static_cast<double>(count);
-
-  const int32_t node_index = static_cast<int32_t>(nodes_.size());
-  nodes_.push_back(Node{});
-  nodes_[node_index].value = mean;
-
-  const bool depth_exhausted =
-      options_.max_depth >= 0 && depth >= options_.max_depth;
-  if (depth_exhausted ||
-      count < static_cast<size_t>(options_.min_samples_split) ||
-      count < 2 * static_cast<size_t>(options_.min_samples_leaf)) {
-    return node_index;
-  }
-
-  // Candidate features: all, or a random subset of size max_features.
-  std::vector<size_t> features(expected_features);
-  std::iota(features.begin(), features.end(), 0);
-  size_t num_candidates = expected_features;
-  if (options_.max_features > 0 &&
-      static_cast<size_t>(options_.max_features) < expected_features) {
-    num_candidates = static_cast<size_t>(options_.max_features);
-    // Partial Fisher-Yates: the first num_candidates entries become the
-    // random subset.
-    for (size_t i = 0; i < num_candidates; ++i) {
-      const size_t j =
-          i + static_cast<size_t>(NextRandom(rng_state) %
-                                  (expected_features - i));
-      std::swap(features[i], features[j]);
-    }
-  }
-
-  // Exact split search: for each candidate feature sort the node's samples
-  // by feature value and scan all boundary positions. The best split
-  // minimizes SSE_left + SSE_right, i.e. maximizes
-  // sum_left^2/n_left + sum_right^2/n_right.
-  struct Best {
-    double score = -std::numeric_limits<double>::infinity();
-    size_t feature = 0;
-    double threshold = 0.0;
-  } best;
-
-  std::vector<std::pair<double, double>> samples;  // (feature value, target)
-  samples.reserve(count);
-  const size_t min_leaf = static_cast<size_t>(options_.min_samples_leaf);
-
-  for (size_t fi = 0; fi < num_candidates; ++fi) {
-    const size_t feature = features[fi];
-    samples.clear();
-    for (size_t i = begin; i < end; ++i) {
-      const size_t row = (*indices)[i];
-      samples.emplace_back(train.x()(row, feature), train.y()[row]);
-    }
-    std::sort(samples.begin(), samples.end());
-    if (samples.front().first == samples.back().first) continue;  // constant
-
-    double left_sum = 0.0;
-    for (size_t k = 0; k + 1 < count; ++k) {
-      left_sum += samples[k].second;
-      // A split is only possible between distinct feature values.
-      if (samples[k].first == samples[k + 1].first) continue;
-      const size_t n_left = k + 1;
-      const size_t n_right = count - n_left;
-      if (n_left < min_leaf || n_right < min_leaf) continue;
-      const double right_sum = sum - left_sum;
-      const double score =
-          left_sum * left_sum / static_cast<double>(n_left) +
-          right_sum * right_sum / static_cast<double>(n_right);
-      if (score > best.score) {
-        best.score = score;
-        best.feature = feature;
-        best.threshold = 0.5 * (samples[k].first + samples[k + 1].first);
-      }
-    }
-  }
-
-  if (!std::isfinite(best.score)) {
-    return node_index;  // no valid split: stay a leaf
-  }
-  // Reject splits that do not reduce SSE at all (all-equal targets).
-  const double parent_score = sum * sum / static_cast<double>(count);
-  if (best.score <= parent_score + 1e-12 * std::fabs(parent_score)) {
-    return node_index;
-  }
-
-  // Partition the index range: left = (x <= threshold).
-  auto mid_iter = std::partition(
-      indices->begin() + static_cast<ptrdiff_t>(begin),
-      indices->begin() + static_cast<ptrdiff_t>(end), [&](size_t row) {
-        return train.x()(row, best.feature) <= best.threshold;
-      });
-  const size_t mid =
-      static_cast<size_t>(mid_iter - indices->begin());
-  NM_CHECK(mid > begin && mid < end);
-
-  nodes_[node_index].feature = static_cast<int32_t>(best.feature);
-  nodes_[node_index].threshold = best.threshold;
-  // SSE reduction = best child score sum minus the parent's score.
-  nodes_[node_index].gain = best.score - parent_score;
-  const int32_t left = BuildNode(train, indices, begin, mid, depth + 1,
-                                 rng_state, expected_features);
-  const int32_t right =
-      BuildNode(train, indices, mid, end, depth + 1, rng_state,
-                expected_features);
-  nodes_[node_index].left = left;
-  nodes_[node_index].right = right;
-  return node_index;
 }
 
 Result<double> DecisionTreeRegressor::Predict(

@@ -5,12 +5,16 @@
 #include <memory>
 #include <vector>
 
+#include "ml/binned_dataset.h"
 #include "ml/regressor.h"
 
 /// \file decision_tree.h
-/// CART regression tree: binary axis-aligned splits chosen by exact search
-/// to maximize variance reduction (equivalently, minimize the sum of squared
-/// errors of the two children). The building block of the random forest.
+/// CART regression tree: binary axis-aligned splits chosen by histogram
+/// search over quantile bins (ml/histogram.h) to maximize variance
+/// reduction (equivalently, minimize the sum of squared errors of the two
+/// children). Split thresholds are bin upper bounds; with max_bins >= the
+/// number of distinct values per feature the candidate set is exact. The
+/// building block of the random forest.
 
 namespace nextmaint {
 namespace ml {
@@ -31,17 +35,34 @@ class DecisionTreeRegressor final : public Regressor {
     /// Seed for feature subsampling (only used when max_features limits
     /// the candidate set).
     uint64_t seed = 13;
+    /// Maximum quantile bins per feature for the histogram split search
+    /// (2..65535).
+    int max_bins = 256;
+    /// Which tree core executes training (byte-identical either way; see
+    /// docs/binned-training.md).
+    TreeCore core = TreeCore::kBinned;
+    /// Optional shared cache of pre-binned matrices (binned core only).
+    std::shared_ptr<BinningCache> binning_cache;
   };
 
   DecisionTreeRegressor() = default;
   explicit DecisionTreeRegressor(Options options) : options_(options) {}
 
-  /// Recognised ParamMap keys: "max_depth", "min_samples_leaf".
+  /// Recognised ParamMap keys: "max_depth", "min_samples_leaf", "max_bins".
   static Options OptionsFromParams(const ParamMap& params);
 
   /// Fits on the subset of `train` given by `indices` (duplicates allowed;
-  /// this is the bootstrap entry point used by the forest).
+  /// this is the bootstrap entry point used by the forest). Resolves the
+  /// binning per this tree's own options (core, max_bins, cache).
   [[nodiscard]] Status FitIndices(const Dataset& train, const std::vector<size_t>& indices);
+
+  /// Like FitIndices with the binning supplied by the caller: `mapper` must
+  /// cover train.x(), and `binned` (when non-null) must have been built from
+  /// it — the forest computes both once and shares them across trees. A null
+  /// `binned` runs the row-oriented reference core.
+  [[nodiscard]] Status FitBinned(const Dataset& train, const BinMapper& mapper,
+                                 const BinnedDataset* binned,
+                                 const std::vector<size_t>& indices);
 
   [[nodiscard]] Result<double> Predict(std::span<const double> features) const override;
   std::string name() const override { return "Tree"; }
@@ -83,11 +104,6 @@ class DecisionTreeRegressor final : public Regressor {
     double gain = 0.0;
     bool is_leaf() const { return left < 0; }
   };
-
-  /// Recursive builder; returns the new node's index.
-  int32_t BuildNode(const Dataset& train, std::vector<size_t>* indices,
-                    size_t begin, size_t end, int depth, uint64_t* rng_state,
-                    size_t expected_features);
 
   Options options_;
   size_t num_features_ = 0;

@@ -1,67 +1,15 @@
 #include "ml/hist_gradient_boosting.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
-#include <numeric>
 
 #include "common/macros.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
+#include "ml/histogram.h"
 
 namespace nextmaint {
 namespace ml {
-
-void BinMapper::Compute(const Matrix& x, int max_bins) {
-  NM_CHECK(max_bins >= 2 && max_bins <= 65535);
-  thresholds_.assign(x.cols(), {});
-  std::vector<double> values;
-  for (size_t f = 0; f < x.cols(); ++f) {
-    values = x.Col(f);
-    std::sort(values.begin(), values.end());
-    values.erase(std::unique(values.begin(), values.end()), values.end());
-
-    std::vector<double>& bounds = thresholds_[f];
-    if (values.size() <= static_cast<size_t>(max_bins)) {
-      // Few distinct values: one bin per value; boundary is the value.
-      bounds = values;
-    } else {
-      // Quantile boundaries over the distinct values. Using distinct values
-      // (not raw rows) keeps heavily repeated values (zero-usage days!) from
-      // collapsing many bins into one.
-      bounds.reserve(static_cast<size_t>(max_bins));
-      for (int b = 1; b <= max_bins; ++b) {
-        const double q = static_cast<double>(b) /
-                         static_cast<double>(max_bins);
-        const double pos = q * static_cast<double>(values.size() - 1);
-        bounds.push_back(values[static_cast<size_t>(pos)]);
-      }
-      bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
-    }
-    if (bounds.empty()) bounds.push_back(0.0);
-  }
-}
-
-uint16_t BinMapper::BinOf(size_t feature, double value) const {
-  NM_CHECK(feature < thresholds_.size());
-  const std::vector<double>& bounds = thresholds_[feature];
-  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
-  const size_t bin = it == bounds.end()
-                         ? bounds.size() - 1
-                         : static_cast<size_t>(it - bounds.begin());
-  return static_cast<uint16_t>(bin);
-}
-
-double BinMapper::UpperBound(size_t feature, uint16_t bin) const {
-  NM_CHECK(feature < thresholds_.size());
-  NM_CHECK(bin < thresholds_[feature].size());
-  return thresholds_[feature][bin];
-}
-
-size_t BinMapper::BinCount(size_t feature) const {
-  NM_CHECK(feature < thresholds_.size());
-  return thresholds_[feature].size();
-}
 
 HistGradientBoostingRegressor::Options
 HistGradientBoostingRegressor::OptionsFromParams(const ParamMap& params) {
@@ -88,11 +36,6 @@ HistGradientBoostingRegressor::OptionsFromParams(const ParamMap& params) {
 }
 
 namespace {
-
-/// Rows below which a node's split search stays serial: with the paper's
-/// narrow feature windows the per-feature histogram work on a small node
-/// is cheaper than waking the pool.
-constexpr size_t kMinRowsForParallelSplit = 512;
 
 /// Grain for the per-row prediction-update sweep; each row is independent
 /// so chunking cannot change the result.
@@ -145,33 +88,50 @@ Status HistGradientBoostingRegressor::FitImpl(const Dataset& train) {
   const size_t valid_rows = total_rows - n;
   num_features_ = train.num_features();
 
-  bins_.Compute(train.x(), options_.max_bins);
-
-  // Column-major binned representation for cache-friendly histogram fills.
-  // Features are binned independently (one column per task), so the
-  // parallel result is identical to the serial one.
-  std::vector<std::vector<uint16_t>> binned(num_features_,
-                                            std::vector<uint16_t>(n));
-  NM_RETURN_NOT_OK(ParallelFor(
-      0, num_features_, /*grain=*/1,
-      [&](size_t chunk_begin, size_t chunk_end) -> Status {
-        for (size_t f = chunk_begin; f < chunk_end; ++f) {
-          for (size_t r = 0; r < n; ++r) {
-            binned[f][r] = bins_.BinOf(f, train.x()(r, f));
-          }
-        }
-        return Status::OK();
-      },
-      options_.num_threads));
+  // Binning: the mapper covers the full training matrix, shared by both
+  // tree cores (and cacheable across fits on the same matrix); the binned
+  // core additionally materializes columnar bins, the row-oriented core
+  // re-derives each bin per access.
+  std::shared_ptr<const PreBinned> cached;
+  BinMapper local_mapper;
+  BinnedDataset local_binned;
+  const BinMapper* mapper = nullptr;
+  const BinnedDataset* binned = nullptr;
+  if (options_.core == TreeCore::kBinned && options_.binning_cache) {
+    cached = options_.binning_cache->GetOrCompute(
+        train.x(), options_.max_bins, options_.num_threads);
+    mapper = &cached->mapper;
+    binned = &cached->binned;
+  } else {
+    local_mapper.Compute(train.x(), options_.max_bins);
+    mapper = &local_mapper;
+    if (options_.core == TreeCore::kBinned) {
+      local_binned.Build(train.x(), *mapper, options_.num_threads);
+      binned = &local_binned;
+    }
+  }
+  bins_ = *mapper;
 
   // Initial prediction: the target mean (squared-loss optimum).
   base_score_ = 0.0;
   for (double y : train.y()) base_score_ += y;
   base_score_ /= static_cast<double>(n);
 
+  const HistogramLayout layout(*mapper);
+  const OnTheFlyBins on_the_fly{&train.x(), mapper};
+  GrowSpec spec;
+  spec.depth_limited = options_.max_depth > 0;
+  spec.max_depth = options_.max_depth;
+  spec.min_samples_leaf = static_cast<size_t>(options_.min_samples_leaf);
+  spec.newton = true;
+  spec.learning_rate = options_.learning_rate;
+  spec.l2 = options_.l2;
+  spec.min_gain = options_.min_gain;
+  spec.num_threads = options_.num_threads;
+
   std::vector<double> predictions(n, base_score_);
   std::vector<double> gradients(n);
-  std::vector<size_t> indices(n);
+  DataPartition partition;
   std::vector<double> valid_predictions(valid_rows, base_score_);
   valid_loss_.clear();
   double best_valid = std::numeric_limits<double>::infinity();
@@ -185,10 +145,19 @@ Status HistGradientBoostingRegressor::FitImpl(const Dataset& train) {
     }
     train_loss_.push_back(loss / static_cast<double>(n));
 
-    std::iota(indices.begin(), indices.end(), 0);
+    partition.Reset(n);
+    const std::vector<GrowNode> grown =
+        binned != nullptr
+            ? GrowHistTree(*binned, *mapper, layout, gradients, &partition,
+                           spec)
+            : GrowHistTree(on_the_fly, *mapper, layout, gradients,
+                           &partition, spec);
     Tree tree;
-    tree.reserve(64);
-    BuildNode(binned, gradients, &indices, 0, n, 0, &tree);
+    tree.reserve(grown.size());
+    for (const GrowNode& node : grown) {
+      tree.push_back(TreeNode{node.left, node.right, node.feature,
+                              node.threshold, node.value, node.gain});
+    }
     if (tree.size() == 1 && iter > 0) {
       // Root could not split and contributes a constant; gradients have
       // plateaued, so further iterations would stack identical constants.
@@ -229,129 +198,6 @@ Status HistGradientBoostingRegressor::FitImpl(const Dataset& train) {
   fitted_ = true;
   telemetry::Count("ml.xgb.boosting_rounds", trees_.size());
   return Status::OK();
-}
-
-int32_t HistGradientBoostingRegressor::BuildNode(
-    const std::vector<std::vector<uint16_t>>& binned,
-    const std::vector<double>& gradients, std::vector<size_t>* indices,
-    size_t begin, size_t end, int depth, Tree* tree) const {
-  const size_t count = end - begin;
-  NM_CHECK(count > 0);
-
-  double grad_sum = 0.0;
-  for (size_t i = begin; i < end; ++i) grad_sum += gradients[(*indices)[i]];
-  const double hess_sum = static_cast<double>(count);  // squared loss: h = 1
-
-  const int32_t node_index = static_cast<int32_t>(tree->size());
-  tree->push_back(TreeNode{});
-  // Newton leaf weight, shrunk by the learning rate.
-  (*tree)[node_index].value =
-      -options_.learning_rate * grad_sum / (hess_sum + options_.l2);
-
-  const bool depth_exhausted =
-      options_.max_depth > 0 && depth >= options_.max_depth;
-  const size_t min_leaf = static_cast<size_t>(options_.min_samples_leaf);
-  if (depth_exhausted || count < 2 * min_leaf) {
-    return node_index;
-  }
-
-  const double parent_score =
-      grad_sum * grad_sum / (hess_sum + options_.l2);
-
-  struct Best {
-    double gain = 0.0;
-    size_t feature = 0;
-    uint16_t bin = 0;
-  } best;
-
-  // Per-feature histograms: accumulate gradient sum and count per bin, then
-  // scan bins left to right evaluating every boundary. Each feature's
-  // search is independent; candidates land in feature_best[f] and the
-  // winner is reduced serially in ascending feature order below, so the
-  // chosen split is the one the serial left-to-right scan would pick
-  // (strict '>' keeps the earliest feature/bin on ties) at any thread
-  // count. Small nodes stay serial: the histogram work would not amortize
-  // the pool hand-off.
-  const size_t num_features = binned.size();
-  std::vector<Best> feature_best(num_features);
-  const int split_threads =
-      count >= kMinRowsForParallelSplit
-          ? ResolveThreadCount(options_.num_threads)
-          : 1;
-  // One chunk per lane so each lane allocates its histogram scratch once.
-  const size_t split_grain =
-      (num_features - 1) / static_cast<size_t>(split_threads) + 1;
-  const Status split_status = ParallelFor(
-      0, num_features, split_grain,
-      [&](size_t chunk_begin, size_t chunk_end) -> Status {
-        std::vector<double> hist_grad;
-        std::vector<uint32_t> hist_count;
-        for (size_t f = chunk_begin; f < chunk_end; ++f) {
-          const size_t num_bins = bins_.BinCount(f);
-          if (num_bins < 2) continue;
-          hist_grad.assign(num_bins, 0.0);
-          hist_count.assign(num_bins, 0);
-          const std::vector<uint16_t>& column = binned[f];
-          for (size_t i = begin; i < end; ++i) {
-            const size_t row = (*indices)[i];
-            hist_grad[column[row]] += gradients[row];
-            ++hist_count[column[row]];
-          }
-
-          Best local;
-          local.feature = f;
-          double left_grad = 0.0;
-          size_t left_count = 0;
-          for (size_t b = 0; b + 1 < num_bins; ++b) {
-            left_grad += hist_grad[b];
-            left_count += hist_count[b];
-            if (left_count < min_leaf) continue;
-            const size_t right_count = count - left_count;
-            if (right_count < min_leaf) break;
-            const double right_grad = grad_sum - left_grad;
-            const double gain =
-                left_grad * left_grad /
-                    (static_cast<double>(left_count) + options_.l2) +
-                right_grad * right_grad /
-                    (static_cast<double>(right_count) + options_.l2) -
-                parent_score;
-            if (gain > local.gain) {
-              local.gain = gain;
-              local.bin = static_cast<uint16_t>(b);
-            }
-          }
-          feature_best[f] = local;
-        }
-        return Status::OK();
-      },
-      split_threads);
-  NM_CHECK(split_status.ok());  // the search body has no failure path
-  for (size_t f = 0; f < num_features; ++f) {
-    if (feature_best[f].gain > best.gain) best = feature_best[f];
-  }
-
-  if (best.gain <= options_.min_gain) {
-    return node_index;
-  }
-
-  const std::vector<uint16_t>& split_column = binned[best.feature];
-  auto mid_iter =
-      std::partition(indices->begin() + static_cast<ptrdiff_t>(begin),
-                     indices->begin() + static_cast<ptrdiff_t>(end),
-                     [&](size_t row) { return split_column[row] <= best.bin; });
-  const size_t mid = static_cast<size_t>(mid_iter - indices->begin());
-  NM_CHECK(mid > begin && mid < end);
-
-  (*tree)[node_index].feature = static_cast<int32_t>(best.feature);
-  (*tree)[node_index].threshold = bins_.UpperBound(best.feature, best.bin);
-  (*tree)[node_index].gain = best.gain;
-  const int32_t left =
-      BuildNode(binned, gradients, indices, begin, mid, depth + 1, tree);
-  const int32_t right =
-      BuildNode(binned, gradients, indices, mid, end, depth + 1, tree);
-  (*tree)[node_index].left = left;
-  (*tree)[node_index].right = right;
-  return node_index;
 }
 
 double HistGradientBoostingRegressor::PredictTree(

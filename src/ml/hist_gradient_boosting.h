@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "ml/binned_dataset.h"
 #include "ml/regressor.h"
 
 /// \file hist_gradient_boosting.h
@@ -19,38 +20,12 @@
 /// histograms and choosing the split with the largest XGBoost-style gain
 ///   gain = GL^2/(HL+l2) + GR^2/(HR+l2) - G^2/(H+l2).
 /// For squared loss the hessian of each sample is 1, so H terms are counts.
+///
+/// Trees are grown by the shared histogram grower (ml/histogram.h) on
+/// either tree core (ml/binned_dataset.h); both cores are bit-identical.
 
 namespace nextmaint {
 namespace ml {
-
-/// Quantile binning of a feature matrix; shared by training and ablation
-/// benches (bin-count sensitivity).
-class BinMapper {
- public:
-  /// Computes per-feature quantile boundaries from `x` (at most
-  /// max_bins bins per feature). Named Compute rather than Fit: the Fit
-  /// name is reserved for Status-returning training entry points
-  /// (nextmaint_lint tracks those by name).
-  void Compute(const Matrix& x, int max_bins);
-
-  /// Bin index of a raw value for feature `feature`.
-  uint16_t BinOf(size_t feature, double value) const;
-
-  /// Upper boundary of `bin` for `feature` — the numeric threshold a split
-  /// at this bin corresponds to.
-  double UpperBound(size_t feature, uint16_t bin) const;
-
-  /// Number of distinct bins actually used by `feature`.
-  size_t BinCount(size_t feature) const;
-
-  size_t num_features() const { return thresholds_.size(); }
-
- private:
-  // thresholds_[f] holds ascending bin upper-boundaries; value <= t[b]
-  // belongs to the first such bin b; values above the last boundary go to
-  // the final bin.
-  std::vector<std::vector<double>> thresholds_;
-};
 
 /// Gradient-boosted ensemble of histogram trees.
 class HistGradientBoostingRegressor final : public Regressor {
@@ -84,6 +59,11 @@ class HistGradientBoostingRegressor final : public Regressor {
     /// (ThreadPool::DefaultThreadCount()). Any value yields bit-identical
     /// models; see docs/parallelism.md.
     int num_threads = 0;
+    /// Which tree core executes training (byte-identical either way; see
+    /// docs/binned-training.md).
+    TreeCore core = TreeCore::kBinned;
+    /// Optional shared cache of pre-binned matrices (binned core only).
+    std::shared_ptr<BinningCache> binning_cache;
   };
 
   HistGradientBoostingRegressor() = default;
@@ -139,13 +119,6 @@ class HistGradientBoostingRegressor final : public Regressor {
     bool is_leaf() const { return left < 0; }
   };
   using Tree = std::vector<TreeNode>;
-
-  /// Builds one tree on the current gradients; `indices` is permuted in
-  /// place. Returns the root index within `tree`.
-  int32_t BuildNode(const std::vector<std::vector<uint16_t>>& binned,
-                    const std::vector<double>& gradients,
-                    std::vector<size_t>* indices, size_t begin, size_t end,
-                    int depth, Tree* tree) const;
 
   double PredictTree(const Tree& tree, std::span<const double> features) const;
 

@@ -1,0 +1,46 @@
+#include "ml/histogram.h"
+
+namespace nextmaint {
+namespace ml {
+
+void NodeHistogram::Reset(const HistogramLayout& layout) {
+  grad_.assign(layout.total_bins(), 0.0);
+  count_.assign(layout.total_bins(), 0);
+}
+
+void NodeHistogram::SubtractFeature(const HistogramLayout& layout, size_t f,
+                                    const NodeHistogram& sibling) {
+  const size_t offset = layout.feature_offset(f);
+  const size_t bins = layout.feature_bins(f);
+  for (size_t b = 0; b < bins; ++b) {
+    grad_[offset + b] -= sibling.grad_[offset + b];
+    count_[offset + b] -= sibling.count_[offset + b];
+  }
+}
+
+void DataPartition::Reset(size_t n) {
+  indices_.resize(n);
+  std::iota(indices_.begin(), indices_.end(), uint32_t{0});
+  leaves_.clear();
+}
+
+void DataPartition::Reset(const std::vector<size_t>& rows) {
+  indices_.clear();
+  indices_.reserve(rows.size());
+  for (const size_t row : rows) {
+    indices_.push_back(static_cast<uint32_t>(row));
+  }
+  leaves_.clear();
+}
+
+bool DataPartition::LeavesCoverAll() const {
+  size_t cursor = 0;
+  for (const auto& [begin, end] : leaves_) {
+    if (begin != cursor || end <= begin) return false;
+    cursor = end;
+  }
+  return cursor == indices_.size();
+}
+
+}  // namespace ml
+}  // namespace nextmaint

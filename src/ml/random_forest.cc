@@ -26,6 +26,9 @@ RandomForestRegressor::Options RandomForestRegressor::OptionsFromParams(
   if (auto it = params.find("num_threads"); it != params.end()) {
     options.num_threads = static_cast<int>(it->second);
   }
+  if (auto it = params.find("max_bins"); it != params.end()) {
+    options.max_bins = static_cast<int>(it->second);
+  }
   return options;
 }
 
@@ -41,6 +44,12 @@ Status RandomForestRegressor::FitImpl(const Dataset& train) {
   if (options_.bootstrap_fraction <= 0.0 ||
       options_.bootstrap_fraction > 1.0) {
     return Status::InvalidArgument("bootstrap_fraction must be in (0, 1]");
+  }
+  if (options_.max_bins < 2 || options_.max_bins > 65535) {
+    return Status::InvalidArgument("RF requires 2 <= max_bins <= 65535");
+  }
+  if (!train.x().AllFinite()) {
+    return Status::InvalidArgument("RF features contain non-finite values");
   }
 
   const size_t n = train.num_rows();
@@ -73,6 +82,28 @@ Status RandomForestRegressor::FitImpl(const Dataset& train) {
     seeds[t] = rng.NextUint64();
   }
 
+  // Forest-level binning, computed once over the full training matrix (not
+  // per bootstrap sample) and shared by every tree, so all trees — and both
+  // tree cores — search the same bin boundaries.
+  std::shared_ptr<const PreBinned> cached;
+  BinMapper local_mapper;
+  BinnedDataset local_binned;
+  const BinMapper* mapper = nullptr;
+  const BinnedDataset* binned = nullptr;
+  if (options_.core == TreeCore::kBinned && options_.binning_cache) {
+    cached = options_.binning_cache->GetOrCompute(
+        train.x(), options_.max_bins, options_.num_threads);
+    mapper = &cached->mapper;
+    binned = &cached->binned;
+  } else {
+    local_mapper.Compute(train.x(), options_.max_bins);
+    mapper = &local_mapper;
+    if (options_.core == TreeCore::kBinned) {
+      local_binned.Build(train.x(), *mapper, options_.num_threads);
+      binned = &local_binned;
+    }
+  }
+
   // Each tree records its out-of-bag predictions privately; the floating
   // point reduction into oob_sum happens serially in tree order afterwards.
   std::vector<std::vector<double>> tree_oob_pred(num_trees);
@@ -89,13 +120,15 @@ Status RandomForestRegressor::FitImpl(const Dataset& train) {
           tree_options.min_samples_leaf = options_.min_samples_leaf;
           tree_options.max_features = max_features;
           tree_options.seed = seeds[t];
+          tree_options.max_bins = options_.max_bins;
+          tree_options.core = options_.core;
 
           std::vector<char>& in_bag = tree_in_bag[t];
           in_bag.assign(n, 0);
           for (size_t row : samples[t]) in_bag[row] = 1;
 
           DecisionTreeRegressor tree(tree_options);
-          NM_RETURN_NOT_OK(tree.FitIndices(train, samples[t])
+          NM_RETURN_NOT_OK(tree.FitBinned(train, *mapper, binned, samples[t])
                                .WithContext("tree " + std::to_string(t)));
 
           std::vector<double>& oob_pred = tree_oob_pred[t];

@@ -36,13 +36,22 @@ class RandomForestRegressor final : public Regressor {
     /// process-wide default (ThreadPool::DefaultThreadCount()). Any value
     /// yields bit-identical models; see docs/parallelism.md.
     int num_threads = 0;
+    /// Maximum quantile bins per feature for the histogram split search
+    /// (2..65535). The forest computes one BinMapper over the full training
+    /// matrix and shares it across every tree.
+    int max_bins = 256;
+    /// Which tree core executes training (byte-identical either way; see
+    /// docs/binned-training.md).
+    TreeCore core = TreeCore::kBinned;
+    /// Optional shared cache of pre-binned matrices (binned core only).
+    std::shared_ptr<BinningCache> binning_cache;
   };
 
   RandomForestRegressor() = default;
   explicit RandomForestRegressor(Options options) : options_(options) {}
 
   /// Recognised ParamMap keys: "num_estimators", "max_depth",
-  /// "min_samples_leaf", "num_threads".
+  /// "min_samples_leaf", "num_threads", "max_bins".
   static Options OptionsFromParams(const ParamMap& params);
 
   [[nodiscard]] Result<double> Predict(std::span<const double> features) const override;

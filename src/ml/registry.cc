@@ -14,6 +14,36 @@ std::vector<std::string> RegisteredModelNames() {
   return {"LR", "LSVR", "Tree", "RF", "XGB"};
 }
 
+Result<std::unique_ptr<Regressor>> MakeRegressor(
+    const std::string& name, const ParamMap& params,
+    const TrainingBackend& backend) {
+  if (name == "Tree") {
+    DecisionTreeRegressor::Options options =
+        DecisionTreeRegressor::OptionsFromParams(params);
+    options.core = backend.core;
+    options.binning_cache = backend.binning_cache;
+    return std::unique_ptr<Regressor>(
+        std::make_unique<DecisionTreeRegressor>(options));
+  }
+  if (name == "RF") {
+    RandomForestRegressor::Options options =
+        RandomForestRegressor::OptionsFromParams(params);
+    options.core = backend.core;
+    options.binning_cache = backend.binning_cache;
+    return std::unique_ptr<Regressor>(
+        std::make_unique<RandomForestRegressor>(options));
+  }
+  if (name == "XGB") {
+    HistGradientBoostingRegressor::Options options =
+        HistGradientBoostingRegressor::OptionsFromParams(params);
+    options.core = backend.core;
+    options.binning_cache = backend.binning_cache;
+    return std::unique_ptr<Regressor>(
+        std::make_unique<HistGradientBoostingRegressor>(options));
+  }
+  return MakeRegressor(name, params);
+}
+
 Result<std::unique_ptr<Regressor>> MakeRegressor(const std::string& name,
                                                  const ParamMap& params) {
   if (name == "LR") {
@@ -46,6 +76,14 @@ Result<RegressorFactory> MakeFactory(const std::string& name) {
   return RegressorFactory([name](const ParamMap& params) {
     // Construction cannot fail for a validated name.
     return MakeRegressor(name, params).MoveValueOrDie();
+  });
+}
+
+Result<RegressorFactory> MakeFactory(const std::string& name,
+                                     const TrainingBackend& backend) {
+  NM_RETURN_NOT_OK(MakeRegressor(name).status());
+  return RegressorFactory([name, backend](const ParamMap& params) {
+    return MakeRegressor(name, params, backend).MoveValueOrDie();
   });
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ml/binned_dataset.h"
 #include "ml/model_selection.h"
 #include "ml/regressor.h"
 
@@ -28,9 +29,22 @@ std::vector<std::string> RegisteredModelNames();
 [[nodiscard]] Result<std::unique_ptr<Regressor>> MakeRegressor(const std::string& name,
                                                  const ParamMap& params = {});
 
+/// Like the two-argument overload, but the tree learners (Tree/RF/XGB) are
+/// configured with `backend` — the training core to run and an optional
+/// shared BinningCache so repeated fits on the same matrix (grid-search
+/// candidates, serving refreshes) bin once. Non-tree models ignore it.
+[[nodiscard]] Result<std::unique_ptr<Regressor>> MakeRegressor(
+    const std::string& name, const ParamMap& params,
+    const TrainingBackend& backend);
+
 /// Returns a factory that builds `name` models (for GridSearchCV).
 /// The name is validated immediately.
 [[nodiscard]] Result<RegressorFactory> MakeFactory(const std::string& name);
+
+/// Factory whose models carry `backend` (see the MakeRegressor overload);
+/// every grid-search candidate then shares the same binning cache.
+[[nodiscard]] Result<RegressorFactory> MakeFactory(const std::string& name,
+                                                   const TrainingBackend& backend);
 
 /// The default hyper-parameter grid the paper sweeps for each model:
 ///   RF / XGB: max depth 3..50, estimators 10..1000;

@@ -247,6 +247,52 @@ TEST(NakedNewRuleTest, InlineSuppressionWorks) {
           .empty());
 }
 
+// ---------------------------------------------------------------- rule 5
+
+TEST(RowIterationRuleTest, FlagsMatrixIncludeInHistogramFiles) {
+  const auto findings = Lint("src/ml/histogram.cc",
+                             "#include \"ml/matrix.h\"\n");
+  ASSERT_TRUE(HasRule(findings, Rule::kRowIteration));
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_TRUE(HasRule(Lint("src/ml/histogram.h",
+                           "#include \"ml/dataset.h\"\n"),
+                      Rule::kRowIteration));
+}
+
+TEST(RowIterationRuleTest, FlagsRowAndColAccess) {
+  EXPECT_TRUE(HasRule(Lint("src/ml/histogram.cc",
+                           "double v = x.Row(3)[0];\n"),
+                      Rule::kRowIteration));
+  EXPECT_TRUE(HasRule(Lint("src/ml/histogram.h",
+                           "auto c = m->Col(feature);\n"),
+                      Rule::kRowIteration));
+}
+
+TEST(RowIterationRuleTest, BinSourceAccessPasses) {
+  EXPECT_TRUE(Lint("src/ml/histogram.h",
+                   "#include \"ml/binned_dataset.h\"\n"
+                   "uint32_t b = bins.Bin(feature, row);\n")
+                  .empty());
+}
+
+TEST(RowIterationRuleTest, OtherFilesAreUnconstrained) {
+  // Row iteration is the norm everywhere outside the histogram kernels.
+  EXPECT_TRUE(Lint("src/ml/linear_models.cc",
+                   "#include \"ml/matrix.h\"\n"
+                   "double v = x.Row(3)[0];\n")
+                  .empty());
+}
+
+TEST(RowIterationRuleTest, CommentsAndSuppressionsWork) {
+  EXPECT_TRUE(Lint("src/ml/histogram.cc",
+                   "// never call x.Row(r) in this file\n")
+                  .empty());
+  EXPECT_TRUE(
+      Lint("src/ml/histogram.cc",
+           "auto r = x.Row(0);  // nextmaint-lint: allow(row-iteration)\n")
+          .empty());
+}
+
 // ------------------------------------------------------------- plumbing
 
 TEST(FindingTest, ToStringFormat) {
@@ -259,6 +305,7 @@ TEST(RuleNameTest, KebabCaseNames) {
   EXPECT_STREQ(RuleName(Rule::kUncheckedStatus), "unchecked-status");
   EXPECT_STREQ(RuleName(Rule::kLayering), "layering");
   EXPECT_STREQ(RuleName(Rule::kNakedNew), "naked-new");
+  EXPECT_STREQ(RuleName(Rule::kRowIteration), "row-iteration");
 }
 
 }  // namespace

@@ -1,0 +1,271 @@
+// Property suite for the binned training core (docs/binned-training.md):
+// randomized corpora — degenerate constant and duplicate-heavy columns,
+// feature cardinalities on both sides of the 256-distinct-value bin-width
+// boundary — must train to byte-identical models on both cores, and the
+// DataPartition leaf ranges of a completed grow must never lose a sample.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/binned_dataset.h"
+#include "ml/histogram.h"
+#include "ml/registry.h"
+
+namespace nextmaint {
+namespace ml {
+namespace {
+
+/// Ways a feature column can be shaped; the degenerate ones are the bin
+/// mapper's edge cases.
+enum class ColumnKind {
+  kConstant,       // single distinct value -> single-bin mapper
+  kFewDistinct,    // heavy duplicates, far fewer values than bins
+  kContinuous,     // effectively all-distinct
+  kManyDistinct,   // > 256 distinct values -> wide (uint16_t) columns
+};
+
+/// Builds a randomized corpus: `rows` rows of `kinds`-shaped feature
+/// columns plus a target correlated with the non-degenerate features.
+Dataset MakeCorpus(Rng* rng, size_t rows,
+                   const std::vector<ColumnKind>& kinds) {
+  std::vector<std::vector<double>> columns;
+  for (const ColumnKind kind : kinds) {
+    std::vector<double> column(rows);
+    switch (kind) {
+      case ColumnKind::kConstant: {
+        const double value = rng->Uniform(-5, 5);
+        std::fill(column.begin(), column.end(), value);
+        break;
+      }
+      case ColumnKind::kFewDistinct:
+        for (double& cell : column) {
+          cell = static_cast<double>(rng->UniformInt(uint64_t{6}));
+        }
+        break;
+      case ColumnKind::kContinuous:
+        for (double& cell : column) cell = rng->Uniform(0, 100);
+        break;
+      case ColumnKind::kManyDistinct:
+        // i + jitter keeps every cell distinct, so distinct count == rows.
+        for (size_t i = 0; i < rows; ++i) {
+          column[i] = static_cast<double>(i) + rng->Uniform(0.0, 0.5);
+        }
+        break;
+    }
+    columns.push_back(std::move(column));
+  }
+  Dataset d;
+  std::vector<double> row(kinds.size());
+  for (size_t r = 0; r < rows; ++r) {
+    double target = 0.0;
+    for (size_t f = 0; f < kinds.size(); ++f) {
+      row[f] = columns[f][r];
+      target += (f + 1) * 0.3 * row[f];
+    }
+    d.AddRow(std::span<const double>(row.data(), row.size()),
+             target + rng->Normal(0, 0.25));
+  }
+  return d;
+}
+
+std::string TrainedBytes(const std::string& algorithm, const ParamMap& params,
+                         TreeCore core, const Dataset& train) {
+  TrainingBackend backend;
+  backend.core = core;
+  auto model = MakeRegressor(algorithm, params, backend).MoveValueOrDie();
+  EXPECT_TRUE(model->Fit(train).ok()) << algorithm;
+  std::ostringstream out;
+  EXPECT_TRUE(model->Save(out).ok()) << algorithm;
+  return std::move(out).str();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-core equality on randomized corpora.
+
+TEST(BinnedPropertyTest, RandomizedCorporaTrainIdenticallyAcrossCores) {
+  const std::vector<std::string> algorithms = {"Tree", "RF", "XGB"};
+  Rng rng(20260808);
+  for (int trial = 0; trial < 12; ++trial) {
+    // Random fleet-corpus size and a random mix of column shapes, always
+    // including at least one degenerate column.
+    const size_t rows = 30 + rng.UniformInt(uint64_t{170});
+    std::vector<ColumnKind> kinds = {ColumnKind::kConstant};
+    const size_t extra = 1 + rng.UniformInt(uint64_t{3});
+    for (size_t f = 0; f < extra; ++f) {
+      kinds.push_back(
+          static_cast<ColumnKind>(rng.UniformInt(uint64_t{4})));
+    }
+    const Dataset train = MakeCorpus(&rng, rows, kinds);
+    const ParamMap params = {{"num_estimators", 8},
+                             {"num_iterations", 8},
+                             {"max_depth", 5},
+                             {"max_bins", 64},
+                             {"min_samples_leaf", 2}};
+    for (const std::string& algorithm : algorithms) {
+      EXPECT_EQ(TrainedBytes(algorithm, params, TreeCore::kRowOriented, train),
+                TrainedBytes(algorithm, params, TreeCore::kBinned, train))
+          << algorithm << " diverged on trial " << trial << " (" << rows
+          << " rows, " << kinds.size() << " features)";
+    }
+  }
+}
+
+// Crossing the 256-distinct boundary flips the binned columns from uint8_t
+// to uint16_t storage; the numbers the grower sees must not change.
+TEST(BinnedPropertyTest, WideBinCountsCrossTheNarrowStorageBoundary) {
+  Rng rng(55);
+  const Dataset train =
+      MakeCorpus(&rng, 400,
+                 {ColumnKind::kManyDistinct, ColumnKind::kFewDistinct});
+
+  // Pin the storage-width dispatch itself.
+  BinMapper mapper;
+  mapper.Compute(train.x(), /*max_bins=*/400);
+  ASSERT_GT(mapper.BinCount(0), 256u);
+  ASSERT_LE(mapper.BinCount(1), 256u);
+  BinnedDataset binned;
+  binned.Build(train.x(), mapper);
+  EXPECT_FALSE(binned.IsNarrow(0));
+  EXPECT_TRUE(binned.IsNarrow(1));
+  for (size_t r = 0; r < train.num_rows(); ++r) {
+    EXPECT_EQ(binned.Bin(0, r), mapper.BinOf(0, train.x()(r, 0)));
+  }
+
+  // Both sides of the boundary train identically across cores.
+  for (const double max_bins : {128.0, 400.0}) {
+    const ParamMap params = {{"num_iterations", 10},
+                             {"max_depth", 4},
+                             {"max_bins", max_bins}};
+    EXPECT_EQ(TrainedBytes("XGB", params, TreeCore::kRowOriented, train),
+              TrainedBytes("XGB", params, TreeCore::kBinned, train))
+        << "max_bins=" << max_bins;
+    EXPECT_EQ(TrainedBytes("RF",
+                           {{"num_estimators", 6},
+                            {"max_depth", 4},
+                            {"max_bins", max_bins}},
+                           TreeCore::kRowOriented, train),
+              TrainedBytes("RF",
+                           {{"num_estimators", 6},
+                            {"max_depth", 4},
+                            {"max_bins", max_bins}},
+                           TreeCore::kBinned, train))
+        << "max_bins=" << max_bins;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DataPartition: the grower's in-place permutation must conserve the row
+// multiset, and the recorded leaf ranges must tile it exactly.
+
+std::map<uint32_t, size_t> RowMultiset(const DataPartition& partition) {
+  std::map<uint32_t, size_t> counts;
+  for (const uint32_t row : partition.indices()) ++counts[row];
+  return counts;
+}
+
+TEST(BinnedPropertyTest, PartitionSplitConservesTheRowMultiset) {
+  Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Bootstrap-style multiset: random rows drawn with replacement.
+    const size_t n = 5 + rng.UniformInt(uint64_t{60});
+    std::vector<size_t> rows(n);
+    for (size_t& row : rows) row = rng.UniformInt(uint64_t{40});
+    DataPartition partition;
+    partition.Reset(rows);
+    ASSERT_EQ(partition.size(), n);
+    const std::map<uint32_t, size_t> before = RowMultiset(partition);
+
+    // A chain of random nested splits touching random sub-ranges.
+    const uint32_t pivot1 = static_cast<uint32_t>(rng.UniformInt(uint64_t{40}));
+    const size_t mid = partition.Split(
+        0, n, [&](uint32_t row) { return row < pivot1; });
+    ASSERT_LE(mid, n);
+    const uint32_t pivot2 = static_cast<uint32_t>(rng.UniformInt(uint64_t{40}));
+    partition.Split(mid, n, [&](uint32_t row) { return row % 2 == 0 &&
+                                                       row < pivot2; });
+    EXPECT_EQ(RowMultiset(partition), before) << "trial " << trial;
+  }
+}
+
+TEST(BinnedPropertyTest, LeavesCoverAllDetectsLostAndDuplicatedRanges) {
+  DataPartition partition;
+  partition.Reset(size_t{10});
+
+  // Exact in-order tiling passes.
+  partition.AddLeaf(0, 4);
+  partition.AddLeaf(4, 9);
+  partition.AddLeaf(9, 10);
+  EXPECT_TRUE(partition.LeavesCoverAll());
+
+  // A gap (lost samples) fails.
+  partition.Reset(size_t{10});
+  partition.AddLeaf(0, 4);
+  partition.AddLeaf(5, 10);
+  EXPECT_FALSE(partition.LeavesCoverAll());
+
+  // An overlap (double-counted samples) fails.
+  partition.Reset(size_t{10});
+  partition.AddLeaf(0, 6);
+  partition.AddLeaf(5, 10);
+  EXPECT_FALSE(partition.LeavesCoverAll());
+
+  // A truncated tiling (missing tail) fails.
+  partition.Reset(size_t{10});
+  partition.AddLeaf(0, 4);
+  EXPECT_FALSE(partition.LeavesCoverAll());
+
+  // An empty leaf range can never appear in a completed grow.
+  partition.Reset(size_t{10});
+  partition.AddLeaf(0, 10);
+  partition.AddLeaf(10, 10);
+  EXPECT_FALSE(partition.LeavesCoverAll());
+}
+
+// End-to-end: a completed grow on a randomized corpus records leaf ranges
+// that tile every bootstrap sample exactly once.
+TEST(BinnedPropertyTest, CompletedGrowTilesEverySample) {
+  Rng rng(123);
+  const Dataset train = MakeCorpus(
+      &rng, 160, {ColumnKind::kContinuous, ColumnKind::kFewDistinct,
+                  ColumnKind::kConstant});
+  BinMapper mapper;
+  mapper.Compute(train.x(), /*max_bins=*/64);
+  const HistogramLayout layout(mapper);
+  BinnedDataset binned;
+  binned.Build(train.x(), mapper);
+
+  std::vector<size_t> bootstrap(train.num_rows());
+  for (size_t& row : bootstrap) row = rng.UniformInt(train.num_rows());
+  DataPartition partition;
+  partition.Reset(bootstrap);
+  const std::map<uint32_t, size_t> before = RowMultiset(partition);
+
+  GrowSpec spec;
+  spec.depth_limited = true;
+  spec.max_depth = 6;
+  spec.min_samples_leaf = 2;
+  const std::vector<GrowNode> nodes = GrowHistTree(
+      binned, mapper, layout, train.y(), &partition, spec);
+  ASSERT_FALSE(nodes.empty());
+  EXPECT_TRUE(partition.LeavesCoverAll());
+  EXPECT_EQ(RowMultiset(partition), before);
+
+  // Leaf range sizes sum to the sample count.
+  size_t covered = 0;
+  for (const auto& [begin, end] : partition.leaf_ranges()) {
+    ASSERT_LT(begin, end);
+    covered += end - begin;
+  }
+  EXPECT_EQ(covered, train.num_rows());
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace nextmaint

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ml/binned_dataset.h"
+
 namespace nextmaint {
 namespace ml {
 namespace {
@@ -97,6 +99,60 @@ TEST(DatasetTest, ShuffledIsPermutation) {
     EXPECT_DOUBLE_EQ(shuffled.x()(r, 0), shuffled.y()[r]);
     EXPECT_DOUBLE_EQ(shuffled.x()(r, 1), 10.0 * shuffled.y()[r]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// BinMapper degenerate-column contract (see binned_dataset.h): an
+// all-identical feature column collapses to a single bin that absorbs every
+// query, and the histogram split search can therefore never split on it.
+
+TEST(BinMapperDegenerateTest, AllIdenticalColumnGetsSingleBin) {
+  const Matrix x = Matrix::FromRows({{7.5}, {7.5}, {7.5}, {7.5}});
+  BinMapper mapper;
+  mapper.Compute(x, /*max_bins=*/256);
+  ASSERT_EQ(mapper.num_features(), 1u);
+  EXPECT_EQ(mapper.BinCount(0), 1u);
+  EXPECT_DOUBLE_EQ(mapper.UpperBound(0, 0), 7.5);
+  // Below, equal and above the stored boundary all land in bin 0.
+  EXPECT_EQ(mapper.BinOf(0, 7.5), 0);
+  EXPECT_EQ(mapper.BinOf(0, -100.0), 0);
+  EXPECT_EQ(mapper.BinOf(0, 100.0), 0);
+}
+
+TEST(BinMapperDegenerateTest, SingleRowMatrixGetsSingleBinPerFeature) {
+  const Matrix x = Matrix::FromRows({{1.0, -3.0}});
+  BinMapper mapper;
+  mapper.Compute(x, /*max_bins=*/16);
+  EXPECT_EQ(mapper.BinCount(0), 1u);
+  EXPECT_EQ(mapper.BinCount(1), 1u);
+  EXPECT_DOUBLE_EQ(mapper.UpperBound(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(mapper.UpperBound(1, 0), -3.0);
+}
+
+TEST(BinMapperDegenerateTest, AllZeroColumnKeepsZeroBoundary) {
+  // Zero-usage days are the common real-world degenerate column; the single
+  // boundary must be the value itself, not a sentinel.
+  const Matrix x = Matrix::FromRows({{0.0}, {0.0}, {0.0}});
+  BinMapper mapper;
+  mapper.Compute(x, /*max_bins=*/256);
+  EXPECT_EQ(mapper.BinCount(0), 1u);
+  EXPECT_DOUBLE_EQ(mapper.UpperBound(0, 0), 0.0);
+  EXPECT_EQ(mapper.BinOf(0, 0.0), 0);
+}
+
+TEST(BinMapperDegenerateTest, MixedDegenerateAndRealColumnsBinIndependently) {
+  const Matrix x = Matrix::FromRows({{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}});
+  BinMapper mapper;
+  mapper.Compute(x, /*max_bins=*/256);
+  EXPECT_EQ(mapper.BinCount(0), 1u);
+  EXPECT_EQ(mapper.BinCount(1), 3u);
+  EXPECT_EQ(mapper.BinOf(1, 2.0), 1);
+  // A BinnedDataset built over the degenerate column stores bin 0
+  // everywhere and stays narrow (uint8_t).
+  BinnedDataset binned;
+  binned.Build(x, mapper);
+  EXPECT_TRUE(binned.IsNarrow(0));
+  for (size_t r = 0; r < 3; ++r) EXPECT_EQ(binned.Bin(0, r), 0u);
 }
 
 }  // namespace

@@ -113,12 +113,32 @@ std::vector<VehicleSpec> PropertyFleet() {
   return fleet;
 }
 
+/// Scheduler options exercising the tree learners (and with them the
+/// binned training core): RF in the per-vehicle selection, XGB as the
+/// unified cold-start model, small settings so the property replay stays
+/// fast.
+core::SchedulerOptions TreeOptions(int num_threads, ml::TreeCore core) {
+  core::SchedulerOptions options = FastOptions(num_threads);
+  options.algorithms = {"BL", "RF"};
+  options.unified_algorithm = "XGB";
+  options.tree_core = core;
+  // Selection is untuned (library defaults); only the cold-start models
+  // take explicit params, trimmed for test speed.
+  options.cold_start.model_params = {{"num_estimators", 6},
+                                     {"num_iterations", 8},
+                                     {"max_depth", 4},
+                                     {"max_bins", 64},
+                                     {"min_samples_leaf", 2}};
+  return options;
+}
+
 /// A from-scratch batch run over exactly `ingested[id]` days per vehicle:
 /// the ground truth the incremental engine must be bit-identical to.
 core::FleetScheduler BatchScheduler(
     const std::vector<VehicleSpec>& fleet,
-    const std::map<std::string, size_t>& ingested, int num_threads) {
-  core::FleetScheduler scheduler(FastOptions(num_threads));
+    const std::map<std::string, size_t>& ingested,
+    const core::SchedulerOptions& options) {
+  core::FleetScheduler scheduler(options);
   for (const VehicleSpec& v : fleet) {
     EXPECT_TRUE(scheduler.RegisterVehicle(v.id, v.series.start_date()).ok());
     const size_t days = ingested.at(v.id);
@@ -174,7 +194,7 @@ TEST(ServingEngineTest, IncrementalMatchesBatchUnderRandomInterleavings) {
       ASSERT_TRUE(engine.RefreshForecasts().ok()) << label;
 
       const core::FleetScheduler batch =
-          BatchScheduler(fleet, ingested, threads);
+          BatchScheduler(fleet, ingested, FastOptions(threads));
       ExpectForecastsIdentical(engine.Snapshot()->forecasts,
                                batch.FleetForecast().ValueOrDie(), label);
       // The trained state itself must match byte for byte, not just the
@@ -184,6 +204,109 @@ TEST(ServingEngineTest, IncrementalMatchesBatchUnderRandomInterleavings) {
           << label;
     }
   }
+}
+
+/// The binned-core serving contract (docs/binned-training.md): with tree
+/// learners in the loop, append/refresh interleavings must stay checkpoint-
+/// byte-identical to a from-scratch batch run — and the batch run itself
+/// must be byte-identical whether it trains on the binned or the row core.
+TEST(ServingEngineTest, BinnedInterleavingMatchesBatchAcrossCores) {
+  for (const int threads : {1, 4}) {
+    const std::vector<VehicleSpec> fleet = PropertyFleet();
+    ServingEngine engine(TreeOptions(threads, ml::TreeCore::kBinned));
+    std::map<std::string, size_t> ingested;
+    for (const VehicleSpec& v : fleet) {
+      ASSERT_TRUE(engine.Register(v.id, v.series.start_date()).ok());
+      if (v.warm > 0) {
+        ASSERT_TRUE(engine.LoadHistory(v.id, v.series.Slice(0, v.warm)).ok());
+      }
+      ingested[v.id] = v.warm;
+    }
+    ASSERT_TRUE(engine.RefreshForecasts().ok());
+
+    Rng schedule(4400 + static_cast<uint64_t>(threads));
+    const std::string label = "binned threads=" + std::to_string(threads);
+    for (int step = 0; step < 12; ++step) {
+      for (const VehicleSpec& v : fleet) {
+        size_t& next = ingested[v.id];
+        if (next >= v.series.size()) continue;
+        if (!schedule.Bernoulli(0.75)) continue;
+        const Date day =
+            v.series.start_date().AddDays(static_cast<int64_t>(next));
+        ASSERT_TRUE(engine.Append(v.id, day, v.series[next]).ok())
+            << label << " " << v.id;
+        ++next;
+      }
+      if (schedule.Bernoulli(0.4)) {
+        ASSERT_TRUE(engine.RefreshForecasts().ok()) << label;
+      }
+    }
+    ASSERT_TRUE(engine.RefreshForecasts().ok()) << label;
+
+    const core::FleetScheduler batch_binned = BatchScheduler(
+        fleet, ingested, TreeOptions(threads, ml::TreeCore::kBinned));
+    ExpectForecastsIdentical(engine.Snapshot()->forecasts,
+                             batch_binned.FleetForecast().ValueOrDie(), label);
+    const std::string binned_bytes =
+        CheckpointBytes(batch_binned, "serve_batch_binned.txt");
+    EXPECT_EQ(CheckpointBytes(engine.scheduler(), "serve_inc_binned.txt"),
+              binned_bytes)
+        << label;
+    // Cross-core pin at fleet level: retraining the identical fleet on the
+    // row-oriented core (single-threaded) reproduces the same checkpoint.
+    const core::FleetScheduler batch_row = BatchScheduler(
+        fleet, ingested, TreeOptions(1, ml::TreeCore::kRowOriented));
+    EXPECT_EQ(binned_bytes, CheckpointBytes(batch_row, "serve_batch_row.txt"))
+        << label;
+  }
+}
+
+/// Bin mappers are built once per vehicle and cached; appending usage must
+/// invalidate exactly that vehicle's cache, and a series replacement must
+/// also drop the unified-corpus cache.
+TEST(ServingEngineTest, BinningCacheInvalidationFollowsIngest) {
+  ServingEngine engine(TreeOptions(1, ml::TreeCore::kBinned));
+  const data::DailySeries s1 = SimulatedVehicle(201, 600);
+  const data::DailySeries s2 = SimulatedVehicle(202, 600);
+  ASSERT_TRUE(engine.Register("v1", s1.start_date()).ok());
+  ASSERT_TRUE(engine.Register("v2", s2.start_date()).ok());
+  ASSERT_TRUE(engine.LoadHistory("v1", s1.Slice(0, 599)).ok());
+  ASSERT_TRUE(engine.LoadHistory("v2", s2).ok());
+  // Before any training there is nothing cached.
+  EXPECT_EQ(engine.scheduler().VehicleBinningCache("v1"), nullptr);
+  ASSERT_TRUE(engine.RefreshForecasts().ok());
+
+  const auto v1_cache = engine.scheduler().VehicleBinningCache("v1");
+  ASSERT_NE(v1_cache, nullptr);
+  EXPECT_GT(v1_cache->stats().lookups, 0u);
+  EXPECT_GT(v1_cache->stats().entries, 0u);
+  // Both old vehicles contribute first cycles, so the unified XGB model
+  // trained through the shared corpus cache.
+  const auto unified = engine.scheduler().UnifiedBinningCache();
+  ASSERT_NE(unified, nullptr);
+  EXPECT_GT(unified->stats().lookups, 0u);
+
+  // An append dirties exactly the appended vehicle's mapper cache.
+  ASSERT_TRUE(engine.Append("v1", s1.start_date().AddDays(599), s1[599]).ok());
+  EXPECT_EQ(engine.scheduler().VehicleBinningCache("v1"), nullptr);
+  EXPECT_NE(engine.scheduler().VehicleBinningCache("v2"), nullptr);
+  // Retraining recreates and repopulates it.
+  ASSERT_TRUE(engine.RefreshForecasts().ok());
+  const auto rebuilt = engine.scheduler().VehicleBinningCache("v1");
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_GT(rebuilt->stats().entries, 0u);
+
+  // Wholesale series replacement invalidates the corpus-level cache too:
+  // the first cycle itself may have changed.
+  core::FleetScheduler batch(TreeOptions(1, ml::TreeCore::kBinned));
+  ASSERT_TRUE(batch.RegisterVehicle("v1", s1.start_date()).ok());
+  ASSERT_TRUE(batch.IngestSeries("v1", s1).ok());
+  ASSERT_TRUE(batch.TrainAll().ok());
+  ASSERT_NE(batch.UnifiedBinningCache(), nullptr);
+  EXPECT_GT(batch.UnifiedBinningCache()->stats().entries, 0u);
+  ASSERT_TRUE(batch.IngestSeries("v1", s1).ok());
+  EXPECT_EQ(batch.VehicleBinningCache("v1"), nullptr);
+  EXPECT_EQ(batch.UnifiedBinningCache()->stats().entries, 0u);
 }
 
 TEST(ServingEngineTest, CachedStateMatchesBatchDerivation) {
