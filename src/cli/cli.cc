@@ -12,7 +12,10 @@
 #include "core/workshop_planner.h"
 #include "data/csv.h"
 #include "data/preprocess.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
 #include "serve/serving_engine.h"
+#include "serve/socket_server.h"
 #include "telematics/fleet.h"
 
 namespace nextmaint {
@@ -116,6 +119,56 @@ Result<CommonOptions> ParseCommonOptions(const ParsedArgs& args) {
       return Status::InvalidArgument(
           "--load-models requires a checkpoint file path\n" + UsageText());
     }
+  }
+  common.daemon = args.HasFlag("daemon");
+  if (args.HasFlag("shards")) {
+    const Result<int64_t> parsed = ParseInt64(args.flags.at("shards"));
+    if (!parsed.ok() || parsed.ValueOrDie() < 1) {
+      return Status::InvalidArgument(
+          "--shards expects a positive integer, got '" +
+          args.flags.at("shards") + "'\n" + UsageText());
+    }
+    common.shards = static_cast<int>(parsed.ValueOrDie());
+  }
+  if (args.HasFlag("port")) {
+    const Result<int64_t> parsed = ParseInt64(args.flags.at("port"));
+    if (!parsed.ok() || parsed.ValueOrDie() < 1 ||
+        parsed.ValueOrDie() > 65535) {
+      return Status::InvalidArgument(
+          "--port expects an integer in 1..65535, got '" +
+          args.flags.at("port") + "'\n" + UsageText());
+    }
+    common.port = static_cast<int>(parsed.ValueOrDie());
+  }
+  if (args.HasFlag("socket")) {
+    common.socket_path = args.flags.at("socket");
+    if (common.socket_path.empty()) {
+      return Status::InvalidArgument(
+          "--socket requires a unix socket path\n" + UsageText());
+    }
+  }
+  if (common.port > 0 && !common.socket_path.empty()) {
+    return Status::InvalidArgument(
+        "--socket and --port are mutually exclusive; pick one endpoint\n" +
+        UsageText());
+  }
+  if (args.HasFlag("max-queue")) {
+    const Result<int64_t> parsed = ParseInt64(args.flags.at("max-queue"));
+    if (!parsed.ok() || parsed.ValueOrDie() < 1) {
+      return Status::InvalidArgument(
+          "--max-queue expects a positive integer, got '" +
+          args.flags.at("max-queue") + "'\n" + UsageText());
+    }
+    common.max_queue = parsed.ValueOrDie();
+  }
+  if (args.HasFlag("batch-window")) {
+    const Result<int64_t> parsed = ParseInt64(args.flags.at("batch-window"));
+    if (!parsed.ok() || parsed.ValueOrDie() < 0) {
+      return Status::InvalidArgument(
+          "--batch-window expects a non-negative integer, got '" +
+          args.flags.at("batch-window") + "'\n" + UsageText());
+    }
+    common.batch_window = parsed.ValueOrDie();
   }
   return common;
 }
@@ -269,6 +322,97 @@ Result<core::FleetScheduler> MakeTrainedScheduler(const ParsedArgs& args,
     NM_RETURN_NOT_OK(scheduler.TrainAll());
   }
   return scheduler;
+}
+
+/// The `serve --daemon` mode: warm-start every vehicle through the daemon's
+/// own write path, publish an initial snapshot, then serve the binary
+/// protocol on the requested endpoint until a client sends Shutdown.
+Status RunServeDaemon(const ParsedArgs& args, const CommonOptions& common,
+                      std::ostream& out) {
+  if (common.port < 0 && common.socket_path.empty()) {
+    return Status::InvalidArgument(
+        "serve --daemon requires an endpoint: --socket PATH or --port N\n" +
+        UsageText());
+  }
+  NM_ASSIGN_OR_RETURN(
+      FleetLoad load, LoadFleetDir(args.flags.at("data"), common.strict));
+  ReportSkippedVehicles(load, out);
+  NM_ASSIGN_OR_RETURN(core::SchedulerOptions scheduler_options,
+                      SchedulerOptionsFromArgs(args, common));
+
+  serve::DaemonOptions options;
+  options.scheduler = scheduler_options;
+  options.shards = common.shards;
+  options.max_queue = static_cast<size_t>(common.max_queue);
+  options.batch_window = static_cast<uint64_t>(common.batch_window);
+  serve::FleetDaemon daemon(options);
+  NM_RETURN_NOT_OK(daemon.Start());
+
+  // Warm start through the daemon's own write path so sharding and
+  // registration follow the exact rules remote clients see.
+  for (const auto& [id, series] : load.vehicles) {
+    serve::protocol::LoadHistoryRequest request;
+    request.vehicle_id = id;
+    request.start_day = series.start_date();
+    request.values.reserve(series.size());
+    for (size_t i = 0; i < series.size(); ++i) {
+      request.values.push_back(series[i]);
+    }
+    const serve::protocol::Response response = daemon.Execute(request);
+    if (const auto* error =
+            std::get_if<serve::protocol::ErrorResponse>(&response)) {
+      const Status status = error->ToStatus().WithContext(id);
+      if (common.strict) {
+        daemon.Stop();
+        return status;
+      }
+      out << "warm-start degraded vehicle " << id << ": "
+          << status.ToString() << "\n";
+    }
+  }
+
+  // Publish the initial snapshot so reads work before the first client
+  // refresh. Non-strict serves an empty snapshot when this fails.
+  {
+    const serve::protocol::Response response =
+        daemon.Execute(serve::protocol::RefreshRequest{});
+    if (const auto* done =
+            std::get_if<serve::protocol::RefreshDoneResponse>(&response)) {
+      out << "initial refresh epoch " << done->epoch << ": "
+          << done->refreshed << " refreshed, " << done->reused
+          << " reused across " << done->shards << " shard(s)\n";
+    } else if (const auto* error =
+                   std::get_if<serve::protocol::ErrorResponse>(&response)) {
+      const Status status = error->ToStatus();
+      if (common.strict) {
+        daemon.Stop();
+        return status;
+      }
+      out << "initial refresh degraded: " << status.ToString() << "\n";
+    }
+  }
+
+  serve::SocketServerOptions socket_options;
+  socket_options.unix_path = common.socket_path;
+  socket_options.tcp_port = common.port;
+  serve::SocketServer server(&daemon, socket_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    daemon.Stop();
+    return started;
+  }
+  out << "daemon serving " << load.vehicles.size() << " vehicle(s) on "
+      << server.endpoint() << " (" << daemon.shards()
+      << " shard(s)); send Shutdown to stop\n";
+  server.Wait();
+  daemon.Stop();
+
+  const serve::protocol::StatsResponse stats = daemon.Stats();
+  out << "daemon stopped: " << stats.frames << " frame(s), " << stats.appends
+      << " append(s), " << stats.reads << " read request(s), "
+      << stats.overloaded << " overloaded rejection(s), "
+      << stats.decode_errors << " decode error(s)\n";
+  return Status::OK();
 }
 
 }  // namespace
@@ -444,6 +588,13 @@ Status RunServe(const ParsedArgs& args, std::ostream& out) {
         "serve trains incrementally from the replayed data and cannot start "
         "from a checkpoint; drop --load-models");
   }
+  if (common.daemon) {
+    return RunServeDaemon(args, common, out);
+  }
+  if (common.port > 0 || !common.socket_path.empty()) {
+    return Status::InvalidArgument(
+        "--socket/--port only apply to serve --daemon\n" + UsageText());
+  }
   NM_ASSIGN_OR_RETURN(int64_t replay_days, args.IntFlagOr("replay-days", 30));
   NM_ASSIGN_OR_RETURN(int64_t refresh_every,
                       args.IntFlagOr("refresh-every", 1));
@@ -546,10 +697,20 @@ std::string UsageText() {
       "  evaluate --data DIR [--tv S] [--window W] [--last29] [--tune]\n"
       "  serve    --data DIR [--tv S] [--window W] [--replay-days N]\n"
       "           [--refresh-every N] [--threads N]\n"
+      "  serve    --daemon --data DIR (--socket PATH | --port N)\n"
+      "           [--shards N] [--max-queue N] [--batch-window N]\n"
+      "           [--tv S] [--window W] [--threads N]\n"
       "\n"
       "serve replays the trailing --replay-days of each vehicle through the\n"
       "incremental engine: warm-start, then append day by day and refresh\n"
       "only the dirty vehicles (docs/serving.md).\n"
+      "serve --daemon runs the long-lived sharded daemon instead: vehicles\n"
+      "are sharded by stable hash across --shards serving engines and the\n"
+      "versioned binary protocol is served on a unix socket or TCP\n"
+      "loopback port until a client sends Shutdown. Per-shard write queues\n"
+      "hold at most --max-queue requests (beyond that the daemon answers\n"
+      "Overloaded), and --batch-window N refreshes a shard automatically\n"
+      "every N applied appends (docs/serving.md).\n"
       "--threads N trains/forecasts the fleet on N threads (0 = all cores);\n"
       "results are bit-identical at any thread count (docs/parallelism.md).\n"
       "--metrics-json FILE (any command) records telemetry for the run and\n"

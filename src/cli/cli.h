@@ -30,6 +30,15 @@
 ///       then append day by day and refresh only the dirty vehicles,
 ///       printing per-refresh stats and the final fleet snapshot
 ///       (docs/serving.md).
+///   serve --daemon --data DIR (--socket PATH | --port N) [--shards N]
+///         [--max-queue N] [--batch-window N] [--tv SECONDS] [--window W]
+///       Long-running sharded daemon: warm-start the fleet, publish an
+///       initial snapshot, then serve the versioned length-prefixed binary
+///       protocol (docs/serving.md) over a unix socket or TCP loopback
+///       until a client sends Shutdown. Vehicles are sharded by stable
+///       hash across --shards ServingEngines; writes queue per shard
+///       (bounded by --max-queue, Overloaded beyond that) and
+///       --batch-window N auto-refreshes a shard every N applied appends.
 ///
 /// Every command returns a Status; errors print nothing to `out` besides
 /// what was already produced.
@@ -80,12 +89,29 @@ struct CommonOptions {
   /// --load-models FILE: checkpoint to load instead of training; empty =
   /// train from the data.
   std::string load_models;
+  /// --daemon: run `serve` as the long-running sharded daemon instead of
+  /// the one-shot replay.
+  bool daemon = false;
+  /// --shards N: number of serving shards in daemon mode (>= 1).
+  int shards = 1;
+  /// --port N: TCP loopback port for the daemon (1..65535); -1 = unset.
+  int port = -1;
+  /// --socket PATH: unix-domain socket path for the daemon; empty = unset.
+  std::string socket_path;
+  /// --max-queue N: per-shard bounded write-queue depth (>= 1).
+  int64_t max_queue = 1024;
+  /// --batch-window N: auto-refresh a shard every N applied appends
+  /// (0 = only explicit Refresh requests).
+  int64_t batch_window = 0;
 };
 
 /// Parses and validates the shared flags: --threads must be a non-negative
 /// integer, --metrics-json/--failpoints/--load-models must carry a value
 /// when present, and --failpoints requires a build with failpoints
-/// compiled in. InvalidArgument (with the usage text) otherwise.
+/// compiled in. Daemon flags go through the same single path: --shards and
+/// --max-queue must be >= 1, --batch-window >= 0, --port in 1..65535, and
+/// --socket/--port are mutually exclusive. InvalidArgument (with the usage
+/// text) otherwise.
 [[nodiscard]] Result<CommonOptions> ParseCommonOptions(const ParsedArgs& args);
 
 /// Command entry points. `out` receives human-readable results.

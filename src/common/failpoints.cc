@@ -193,6 +193,10 @@ const std::vector<std::string>& RegisteredSites() {
       "scheduler.save_models",
       "scheduler.train_vehicle",
       "serve.append",
+      "serve.daemon.accept",
+      "serve.daemon.decode",
+      "serve.daemon.enqueue",
+      "serve.daemon.refresh",
       "serve.refresh",
   };
   return *sites;

@@ -723,22 +723,5 @@ Status FleetScheduler::LoadCheckpoint(const std::string& path) {
   return ReadCheckpointPayload(in).WithContext(path);
 }
 
-// Deprecated shims over the checkpoint API; see scheduler.h.
-Status FleetScheduler::SaveModels(std::ostream& out) const {
-  return WriteCheckpointPayload(out);
-}
-
-Status FleetScheduler::SaveModels(const std::string& path) const {
-  return SaveCheckpoint(path);
-}
-
-Status FleetScheduler::LoadModels(std::istream& in) {
-  return ReadCheckpointPayload(in);
-}
-
-Status FleetScheduler::LoadModels(const std::string& path) {
-  return LoadCheckpoint(path);
-}
-
 }  // namespace core
 }  // namespace nextmaint

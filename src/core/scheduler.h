@@ -240,14 +240,6 @@ class FleetScheduler {
   /// truncated or corrupt checkpoint changes nothing.
   [[nodiscard]] Status LoadCheckpoint(const std::string& path);
 
-  /// Deprecated: use SaveCheckpoint(path). Kept for one release. The
-  /// stream form writes the checkpoint payload without the atomic
-  /// temp-file-and-rename envelope.
-  [[nodiscard]] Status SaveModels(std::ostream& out) const;
-
-  /// Deprecated: use SaveCheckpoint(path). Kept for one release.
-  [[nodiscard]] Status SaveModels(const std::string& path) const;
-
   /// Runs the CUSUM usage-drift monitor for one vehicle: the reference
   /// distribution is fitted on the first `reference_fraction` of its
   /// history and the remainder is monitored. A detected drift means the
@@ -256,13 +248,6 @@ class FleetScheduler {
   [[nodiscard]] Result<DriftReport> CheckDrift(const std::string& id,
                                  double reference_fraction = 0.7,
                                  const DriftOptions& options = {}) const;
-
-  /// Deprecated: use LoadCheckpoint(path). Kept for one release. The
-  /// stream form reads a bare checkpoint payload.
-  [[nodiscard]] Status LoadModels(std::istream& in);
-
-  /// Deprecated: use LoadCheckpoint(path). Kept for one release.
-  [[nodiscard]] Status LoadModels(const std::string& path);
 
   /// Vehicles quarantined by the most recent TrainAll/TrainVehicles plus
   /// those quarantined by the most recent FleetForecast, in deterministic

@@ -1,0 +1,199 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace serve {
+
+DaemonClient::~DaemonClient() { Close(); }
+
+void DaemonClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status DaemonClient::ConnectUnix(const std::string& path) {
+  if (fd_ >= 0) return Status::FailedPrecondition("client already connected");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket(AF_UNIX): " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status =
+        Status::IOError("connect(" + path + "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status DaemonClient::ConnectTcp(const std::string& host, int port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("client already connected");
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket(AF_INET): " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::IOError("connect(" + host + ":" +
+                                          std::to_string(port) +
+                                          "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status DaemonClient::SendFrame(const std::vector<uint8_t>& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<protocol::Response> DaemonClient::ReadResponse() {
+  std::vector<uint8_t> buffer(64 << 10);
+  for (;;) {
+    NM_ASSIGN_OR_RETURN(std::optional<std::vector<uint8_t>> payload,
+                        assembler_.Next());
+    if (payload.has_value()) return protocol::DecodeResponse(*payload);
+    const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), 0);
+    if (n == 0) {
+      return Status::IOError("connection closed while awaiting response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("recv: " + std::string(std::strerror(errno)));
+    }
+    assembler_.Feed(
+        std::span<const uint8_t>(buffer.data(), static_cast<size_t>(n)));
+  }
+}
+
+Result<protocol::Response> DaemonClient::RoundTrip(
+    const protocol::Request& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  NM_RETURN_NOT_OK(SendFrame(protocol::EncodeRequest(request)));
+  return ReadResponse();
+}
+
+Status DaemonClient::RoundTripForAck(const protocol::Request& request) {
+  NM_ASSIGN_OR_RETURN(protocol::Response response, RoundTrip(request));
+  if (std::holds_alternative<protocol::AckResponse>(response)) {
+    return Status::OK();
+  }
+  if (const auto* error = std::get_if<protocol::ErrorResponse>(&response)) {
+    return error->ToStatus();
+  }
+  if (const auto* overloaded =
+          std::get_if<protocol::OverloadedResponse>(&response)) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(overloaded->shard) +
+        " overloaded (queue " + std::to_string(overloaded->queue_depth) +
+        "/" + std::to_string(overloaded->max_queue) +
+        "); back off and retry");
+  }
+  return Status::DataError("unexpected response type for write request");
+}
+
+Status DaemonClient::Append(const std::string& id, Date day, double seconds) {
+  protocol::AppendRequest request;
+  request.vehicle_id = id;
+  request.day = day;
+  request.seconds = seconds;
+  return RoundTripForAck(request);
+}
+
+Status DaemonClient::LoadHistory(const std::string& id, Date start_day,
+                                 std::vector<double> values) {
+  protocol::LoadHistoryRequest request;
+  request.vehicle_id = id;
+  request.start_day = start_day;
+  request.values = std::move(values);
+  return RoundTripForAck(request);
+}
+
+Result<protocol::RefreshDoneResponse> DaemonClient::Refresh() {
+  NM_ASSIGN_OR_RETURN(protocol::Response response,
+                      RoundTrip(protocol::RefreshRequest{}));
+  if (const auto* done = std::get_if<protocol::RefreshDoneResponse>(&response)) {
+    return *done;
+  }
+  if (const auto* error = std::get_if<protocol::ErrorResponse>(&response)) {
+    return error->ToStatus();
+  }
+  return Status::DataError("unexpected response type for Refresh");
+}
+
+Result<protocol::ForecastBatchResponse> DaemonClient::GetForecasts(
+    std::vector<std::string> ids) {
+  protocol::GetForecastRequest request;
+  request.vehicle_ids = std::move(ids);
+  NM_ASSIGN_OR_RETURN(protocol::Response response, RoundTrip(request));
+  if (auto* batch = std::get_if<protocol::ForecastBatchResponse>(&response)) {
+    return std::move(*batch);
+  }
+  if (const auto* error = std::get_if<protocol::ErrorResponse>(&response)) {
+    return error->ToStatus();
+  }
+  return Status::DataError("unexpected response type for GetForecast");
+}
+
+Result<protocol::StatsResponse> DaemonClient::Stats() {
+  NM_ASSIGN_OR_RETURN(protocol::Response response,
+                      RoundTrip(protocol::StatsRequest{}));
+  if (auto* stats = std::get_if<protocol::StatsResponse>(&response)) {
+    return std::move(*stats);
+  }
+  if (const auto* error = std::get_if<protocol::ErrorResponse>(&response)) {
+    return error->ToStatus();
+  }
+  return Status::DataError("unexpected response type for Stats");
+}
+
+Status DaemonClient::RequestShutdown() {
+  return RoundTripForAck(protocol::ShutdownRequest{});
+}
+
+}  // namespace serve
+}  // namespace nextmaint

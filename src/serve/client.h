@@ -1,0 +1,74 @@
+#ifndef NEXTMAINT_SERVE_CLIENT_H_
+#define NEXTMAINT_SERVE_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/status.h"
+#include "serve/protocol.h"
+
+/// \file client.h
+/// Client library for the fleet daemon's wire protocol.
+///
+/// A thin, blocking, single-connection client: one RoundTrip per request,
+/// responses matched by order (the protocol has no request ids; the daemon
+/// answers every frame, in order, on the same connection). Typed helpers
+/// unwrap the expected response — an ErrorResponse comes back as its
+/// carried Status, an OverloadedResponse as FailedPrecondition (back off
+/// and retry), and a mismatched response type as DataError.
+///
+/// Used by the CLI's `serve --daemon` end-to-end tests and by operators'
+/// tooling; the load bench drives the daemon in-process instead (the
+/// protocol bytes are identical either way).
+
+namespace nextmaint {
+namespace serve {
+
+/// Blocking client over one daemon connection. Not thread-safe: callers
+/// serialize RoundTrip externally (or open one client per thread).
+class DaemonClient {
+ public:
+  DaemonClient() = default;
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  /// Connects to a unix-domain daemon socket.
+  [[nodiscard]] Status ConnectUnix(const std::string& path);
+  /// Connects to a loopback TCP daemon port.
+  [[nodiscard]] Status ConnectTcp(const std::string& host, int port);
+  /// Closes the connection (idempotent).
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and blocks for its response frame.
+  [[nodiscard]] Result<protocol::Response> RoundTrip(
+      const protocol::Request& request);
+
+  // Typed helpers over RoundTrip.
+  [[nodiscard]] Status Append(const std::string& id, Date day, double seconds);
+  [[nodiscard]] Status LoadHistory(const std::string& id, Date start_day,
+                                   std::vector<double> values);
+  [[nodiscard]] Result<protocol::RefreshDoneResponse> Refresh();
+  [[nodiscard]] Result<protocol::ForecastBatchResponse> GetForecasts(
+      std::vector<std::string> ids);
+  [[nodiscard]] Result<protocol::StatsResponse> Stats();
+  /// Asks the daemon to shut down (the server side then stops accepting).
+  [[nodiscard]] Status RequestShutdown();
+
+ private:
+  [[nodiscard]] Status SendFrame(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] Result<protocol::Response> ReadResponse();
+  /// Folds Ack/Error/Overloaded into a Status (write-style requests).
+  [[nodiscard]] Status RoundTripForAck(const protocol::Request& request);
+
+  int fd_ = -1;
+  protocol::FrameAssembler assembler_;
+};
+
+}  // namespace serve
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_SERVE_CLIENT_H_

@@ -1,0 +1,649 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace nextmaint {
+namespace serve {
+namespace protocol {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Little-endian primitive writers. Encoding is infallible; size ceilings are
+// enforced with NM_CHECK because exceeding them is a programmer error (the
+// daemon validates inputs before they reach the wire).
+// ---------------------------------------------------------------------------
+
+void PutU8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void PutI64(std::vector<uint8_t>& out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::vector<uint8_t>& out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void PutDate(std::vector<uint8_t>& out, Date day) {
+  PutI64(out, day.day_number());
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  NM_CHECK_MSG(s.size() <= std::numeric_limits<uint16_t>::max(),
+               "string too long for wire format");
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked reader over one payload. Every read either fills the out
+// parameter or returns InvalidArgument; the cursor never leaves the span.
+// ---------------------------------------------------------------------------
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] Status ReadU8(uint8_t* out) {
+    NM_RETURN_NOT_OK(Need(1));
+    *out = data_[pos_++];
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadU16(uint16_t* out) {
+    NM_RETURN_NOT_OK(Need(2));
+    *out = static_cast<uint16_t>(data_[pos_] |
+                                 (static_cast<uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadU32(uint32_t* out) {
+    NM_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadU64(uint64_t* out) {
+    NM_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadI64(int64_t* out) {
+    uint64_t raw = 0;
+    NM_RETURN_NOT_OK(ReadU64(&raw));
+    *out = static_cast<int64_t>(raw);
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadF64(double* out) {
+    uint64_t raw = 0;
+    NM_RETURN_NOT_OK(ReadU64(&raw));
+    *out = std::bit_cast<double>(raw);
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadDate(Date* out) {
+    int64_t day = 0;
+    NM_RETURN_NOT_OK(ReadI64(&day));
+    *out = Date::FromDayNumber(day);
+    return Status::OK();
+  }
+
+  [[nodiscard]] Status ReadString(std::string* out, size_t max_bytes) {
+    uint16_t len = 0;
+    NM_RETURN_NOT_OK(ReadU16(&len));
+    if (len > max_bytes) {
+      return Status::InvalidArgument("string field exceeds wire limit (" +
+                                     std::to_string(len) + " > " +
+                                     std::to_string(max_bytes) + " bytes)");
+    }
+    NM_RETURN_NOT_OK(Need(len));
+    out->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  [[nodiscard]] Status Need(size_t n) {
+    if (data_.size() - pos_ < n) {
+      return Status::InvalidArgument("truncated payload: need " +
+                                     std::to_string(n) + " bytes at offset " +
+                                     std::to_string(pos_) + ", have " +
+                                     std::to_string(data_.size() - pos_));
+    }
+    return Status::OK();
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+[[nodiscard]] Status ReadStatusCode(ByteReader& reader, StatusCode* out) {
+  uint8_t raw = 0;
+  NM_RETURN_NOT_OK(reader.ReadU8(&raw));
+  if (raw > static_cast<uint8_t>(StatusCode::kUnknown)) {
+    return Status::InvalidArgument("unknown status code on wire: " +
+                                   std::to_string(raw));
+  }
+  *out = static_cast<StatusCode>(raw);
+  return Status::OK();
+}
+
+// Guards count-prefixed repetitions against a corrupt count provoking a
+// giant allocation: with `min_bytes_each` wire bytes per element, a count
+// that cannot possibly fit the remaining payload is malformed.
+[[nodiscard]] Status CheckCount(uint32_t count, size_t min_bytes_each,
+                                const ByteReader& reader) {
+  if (static_cast<uint64_t>(count) * min_bytes_each > reader.remaining()) {
+    return Status::InvalidArgument(
+        "element count " + std::to_string(count) +
+        " exceeds remaining payload (" + std::to_string(reader.remaining()) +
+        " bytes)");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Body encoders. The shared header (magic, version, type) is written by
+// EncodePayload below.
+// ---------------------------------------------------------------------------
+
+struct RequestBodyEncoder {
+  std::vector<uint8_t>& out;
+
+  void operator()(const AppendRequest& r) const {
+    PutString(out, r.vehicle_id);
+    PutDate(out, r.day);
+    PutF64(out, r.seconds);
+  }
+  void operator()(const LoadHistoryRequest& r) const {
+    PutString(out, r.vehicle_id);
+    PutDate(out, r.start_day);
+    PutU32(out, static_cast<uint32_t>(r.values.size()));
+    for (double v : r.values) PutF64(out, v);
+  }
+  void operator()(const RefreshRequest&) const {}
+  void operator()(const GetForecastRequest& r) const {
+    PutU32(out, static_cast<uint32_t>(r.vehicle_ids.size()));
+    for (const std::string& id : r.vehicle_ids) PutString(out, id);
+  }
+  void operator()(const StatsRequest&) const {}
+  void operator()(const ShutdownRequest&) const {}
+};
+
+struct ResponseBodyEncoder {
+  std::vector<uint8_t>& out;
+
+  void operator()(const AckResponse&) const {}
+  void operator()(const ErrorResponse& r) const {
+    PutU8(out, static_cast<uint8_t>(r.code));
+    PutString(out, r.message);
+  }
+  void operator()(const OverloadedResponse& r) const {
+    PutU32(out, r.shard);
+    PutU32(out, r.queue_depth);
+    PutU32(out, r.max_queue);
+  }
+  void operator()(const RefreshDoneResponse& r) const {
+    PutU64(out, r.epoch);
+    PutU64(out, r.refreshed);
+    PutU64(out, r.reused);
+    PutU32(out, r.shards);
+  }
+  void operator()(const ForecastBatchResponse& r) const {
+    PutU32(out, static_cast<uint32_t>(r.entries.size()));
+    for (const ForecastEntry& e : r.entries) {
+      PutString(out, e.vehicle_id);
+      PutU8(out, static_cast<uint8_t>(e.status_code));
+      if (e.status_code == StatusCode::kOk) {
+        PutString(out, e.model_name);
+        PutF64(out, e.days_left);
+        PutDate(out, e.predicted_date);
+        PutF64(out, e.usage_seconds_left);
+        PutU64(out, e.epoch);
+      } else {
+        PutString(out, e.status_message);
+      }
+    }
+  }
+  void operator()(const StatsResponse& r) const {
+    PutU64(out, r.frames);
+    PutU64(out, r.decode_errors);
+    PutU64(out, r.appends);
+    PutU64(out, r.load_history);
+    PutU64(out, r.reads);
+    PutU64(out, r.overloaded);
+    PutU32(out, static_cast<uint32_t>(r.shards.size()));
+    for (const ShardStats& s : r.shards) {
+      PutU32(out, s.shard);
+      PutU64(out, s.vehicles);
+      PutU64(out, s.epoch);
+      PutU32(out, s.queue_depth);
+      PutU64(out, s.dirty);
+      PutU64(out, s.appends);
+      PutU64(out, s.overloaded);
+    }
+  }
+};
+
+template <typename Message, typename BodyEncoder>
+std::vector<uint8_t> EncodeFrame(const Message& message, MessageType type) {
+  std::vector<uint8_t> payload;
+  PutU8(payload, kMagic0);
+  PutU8(payload, kMagic1);
+  PutU8(payload, kProtocolVersion);
+  PutU8(payload, static_cast<uint8_t>(type));
+  std::visit(BodyEncoder{payload}, message);
+  NM_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
+               "encoded payload exceeds kMaxPayloadBytes");
+  std::vector<uint8_t> frame;
+  frame.reserve(kLengthPrefixBytes + payload.size());
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Body decoders.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] Status DecodeAppend(ByteReader& reader, AppendRequest* out) {
+  NM_RETURN_NOT_OK(reader.ReadString(&out->vehicle_id, kMaxVehicleIdBytes));
+  NM_RETURN_NOT_OK(reader.ReadDate(&out->day));
+  return reader.ReadF64(&out->seconds);
+}
+
+[[nodiscard]] Status DecodeLoadHistory(ByteReader& reader,
+                                       LoadHistoryRequest* out) {
+  NM_RETURN_NOT_OK(reader.ReadString(&out->vehicle_id, kMaxVehicleIdBytes));
+  NM_RETURN_NOT_OK(reader.ReadDate(&out->start_day));
+  uint32_t count = 0;
+  NM_RETURN_NOT_OK(reader.ReadU32(&count));
+  NM_RETURN_NOT_OK(CheckCount(count, sizeof(double), reader));
+  out->values.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    NM_RETURN_NOT_OK(reader.ReadF64(&out->values[i]));
+  }
+  return Status::OK();
+}
+
+[[nodiscard]] Status DecodeGetForecast(ByteReader& reader,
+                                       GetForecastRequest* out) {
+  uint32_t count = 0;
+  NM_RETURN_NOT_OK(reader.ReadU32(&count));
+  NM_RETURN_NOT_OK(CheckCount(count, /*min_bytes_each=*/2, reader));
+  out->vehicle_ids.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    NM_RETURN_NOT_OK(
+        reader.ReadString(&out->vehicle_ids[i], kMaxVehicleIdBytes));
+  }
+  return Status::OK();
+}
+
+[[nodiscard]] Status DecodeError(ByteReader& reader, ErrorResponse* out) {
+  NM_RETURN_NOT_OK(ReadStatusCode(reader, &out->code));
+  if (out->code == StatusCode::kOk) {
+    return Status::InvalidArgument("error response carrying an OK code");
+  }
+  return reader.ReadString(&out->message,
+                           std::numeric_limits<uint16_t>::max());
+}
+
+[[nodiscard]] Status DecodeOverloaded(ByteReader& reader,
+                                      OverloadedResponse* out) {
+  NM_RETURN_NOT_OK(reader.ReadU32(&out->shard));
+  NM_RETURN_NOT_OK(reader.ReadU32(&out->queue_depth));
+  return reader.ReadU32(&out->max_queue);
+}
+
+[[nodiscard]] Status DecodeRefreshDone(ByteReader& reader,
+                                       RefreshDoneResponse* out) {
+  NM_RETURN_NOT_OK(reader.ReadU64(&out->epoch));
+  NM_RETURN_NOT_OK(reader.ReadU64(&out->refreshed));
+  NM_RETURN_NOT_OK(reader.ReadU64(&out->reused));
+  return reader.ReadU32(&out->shards);
+}
+
+[[nodiscard]] Status DecodeForecastBatch(ByteReader& reader,
+                                         ForecastBatchResponse* out) {
+  uint32_t count = 0;
+  NM_RETURN_NOT_OK(reader.ReadU32(&count));
+  // Min entry: id length (2) + status code (1) + message length (2).
+  NM_RETURN_NOT_OK(CheckCount(count, /*min_bytes_each=*/5, reader));
+  out->entries.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ForecastEntry& e = out->entries[i];
+    NM_RETURN_NOT_OK(reader.ReadString(&e.vehicle_id, kMaxVehicleIdBytes));
+    NM_RETURN_NOT_OK(ReadStatusCode(reader, &e.status_code));
+    if (e.status_code == StatusCode::kOk) {
+      NM_RETURN_NOT_OK(
+          reader.ReadString(&e.model_name, std::numeric_limits<uint16_t>::max()));
+      NM_RETURN_NOT_OK(reader.ReadF64(&e.days_left));
+      NM_RETURN_NOT_OK(reader.ReadDate(&e.predicted_date));
+      NM_RETURN_NOT_OK(reader.ReadF64(&e.usage_seconds_left));
+      NM_RETURN_NOT_OK(reader.ReadU64(&e.epoch));
+    } else {
+      NM_RETURN_NOT_OK(reader.ReadString(&e.status_message,
+                                         std::numeric_limits<uint16_t>::max()));
+    }
+  }
+  return Status::OK();
+}
+
+[[nodiscard]] Status DecodeStats(ByteReader& reader, StatsResponse* out) {
+  NM_RETURN_NOT_OK(reader.ReadU64(&out->frames));
+  NM_RETURN_NOT_OK(reader.ReadU64(&out->decode_errors));
+  NM_RETURN_NOT_OK(reader.ReadU64(&out->appends));
+  NM_RETURN_NOT_OK(reader.ReadU64(&out->load_history));
+  NM_RETURN_NOT_OK(reader.ReadU64(&out->reads));
+  NM_RETURN_NOT_OK(reader.ReadU64(&out->overloaded));
+  uint32_t count = 0;
+  NM_RETURN_NOT_OK(reader.ReadU32(&count));
+  // Per-shard record: 2×u32 + 5×u64 = 48 bytes.
+  NM_RETURN_NOT_OK(CheckCount(count, /*min_bytes_each=*/48, reader));
+  out->shards.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ShardStats& s = out->shards[i];
+    NM_RETURN_NOT_OK(reader.ReadU32(&s.shard));
+    NM_RETURN_NOT_OK(reader.ReadU64(&s.vehicles));
+    NM_RETURN_NOT_OK(reader.ReadU64(&s.epoch));
+    NM_RETURN_NOT_OK(reader.ReadU32(&s.queue_depth));
+    NM_RETURN_NOT_OK(reader.ReadU64(&s.dirty));
+    NM_RETURN_NOT_OK(reader.ReadU64(&s.appends));
+    NM_RETURN_NOT_OK(reader.ReadU64(&s.overloaded));
+  }
+  return Status::OK();
+}
+
+/// Validates the shared payload header and returns the message type.
+[[nodiscard]] Status DecodeHeader(ByteReader& reader, uint8_t* type) {
+  uint8_t m0 = 0;
+  uint8_t m1 = 0;
+  uint8_t version = 0;
+  NM_RETURN_NOT_OK(reader.ReadU8(&m0));
+  NM_RETURN_NOT_OK(reader.ReadU8(&m1));
+  if (m0 != kMagic0 || m1 != kMagic1) {
+    return Status::InvalidArgument("bad protocol magic bytes");
+  }
+  NM_RETURN_NOT_OK(reader.ReadU8(&version));
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "unsupported protocol version " + std::to_string(version) +
+        " (this build speaks version " + std::to_string(kProtocolVersion) +
+        ")");
+  }
+  return reader.ReadU8(type);
+}
+
+[[nodiscard]] Status CheckFullyConsumed(const ByteReader& reader) {
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after message body (" +
+                                   std::to_string(reader.remaining()) +
+                                   " unconsumed)");
+  }
+  return Status::OK();
+}
+
+[[nodiscard]] Result<Request> DecodeRequestImpl(
+    std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  uint8_t type = 0;
+  NM_RETURN_NOT_OK(DecodeHeader(reader, &type));
+  Request request;
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kAppend: {
+      AppendRequest r;
+      NM_RETURN_NOT_OK(DecodeAppend(reader, &r));
+      request = std::move(r);
+      break;
+    }
+    case MessageType::kLoadHistory: {
+      LoadHistoryRequest r;
+      NM_RETURN_NOT_OK(DecodeLoadHistory(reader, &r));
+      request = std::move(r);
+      break;
+    }
+    case MessageType::kRefresh:
+      request = RefreshRequest{};
+      break;
+    case MessageType::kGetForecast: {
+      GetForecastRequest r;
+      NM_RETURN_NOT_OK(DecodeGetForecast(reader, &r));
+      request = std::move(r);
+      break;
+    }
+    case MessageType::kStats:
+      request = StatsRequest{};
+      break;
+    case MessageType::kShutdown:
+      request = ShutdownRequest{};
+      break;
+    default:
+      return Status::InvalidArgument("unknown request message type " +
+                                     std::to_string(type));
+  }
+  NM_RETURN_NOT_OK(CheckFullyConsumed(reader));
+  return request;
+}
+
+[[nodiscard]] Result<Response> DecodeResponseImpl(
+    std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  uint8_t type = 0;
+  NM_RETURN_NOT_OK(DecodeHeader(reader, &type));
+  Response response;
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kAck:
+      response = AckResponse{};
+      break;
+    case MessageType::kError: {
+      ErrorResponse r;
+      NM_RETURN_NOT_OK(DecodeError(reader, &r));
+      response = std::move(r);
+      break;
+    }
+    case MessageType::kOverloaded: {
+      OverloadedResponse r;
+      NM_RETURN_NOT_OK(DecodeOverloaded(reader, &r));
+      response = r;
+      break;
+    }
+    case MessageType::kRefreshDone: {
+      RefreshDoneResponse r;
+      NM_RETURN_NOT_OK(DecodeRefreshDone(reader, &r));
+      response = r;
+      break;
+    }
+    case MessageType::kForecastBatch: {
+      ForecastBatchResponse r;
+      NM_RETURN_NOT_OK(DecodeForecastBatch(reader, &r));
+      response = std::move(r);
+      break;
+    }
+    case MessageType::kStatsReport: {
+      StatsResponse r;
+      NM_RETURN_NOT_OK(DecodeStats(reader, &r));
+      response = std::move(r);
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown response message type " +
+                                     std::to_string(type));
+  }
+  NM_RETURN_NOT_OK(CheckFullyConsumed(reader));
+  return response;
+}
+
+}  // namespace
+
+Status ErrorResponse::ToStatus() const {
+  NM_CHECK_MSG(code != StatusCode::kOk, "ErrorResponse with OK code");
+  return Status(code, message);
+}
+
+ErrorResponse ErrorResponse::FromStatus(const Status& status) {
+  NM_CHECK_MSG(!status.ok(), "cannot build an ErrorResponse from OK");
+  return ErrorResponse{status.code(), status.message()};
+}
+
+MessageType TypeOf(const Request& request) {
+  struct Visitor {
+    MessageType operator()(const AppendRequest&) const {
+      return MessageType::kAppend;
+    }
+    MessageType operator()(const LoadHistoryRequest&) const {
+      return MessageType::kLoadHistory;
+    }
+    MessageType operator()(const RefreshRequest&) const {
+      return MessageType::kRefresh;
+    }
+    MessageType operator()(const GetForecastRequest&) const {
+      return MessageType::kGetForecast;
+    }
+    MessageType operator()(const StatsRequest&) const {
+      return MessageType::kStats;
+    }
+    MessageType operator()(const ShutdownRequest&) const {
+      return MessageType::kShutdown;
+    }
+  };
+  return std::visit(Visitor{}, request);
+}
+
+MessageType TypeOf(const Response& response) {
+  struct Visitor {
+    MessageType operator()(const AckResponse&) const {
+      return MessageType::kAck;
+    }
+    MessageType operator()(const ErrorResponse&) const {
+      return MessageType::kError;
+    }
+    MessageType operator()(const OverloadedResponse&) const {
+      return MessageType::kOverloaded;
+    }
+    MessageType operator()(const RefreshDoneResponse&) const {
+      return MessageType::kRefreshDone;
+    }
+    MessageType operator()(const ForecastBatchResponse&) const {
+      return MessageType::kForecastBatch;
+    }
+    MessageType operator()(const StatsResponse&) const {
+      return MessageType::kStatsReport;
+    }
+  };
+  return std::visit(Visitor{}, response);
+}
+
+std::vector<uint8_t> EncodeRequest(const Request& request) {
+  return EncodeFrame<Request, RequestBodyEncoder>(request, TypeOf(request));
+}
+
+std::vector<uint8_t> EncodeResponse(const Response& response) {
+  return EncodeFrame<Response, ResponseBodyEncoder>(response,
+                                                    TypeOf(response));
+}
+
+Result<Request> DecodeRequest(std::span<const uint8_t> payload) {
+  return DecodeRequestImpl(payload);
+}
+
+Result<Response> DecodeResponse(std::span<const uint8_t> payload) {
+  return DecodeResponseImpl(payload);
+}
+
+void FrameAssembler::Feed(std::span<const uint8_t> bytes) {
+  if (poisoned_) return;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+Result<std::optional<std::vector<uint8_t>>> FrameAssembler::Next() {
+  if (poisoned_) {
+    return Status::InvalidArgument(
+        "frame stream poisoned by a malformed length prefix");
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kLengthPrefixBytes) {
+    return std::optional<std::vector<uint8_t>>{};
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(buffer_[consumed_ + i]) << (8 * i);
+  }
+  // The smallest valid payload is the 4-byte header (magic, version, type).
+  if (length < 4 || length > kMaxPayloadBytes) {
+    poisoned_ = true;
+    return Status::InvalidArgument(
+        "malformed frame length " + std::to_string(length) +
+        " (valid range [4, " + std::to_string(kMaxPayloadBytes) + "])");
+  }
+  if (available < kLengthPrefixBytes + length) {
+    return std::optional<std::vector<uint8_t>>{};
+  }
+  const size_t start = consumed_ + kLengthPrefixBytes;
+  std::vector<uint8_t> payload(buffer_.begin() + static_cast<ptrdiff_t>(start),
+                               buffer_.begin() +
+                                   static_cast<ptrdiff_t>(start + length));
+  consumed_ = start + length;
+  // Reclaim consumed prefix once it dominates the buffer.
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (64u << 10)) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return std::optional<std::vector<uint8_t>>{std::move(payload)};
+}
+
+uint64_t StableVehicleHash(std::string_view id) {
+  // FNV-1a, 64-bit. Stable across platforms and releases by fiat: shard
+  // placement is part of the protocol contract.
+  uint64_t hash = 14695981039346656037ULL;
+  for (char c : id) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace protocol
+}  // namespace serve
+}  // namespace nextmaint

@@ -20,7 +20,15 @@ ServingEngine::ServingEngine(core::SchedulerOptions options)
 Status ServingEngine::Register(const std::string& id, Date first_day) {
   NM_RETURN_NOT_OK(scheduler_.RegisterVehicle(id, first_day));
   entries_.emplace(id, CacheEntry{});
+  ++dirty_count_;  // new entries start dirty
   return Status::OK();
+}
+
+void ServingEngine::MarkDirty(CacheEntry& entry) {
+  if (!entry.dirty) {
+    entry.dirty = true;
+    ++dirty_count_;
+  }
 }
 
 void ServingEngine::AdvanceCachedState(CacheEntry& entry, double seconds,
@@ -64,7 +72,7 @@ Status ServingEngine::Append(const std::string& id, Date day,
   // both sides untouched and the vehicle's dirtiness unchanged.
   NM_RETURN_NOT_OK(scheduler_.IngestUsage(id, day, seconds));
   AdvanceCachedState(it->second, seconds, options_.maintenance_interval_s);
-  it->second.dirty = true;
+  MarkDirty(it->second);
   telemetry::Count("serve.append.days");
   return Status::OK();
 }
@@ -78,7 +86,7 @@ Status ServingEngine::LoadHistory(const std::string& id,
   }
   NM_RETURN_NOT_OK(scheduler_.IngestSeries(id, series));
   RecomputeCachedState(it->second, series, options_.maintenance_interval_s);
-  it->second.dirty = true;
+  MarkDirty(it->second);
   // The cached corpus contribution may describe the replaced history; the
   // next refresh must re-extract and treat it as changed.
   it->second.contribution_stale = true;
@@ -152,7 +160,7 @@ Result<RefreshStats> ServingEngine::RefreshForecasts() {
     cold_start_inputs_.unified =
         scheduler_.TrainUnifiedFromCorpus(cold_start_inputs_.corpus);
     for (auto& [id, entry] : entries_) {
-      if (entry.category != core::VehicleCategory::kOld) entry.dirty = true;
+      if (entry.category != core::VehicleCategory::kOld) MarkDirty(entry);
     }
   }
 
@@ -233,6 +241,8 @@ Result<RefreshStats> ServingEngine::RefreshForecasts() {
     entry.dirty = false;
     entry.last_refresh_epoch = epoch_;
   }
+  // dirty_ids held every dirty entry, and each just went clean.
+  dirty_count_ -= dirty_ids.size();
   stats.refreshed = dirty_ids.size();
   stats.reused = entries_.size() - dirty_ids.size();
   stats.epoch = epoch_;
@@ -251,6 +261,12 @@ void ServingEngine::PublishSnapshot() {
   auto snapshot = std::make_shared<FleetSnapshot>();
   snapshot->epoch = epoch_;
   snapshot->vehicles = entries_.size();
+  // entries_ is an ordered map, so this comes out sorted for the
+  // binary-search in FleetSnapshot::IsRegistered.
+  snapshot->vehicle_ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    snapshot->vehicle_ids.push_back(id);
+  }
   // Forecasts assemble in vehicle-id order and sort with FleetForecast's
   // comparator, so the published order is exactly the batch order.
   for (const auto& [id, entry] : entries_) {
@@ -263,6 +279,9 @@ void ServingEngine::PublishSnapshot() {
                const core::MaintenanceForecast& b) {
               return a.predicted_date < b.predicted_date;
             });
+  for (size_t i = 0; i < snapshot->forecasts.size(); ++i) {
+    snapshot->forecast_index.emplace(snapshot->forecasts[i].vehicle_id, i);
+  }
   for (const auto& [id, entry] : entries_) {
     if (entry.train_degradation.has_value()) {
       snapshot->degradations.vehicles.push_back(*entry.train_degradation);
@@ -277,10 +296,45 @@ void ServingEngine::PublishSnapshot() {
   snapshot_ = std::move(snapshot);
 }
 
+bool FleetSnapshot::IsRegistered(const std::string& id) const {
+  return std::binary_search(vehicle_ids.begin(), vehicle_ids.end(), id);
+}
+
+const core::MaintenanceForecast* FleetSnapshot::FindForecast(
+    const std::string& id) const {
+  auto it = forecast_index.find(id);
+  if (it == forecast_index.end()) return nullptr;
+  return &forecasts[it->second];
+}
+
 std::shared_ptr<const FleetSnapshot> ServingEngine::Snapshot() const {
   telemetry::Count("serve.snapshot.reads");
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
+}
+
+std::vector<Result<core::MaintenanceForecast>> ServingEngine::GetForecasts(
+    std::span<const std::string> ids) const {
+  // ONE snapshot acquisition: every result below reflects the same epoch
+  // no matter how many refreshes publish while we iterate.
+  std::shared_ptr<const FleetSnapshot> snapshot = Snapshot();
+  std::vector<Result<core::MaintenanceForecast>> results;
+  results.reserve(ids.size());
+  for (const std::string& id : ids) {
+    if (!snapshot->IsRegistered(id)) {
+      results.push_back(Status::NotFound(
+          "vehicle '" + id + "' is not in the published snapshot (epoch " +
+          std::to_string(snapshot->epoch) + ")"));
+    } else if (const core::MaintenanceForecast* forecast =
+                   snapshot->FindForecast(id)) {
+      results.push_back(*forecast);
+    } else {
+      results.push_back(Status::FailedPrecondition(
+          "vehicle '" + id + "' has no published forecast (epoch " +
+          std::to_string(snapshot->epoch) + ")"));
+    }
+  }
+  return results;
 }
 
 Result<VehicleServeState> ServingEngine::CachedState(
@@ -307,13 +361,7 @@ Result<VehicleServeState> ServingEngine::CachedState(
   return state;
 }
 
-size_t ServingEngine::DirtyCount() const {
-  size_t dirty = 0;
-  for (const auto& [id, entry] : entries_) {
-    if (entry.dirty) ++dirty;
-  }
-  return dirty;
-}
+size_t ServingEngine::DirtyCount() const { return dirty_count_; }
 
 }  // namespace serve
 }  // namespace nextmaint

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,10 +86,22 @@ struct FleetSnapshot {
   /// Forecasts sorted by predicted date (most urgent first) — the same
   /// content and order FleetForecast would return.
   std::vector<core::MaintenanceForecast> forecasts;
+  /// Ids registered when the snapshot was published, sorted. Vehicles
+  /// registered after this epoch are invisible until the next refresh.
+  std::vector<std::string> vehicle_ids;
+  /// Position in `forecasts` by vehicle id (subset of `vehicle_ids`:
+  /// degraded-forecast vehicles have no entry).
+  std::map<std::string, size_t> forecast_index;
   /// Vehicles currently served degraded (train entries in vehicle-id
   /// order, then forecast entries in vehicle-id order), reflecting the
   /// cached state of the whole fleet — not just the last refresh.
   core::DegradationReport degradations;
+
+  /// True when `id` was registered at publish time. O(log n).
+  bool IsRegistered(const std::string& id) const;
+  /// The published forecast for `id`, or nullptr when it has none
+  /// (unregistered, never refreshed, or served degraded). O(log n).
+  const core::MaintenanceForecast* FindForecast(const std::string& id) const;
 };
 
 /// Bookkeeping of one RefreshForecasts call.
@@ -141,11 +154,25 @@ class ServingEngine {
   /// forecasts before the first refresh. Thread-safe against the writer.
   std::shared_ptr<const FleetSnapshot> Snapshot() const;
 
+  /// Batch read: per-vehicle forecasts for `ids`, in request order.
+  ///
+  /// **Epoch-consistency guarantee:** all results come from ONE snapshot
+  /// acquisition — every returned forecast (and every error) reflects the
+  /// same epoch, even while a concurrent refresh publishes a newer one.
+  /// This is the daemon's read path: one call instead of N Snapshot()
+  /// lookups. Per-id errors: NotFound when the id was not registered at
+  /// publish time, FailedPrecondition when it was registered but has no
+  /// published forecast (pre-first-refresh or served degraded).
+  /// Thread-safe against the writer, like Snapshot().
+  [[nodiscard]] std::vector<Result<core::MaintenanceForecast>> GetForecasts(
+      std::span<const std::string> ids) const;
+
   /// Cached feature state of one vehicle (NotFound when unregistered).
   /// O(1) — no series walk.
   [[nodiscard]] Result<VehicleServeState> CachedState(const std::string& id) const;
 
-  /// Vehicles with changes not yet covered by a refresh.
+  /// Vehicles with changes not yet covered by a refresh. O(1): tracked
+  /// incrementally so the daemon can publish it per write.
   size_t DirtyCount() const;
 
   /// Stats of the most recent refresh (all zeros before the first).
@@ -202,6 +229,9 @@ class ServingEngine {
                                    const data::DailySeries& series,
                                    double maintenance_interval_s);
 
+  /// Flags one entry dirty, keeping the incremental dirty count exact.
+  void MarkDirty(CacheEntry& entry);
+
   /// Assembles and publishes the snapshot for the current cache contents.
   void PublishSnapshot();
 
@@ -211,6 +241,9 @@ class ServingEngine {
   /// Cached shared cold-start inputs (corpus in vehicle-id order +
   /// Model_Uni), rebuilt only when a contribution changes.
   core::ColdStartInputs cold_start_inputs_;
+  /// Count of entries with dirty == true (kept exact by MarkDirty /
+  /// RefreshForecasts so DirtyCount() is O(1) on the daemon's write path).
+  size_t dirty_count_ = 0;
   uint64_t epoch_ = 0;
   RefreshStats last_stats_;
   mutable std::mutex snapshot_mu_;

@@ -1,0 +1,235 @@
+#include "serve/socket_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+#include "serve/protocol.h"
+
+namespace nextmaint {
+namespace serve {
+
+namespace {
+
+/// Writes the whole buffer, looping over partial sends. False on error.
+bool SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(FleetDaemon* daemon, SocketServerOptions options)
+    : daemon_(daemon), options_(std::move(options)) {
+  NM_CHECK_MSG(daemon_ != nullptr, "SocketServer needs a daemon");
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+std::string SocketServer::endpoint() const {
+  if (!options_.unix_path.empty()) return "unix:" + options_.unix_path;
+  return "tcp:127.0.0.1:" + std::to_string(bound_port_);
+}
+
+Status SocketServer::Start() {
+  const bool use_unix = !options_.unix_path.empty();
+  const bool use_tcp = options_.tcp_port >= 0;
+  if (use_unix == use_tcp) {
+    return Status::InvalidArgument(
+        "exactly one of unix_path / tcp_port must be set");
+  }
+  if (use_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_path);
+    }
+    std::memcpy(addr.sun_path, options_.unix_path.c_str(),
+                options_.unix_path.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IOError("socket(AF_UNIX): " +
+                             std::string(std::strerror(errno)));
+    }
+    // A stale socket file from a previous run would make bind fail.
+    ::unlink(options_.unix_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const Status status = Status::IOError(
+          "bind(" + options_.unix_path + "): " + std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IOError("socket(AF_INET): " +
+                             std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const Status status =
+          Status::IOError("bind(127.0.0.1:" +
+                          std::to_string(options_.tcp_port) +
+                          "): " + std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status status =
+        Status::IOError("listen: " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  accept_thread_ = std::thread(&SocketServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void SocketServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Closed or shut down: stop accepting.
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    connections_.push_back(std::move(connection));
+    raw->thread = std::thread(&SocketServer::ServeConnection, this, raw);
+  }
+}
+
+void SocketServer::ServeConnection(Connection* connection) {
+  protocol::FrameAssembler assembler;
+  std::vector<uint8_t> read_buffer(64 << 10);
+  bool shutdown_seen = false;
+  for (;;) {
+    const ssize_t n =
+        ::recv(connection->fd, read_buffer.data(), read_buffer.size(), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    assembler.Feed(std::span<const uint8_t>(read_buffer.data(),
+                                            static_cast<size_t>(n)));
+    bool poisoned = false;
+    for (;;) {
+      Result<std::optional<std::vector<uint8_t>>> next = assembler.Next();
+      if (!next.ok()) {
+        // Byte alignment is lost; answer once and drop the connection.
+        const std::vector<uint8_t> error_frame = protocol::EncodeResponse(
+            protocol::ErrorResponse::FromStatus(next.status()));
+        SendAll(connection->fd, error_frame.data(), error_frame.size());
+        poisoned = true;
+        break;
+      }
+      std::optional<std::vector<uint8_t>> payload =
+          std::move(next).ValueOrDie();
+      if (!payload.has_value()) break;
+      const std::vector<uint8_t> response = daemon_->HandleFrame(*payload);
+      if (!SendAll(connection->fd, response.data(), response.size())) {
+        poisoned = true;
+        break;
+      }
+      if (daemon_->ShutdownRequested()) {
+        // The acknowledgement is on the wire; wind the server down.
+        shutdown_seen = true;
+        break;
+      }
+    }
+    if (poisoned || shutdown_seen) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    ::close(connection->fd);
+    connection->fd = -1;
+  }
+  if (shutdown_seen) Signal();
+}
+
+void SocketServer::Signal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  stopping_ = true;
+  // Unblock accept() and every in-flight recv() so their threads exit.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  for (const auto& connection : connections_) {
+    std::lock_guard<std::mutex> conn_lock(connection->mu);
+    if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  stopped_cv_.notify_all();
+}
+
+void SocketServer::Teardown() {
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (torn_down_) return;
+    torn_down_ = true;
+    connections.swap(connections_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (const auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+void SocketServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopped_cv_.wait(lock, [this] { return stopping_; });
+  }
+  Teardown();
+}
+
+void SocketServer::Stop() {
+  Signal();
+  Teardown();
+}
+
+}  // namespace serve
+}  // namespace nextmaint

@@ -1,0 +1,99 @@
+#ifndef NEXTMAINT_SERVE_SOCKET_SERVER_H_
+#define NEXTMAINT_SERVE_SOCKET_SERVER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/daemon.h"
+
+/// \file socket_server.h
+/// Socket transport for the fleet daemon: accepts connections on a
+/// unix-domain socket or loopback TCP port and pumps length-prefixed
+/// protocol frames (serve/protocol.h) through FleetDaemon::HandleFrame.
+///
+/// The transport is deliberately thin — one accept loop, one thread per
+/// connection, a FrameAssembler per peer — because all protocol decisions
+/// (decoding, admission control, error mapping) live in the daemon. A
+/// malformed frame gets an ErrorResponse back on the same connection; a
+/// poisoned byte stream (corrupt length prefix) closes only that
+/// connection. When the daemon acknowledges a Shutdown request the server
+/// wakes every Wait()er and stops accepting; Wait() performs the actual
+/// teardown (join threads, close sockets, unlink the unix path).
+
+namespace nextmaint {
+namespace serve {
+
+/// Where to listen. Exactly one of `unix_path` / `tcp_port` must be set.
+struct SocketServerOptions {
+  /// Unix-domain socket path; created on Start, unlinked on teardown.
+  std::string unix_path;
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  /// -1 = unset.
+  int tcp_port = -1;
+};
+
+/// Blocking socket front-end over a started FleetDaemon.
+class SocketServer {
+ public:
+  /// `daemon` must outlive the server and already be Start()ed.
+  SocketServer(FleetDaemon* daemon, SocketServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop. Returns with the endpoint
+  /// ready to accept connections. InvalidArgument on bad options, IOError
+  /// on socket failures.
+  [[nodiscard]] Status Start();
+
+  /// Blocks until the daemon acknowledges a Shutdown frame (or Stop() is
+  /// called), then tears the transport down. The natural main-thread call
+  /// after Start().
+  void Wait();
+
+  /// Asynchronously requests shutdown and tears down (idempotent).
+  void Stop();
+
+  /// The bound TCP port after Start() (useful with tcp_port = 0);
+  /// -1 for unix-domain servers.
+  int port() const { return bound_port_; }
+
+  /// Human-readable endpoint ("unix:<path>" or "tcp:127.0.0.1:<port>").
+  std::string endpoint() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::mutex mu;  // guards fd against concurrent shutdown/close
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  /// Flags the server as stopping and unblocks accept/read calls.
+  void Signal();
+  /// Joins threads and closes sockets; safe to call more than once.
+  void Teardown();
+
+  FleetDaemon* daemon_;
+  SocketServerOptions options_;
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+  std::thread accept_thread_;
+  mutable std::mutex mu_;
+  std::condition_variable stopped_cv_;
+  bool stopping_ = false;
+  bool torn_down_ = false;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace serve
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_SERVE_SOCKET_SERVER_H_

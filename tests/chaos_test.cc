@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <span>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "cli/cli.h"
+#include "common/date.h"
 #include "common/failpoints.h"
+#include "common/strings.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
 
 /// Chaos sweep: arm every catalogued failpoint in turn against a small
 /// simulated fleet and drive the full CLI pipeline. The contract
@@ -19,6 +24,42 @@ namespace nextmaint {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Renders a daemon protocol response with only deterministic fields, so
+/// two runs at different thread counts can be compared byte for byte.
+void RenderResponse(const serve::protocol::Response& response,
+                    std::ostream& out) {
+  using namespace serve::protocol;  // NOLINT
+  if (std::get_if<AckResponse>(&response) != nullptr) {
+    out << "ack\n";
+  } else if (const auto* error = std::get_if<ErrorResponse>(&response)) {
+    out << "error " << static_cast<int>(error->code) << ": "
+        << error->message << "\n";
+  } else if (const auto* busy = std::get_if<OverloadedResponse>(&response)) {
+    out << "overloaded shard=" << busy->shard << "\n";
+  } else if (const auto* done =
+                 std::get_if<RefreshDoneResponse>(&response)) {
+    out << "refresh epoch=" << done->epoch << " refreshed=" << done->refreshed
+        << " reused=" << done->reused << " shards=" << done->shards << "\n";
+  } else if (const auto* batch =
+                 std::get_if<ForecastBatchResponse>(&response)) {
+    for (const ForecastEntry& entry : batch->entries) {
+      if (entry.status_code != StatusCode::kOk) {
+        out << "forecast " << entry.vehicle_id << " error "
+            << static_cast<int>(entry.status_code) << ": "
+            << entry.status_message << "\n";
+        continue;
+      }
+      out << "forecast " << entry.vehicle_id << " model="
+          << entry.model_name
+          << StrFormat(" days_left=%.3f", entry.days_left) << " due="
+          << entry.predicted_date.ToString() << " epoch=" << entry.epoch
+          << "\n";
+    }
+  } else {
+    out << "stats\n";
+  }
+}
 
 class ChaosSweepTest : public testing::Test {
  protected:
@@ -72,6 +113,61 @@ class ChaosSweepTest : public testing::Test {
         *out);
   }
 
+  /// One scripted daemon run driven through HandleFrame (no sockets), for
+  /// the serve.daemon.* sites: sharded warm-load and appends, a refresh
+  /// barrier across two shards, then a batch read. Transport-level faults
+  /// surface as rendered error responses, never as a failed harness run.
+  Status RunDaemonPipeline(int threads, std::ostringstream* out) const {
+    using namespace serve::protocol;  // NOLINT
+    serve::DaemonOptions options;
+    options.scheduler.maintenance_interval_s = 500000;
+    options.scheduler.window = 3;
+    options.scheduler.num_threads = threads;
+    options.shards = 2;
+    serve::FleetDaemon daemon(options);
+    const Status started = daemon.Start();
+    if (!started.ok()) return started;
+
+    const auto run = [&](const Request& request) {
+      const std::vector<uint8_t> frame = EncodeRequest(request);
+      const std::vector<uint8_t> reply = daemon.HandleFrame(
+          std::span<const uint8_t>(frame).subspan(kLengthPrefixBytes));
+      const Result<Response> decoded = DecodeResponse(
+          std::span<const uint8_t>(reply).subspan(kLengthPrefixBytes));
+      if (!decoded.ok()) {
+        *out << "undecodable reply: " << decoded.status().ToString() << "\n";
+        return;
+      }
+      RenderResponse(decoded.ValueOrDie(), *out);
+    };
+
+    const Date start = Date::FromYmd(2015, 1, 1).ValueOrDie();
+    for (int v = 1; v <= 3; ++v) {
+      LoadHistoryRequest load;
+      load.vehicle_id = "v" + std::to_string(v);
+      load.start_day = start;
+      for (int i = 0; i < 120; ++i) {
+        load.values.push_back(3000.0 + 500.0 * ((i * 7 + v * 13) % 11));
+      }
+      run(load);
+    }
+    for (int day = 0; day < 3; ++day) {
+      for (int v = 1; v <= 3; ++v) {
+        AppendRequest append;
+        append.vehicle_id = "v" + std::to_string(v);
+        append.day = start.AddDays(120 + day);
+        append.seconds = 4000.0 + 250.0 * ((day * 5 + v) % 7);
+        run(append);
+      }
+    }
+    run(RefreshRequest{});
+    GetForecastRequest read;
+    read.vehicle_ids = {"v1", "v2", "v3", "ghost"};
+    run(read);
+    daemon.Stop();
+    return Status::OK();
+  }
+
   fs::path dir_;
   std::string models_path_;
 };
@@ -89,7 +185,9 @@ TEST_F(ChaosSweepTest, EverySiteDegradesCleanlyAndDeterministically) {
     // graceful-degradation case).
     for (const std::string& spec : {site, site + ":1"}) {
       SCOPED_TRACE(spec);
-      const bool serve_site = site.rfind("serve.", 0) == 0;
+      const bool daemon_site = site.rfind("serve.daemon.", 0) == 0;
+      const bool serve_site =
+          !daemon_site && site.rfind("serve.", 0) == 0;
       std::vector<std::string> extra;
       if (site == "scheduler.load_models") {
         extra = {"--load-models", models_path_};
@@ -106,8 +204,10 @@ TEST_F(ChaosSweepTest, EverySiteDegradesCleanlyAndDeterministically) {
         ASSERT_TRUE(failpoints::Arm(spec).ok());
         std::ostringstream out;
         ChaosOutcome outcome;
-        outcome.status = serve_site ? RunServePipeline(threads, &out)
-                                    : RunPipeline(threads, extra, &out);
+        outcome.status = daemon_site ? RunDaemonPipeline(threads, &out)
+                         : serve_site
+                             ? RunServePipeline(threads, &out)
+                             : RunPipeline(threads, extra, &out);
         outcome.output = out.str();
         hits += failpoints::HitCount(site);
         failpoints::DisarmAll();

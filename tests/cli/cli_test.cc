@@ -2,13 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoints.h"
+#include "serve/client.h"
 
 namespace nextmaint {
 namespace cli {
@@ -401,6 +406,148 @@ TEST_F(CliPipelineTest, ServeValidatesFlags) {
                        serve_out)
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(ParseCommonOptionsTest, DaemonFlagsHappyPath) {
+  const CommonOptions defaults =
+      ParseCommonOptions(ParseArgs({"serve"})).ValueOrDie();
+  EXPECT_FALSE(defaults.daemon);
+  EXPECT_EQ(defaults.shards, 1);
+  EXPECT_EQ(defaults.port, -1);
+  EXPECT_TRUE(defaults.socket_path.empty());
+  EXPECT_EQ(defaults.max_queue, 1024);
+  EXPECT_EQ(defaults.batch_window, 0);
+
+  const CommonOptions tcp =
+      ParseCommonOptions(ParseArgs({"serve", "--daemon", "--shards", "4",
+                                    "--port", "9090", "--max-queue", "64",
+                                    "--batch-window", "10"}))
+          .ValueOrDie();
+  EXPECT_TRUE(tcp.daemon);
+  EXPECT_EQ(tcp.shards, 4);
+  EXPECT_EQ(tcp.port, 9090);
+  EXPECT_EQ(tcp.max_queue, 64);
+  EXPECT_EQ(tcp.batch_window, 10);
+
+  const CommonOptions unix_socket =
+      ParseCommonOptions(
+          ParseArgs({"serve", "--daemon", "--socket", "/tmp/d.sock"}))
+          .ValueOrDie();
+  EXPECT_EQ(unix_socket.socket_path, "/tmp/d.sock");
+  EXPECT_EQ(unix_socket.port, -1);
+}
+
+TEST(ParseCommonOptionsTest, DaemonFlagErrorCodesPinned) {
+  // The daemon flags ride the same single validation path as every other
+  // shared flag: InvalidArgument with the usage text, for each of them.
+  for (const auto& bad : std::vector<std::vector<std::string>>{
+           {"--shards", "0"},
+           {"--shards", "-2"},
+           {"--shards", "abc"},
+           {"--max-queue", "0"},
+           {"--max-queue", "x"},
+           {"--batch-window", "-1"},
+           {"--port", "0"},
+           {"--port", "70000"},
+           {"--port", "nope"},
+           {"--socket"},
+           {"--socket", "/tmp/d.sock", "--port", "9090"}}) {
+    const auto result = ParseCommonOptions(ParseArgs(bad));
+    ASSERT_FALSE(result.ok()) << bad.front();
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << bad.front();
+    EXPECT_NE(result.status().message().find("usage"), std::string::npos)
+        << bad.front();
+  }
+}
+
+TEST_F(CliPipelineTest, ServeDaemonRequiresAnEndpoint) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "1",
+                          "--days", "100", "--tv", "500000"},
+                         out)
+                  .ok());
+  std::ostringstream serve_out;
+  const Status status =
+      RunCommand({"serve", "--daemon", "--data", Dir()}, serve_out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--socket"), std::string::npos);
+
+  // And conversely: the endpoint flags are daemon-only.
+  std::ostringstream replay_out;
+  EXPECT_EQ(RunCommand({"serve", "--data", Dir(), "--port", "9090"},
+                       replay_out)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliPipelineTest, ServeDaemonEndToEndOverUnixSocket) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "3",
+                          "--days", "300", "--tv", "500000"},
+                         out)
+                  .ok());
+  // A short socket path: sockaddr_un caps at ~108 bytes and TempDir-based
+  // test names can get long.
+  const std::string socket_path =
+      "/tmp/nextmaint_cli_e2e_" + std::to_string(::getpid()) + ".sock";
+
+  std::ostringstream daemon_out;
+  Status daemon_status;
+  std::thread daemon_thread([&]() {
+    daemon_status = RunCommand(
+        {"serve", "--daemon", "--data", Dir(), "--tv", "500000", "--window",
+         "3", "--socket", socket_path, "--shards", "2"},
+        daemon_out);
+  });
+
+  // The daemon trains the warm-start fleet before binding; poll until the
+  // socket accepts.
+  serve::DaemonClient client;
+  Status connected;
+  for (int attempt = 0; attempt < 600; ++attempt) {
+    connected = client.ConnectUnix(socket_path);
+    if (connected.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(connected.ok()) << connected;
+
+  // The warm-started fleet is already readable.
+  const auto warm = client.GetForecasts({"v1", "v2", "v3"});
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  ASSERT_EQ(warm.ValueOrDie().entries.size(), 3u);
+  for (const auto& entry : warm.ValueOrDie().entries) {
+    EXPECT_EQ(entry.status_code, StatusCode::kOk) << entry.vehicle_id;
+  }
+
+  // Live traffic: a new vehicle appears, gets data, and is served after
+  // the next refresh barrier.
+  const Date day0 = Date::FromYmd(2016, 1, 1).ValueOrDie();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(client.Append("live", day0.AddDays(i), 15'000.0).ok());
+  }
+  const auto refreshed = client.Refresh();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status();
+  EXPECT_EQ(refreshed.ValueOrDie().shards, 2u);
+  const auto live = client.GetForecasts({"live"});
+  ASSERT_TRUE(live.ok()) << live.status();
+  ASSERT_EQ(live.ValueOrDie().entries.size(), 1u);
+  EXPECT_EQ(live.ValueOrDie().entries[0].status_code, StatusCode::kOk);
+
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats.ValueOrDie().appends, 40u);
+  EXPECT_EQ(stats.ValueOrDie().shards.size(), 2u);
+
+  ASSERT_TRUE(client.RequestShutdown().ok());
+  daemon_thread.join();
+  client.Close();
+  EXPECT_TRUE(daemon_status.ok()) << daemon_status;
+  const std::string text = daemon_out.str();
+  EXPECT_NE(text.find("daemon serving 3 vehicle(s)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("daemon stopped:"), std::string::npos) << text;
+  EXPECT_FALSE(fs::exists(socket_path));
 }
 
 }  // namespace

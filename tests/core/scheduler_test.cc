@@ -270,42 +270,6 @@ TEST(FleetSchedulerTest, LoadCheckpointRejectsTruncatedFile) {
   std::remove(path.c_str());
 }
 
-TEST(FleetSchedulerTest, DeprecatedModelShimsStillWork) {
-  // SaveModels/LoadModels are thin shims over the checkpoint API, kept for
-  // one release; the stream overloads remain the only stream entry point.
-  FleetScheduler scheduler(FastOptions());
-  ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());
-  ASSERT_TRUE(scheduler.IngestSeries("v1", SimulatedVehicle(45, 600)).ok());
-  ASSERT_TRUE(scheduler.TrainAll().ok());
-  const MaintenanceForecast before = scheduler.Forecast("v1").ValueOrDie();
-
-  std::stringstream buffer;
-  ASSERT_TRUE(scheduler.SaveModels(buffer).ok());
-  const std::string path = ::testing::TempDir() + "/shim_models.txt";
-  ASSERT_TRUE(scheduler.SaveModels(path).ok());
-  // The path shim and the checkpoint API produce identical bytes.
-  EXPECT_EQ(ReadAll(path), buffer.str());
-
-  FleetScheduler restored(FastOptions());
-  ASSERT_TRUE(restored.RegisterVehicle("v1", Day(0)).ok());
-  ASSERT_TRUE(restored.IngestSeries("v1", SimulatedVehicle(45, 600)).ok());
-  ASSERT_TRUE(restored.LoadModels(buffer).ok());
-  const MaintenanceForecast via_stream = restored.Forecast("v1").ValueOrDie();
-  FleetScheduler restored2(FastOptions());
-  ASSERT_TRUE(restored2.RegisterVehicle("v1", Day(0)).ok());
-  ASSERT_TRUE(restored2.IngestSeries("v1", SimulatedVehicle(45, 600)).ok());
-  ASSERT_TRUE(restored2.LoadModels(path).ok());
-  const MaintenanceForecast via_path = restored2.Forecast("v1").ValueOrDie();
-  std::remove(path.c_str());
-
-  for (const MaintenanceForecast* after : {&via_stream, &via_path}) {
-    EXPECT_EQ(after->days_left, before.days_left);
-    EXPECT_EQ(after->model_name, before.model_name);
-    EXPECT_EQ(after->predicted_date, before.predicted_date);
-  }
-}
-
-
 TEST(FleetSchedulerTest, CheckDriftFlagsRegimeChange) {
   FleetScheduler scheduler(FastOptions());
   ASSERT_TRUE(scheduler.RegisterVehicle("v1", Day(0)).ok());

@@ -1,0 +1,399 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/date.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+/// Wire-protocol framing tests: every message type round-trips bit-exactly,
+/// and every malformed input — truncation at any byte, trailing garbage,
+/// bad magic/version/type, oversized declared lengths, fuzzed payloads —
+/// decodes to InvalidArgument without crashing (protocol.h error contract).
+
+namespace nextmaint {
+namespace serve {
+namespace protocol {
+namespace {
+
+Date Day(int64_t n) { return Date::FromYmd(2015, 1, 1).ValueOrDie().AddDays(n); }
+
+/// The payload of an encoded frame (everything after the length prefix).
+std::vector<uint8_t> PayloadOf(const std::vector<uint8_t>& frame) {
+  EXPECT_GE(frame.size(), kLengthPrefixBytes);
+  return std::vector<uint8_t>(frame.begin() + kLengthPrefixBytes,
+                              frame.end());
+}
+
+/// One representative of every request type, with every field exercised.
+std::vector<Request> SampleRequests() {
+  std::vector<Request> requests;
+  AppendRequest append;
+  append.vehicle_id = "v42";
+  append.day = Day(123);
+  append.seconds = 12345.625;
+  requests.emplace_back(append);
+
+  LoadHistoryRequest load;
+  load.vehicle_id = "fleet/7";
+  load.start_day = Day(0);
+  load.values = {0.0, 3600.5, -1.25, 86400.0};
+  requests.emplace_back(load);
+
+  requests.emplace_back(RefreshRequest{});
+
+  GetForecastRequest read;
+  read.vehicle_ids = {"a", "b", "", "vehicle-with-a-longer-id"};
+  requests.emplace_back(read);
+
+  requests.emplace_back(StatsRequest{});
+  requests.emplace_back(ShutdownRequest{});
+  return requests;
+}
+
+/// One representative of every response type.
+std::vector<Response> SampleResponses() {
+  std::vector<Response> responses;
+  responses.emplace_back(AckResponse{});
+
+  ErrorResponse error;
+  error.code = StatusCode::kNotFound;
+  error.message = "vehicle 'x' is not in the published snapshot";
+  responses.emplace_back(error);
+
+  OverloadedResponse busy;
+  busy.shard = 3;
+  busy.queue_depth = 1024;
+  busy.max_queue = 1024;
+  responses.emplace_back(busy);
+
+  RefreshDoneResponse done;
+  done.epoch = 17;
+  done.refreshed = 120;
+  done.reused = 7;
+  done.shards = 4;
+  responses.emplace_back(done);
+
+  ForecastBatchResponse batch;
+  ForecastEntry ok_entry;
+  ok_entry.vehicle_id = "v1";
+  ok_entry.status_code = StatusCode::kOk;
+  ok_entry.model_name = "RF_multi";
+  ok_entry.days_left = 12.75;
+  ok_entry.predicted_date = Day(900);
+  ok_entry.usage_seconds_left = 123456.5;
+  ok_entry.epoch = 9;
+  batch.entries.push_back(ok_entry);
+  ForecastEntry sad_entry;
+  sad_entry.vehicle_id = "v2";
+  sad_entry.status_code = StatusCode::kFailedPrecondition;
+  sad_entry.status_message = "no published forecast";
+  batch.entries.push_back(sad_entry);
+  responses.emplace_back(batch);
+
+  StatsResponse stats;
+  stats.frames = 1000;
+  stats.decode_errors = 3;
+  stats.appends = 500;
+  stats.load_history = 20;
+  stats.reads = 400;
+  stats.overloaded = 5;
+  ShardStats shard;
+  shard.shard = 1;
+  shard.vehicles = 250;
+  shard.epoch = 12;
+  shard.queue_depth = 17;
+  shard.dirty = 4;
+  shard.appends = 260;
+  shard.overloaded = 2;
+  stats.shards = {ShardStats{}, shard};
+  responses.emplace_back(stats);
+  return responses;
+}
+
+bool SameRequest(const Request& a, const Request& b) {
+  const std::vector<uint8_t> ea = EncodeRequest(a);
+  const std::vector<uint8_t> eb = EncodeRequest(b);
+  return ea == eb;
+}
+
+bool SameResponse(const Response& a, const Response& b) {
+  const std::vector<uint8_t> ea = EncodeResponse(a);
+  const std::vector<uint8_t> eb = EncodeResponse(b);
+  return ea == eb;
+}
+
+TEST(ProtocolRoundTripTest, EveryRequestTypeRoundTrips) {
+  for (const Request& request : SampleRequests()) {
+    SCOPED_TRACE(static_cast<int>(TypeOf(request)));
+    const std::vector<uint8_t> frame = EncodeRequest(request);
+    // Frame layout: length prefix, then magic/version/type header.
+    ASSERT_GE(frame.size(), kLengthPrefixBytes + 4);
+    EXPECT_EQ(frame[kLengthPrefixBytes], kMagic0);
+    EXPECT_EQ(frame[kLengthPrefixBytes + 1], kMagic1);
+    EXPECT_EQ(frame[kLengthPrefixBytes + 2], kProtocolVersion);
+    EXPECT_EQ(frame[kLengthPrefixBytes + 3],
+              static_cast<uint8_t>(TypeOf(request)));
+
+    const Result<Request> decoded = DecodeRequest(PayloadOf(frame));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    // Bit-exact round trip: re-encoding reproduces the same bytes.
+    EXPECT_TRUE(SameRequest(request, decoded.ValueOrDie()));
+  }
+}
+
+TEST(ProtocolRoundTripTest, EveryResponseTypeRoundTrips) {
+  for (const Response& response : SampleResponses()) {
+    SCOPED_TRACE(static_cast<int>(TypeOf(response)));
+    const std::vector<uint8_t> frame = EncodeResponse(response);
+    const Result<Response> decoded = DecodeResponse(PayloadOf(frame));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_TRUE(SameResponse(response, decoded.ValueOrDie()));
+  }
+}
+
+TEST(ProtocolRoundTripTest, DoublesTravelBitExactly) {
+  AppendRequest append;
+  append.vehicle_id = "v";
+  append.day = Day(1);
+  // A value with no short decimal representation.
+  append.seconds = 0.1 + 0.2;
+  const Result<Request> decoded =
+      DecodeRequest(PayloadOf(EncodeRequest(append)));
+  ASSERT_TRUE(decoded.ok());
+  const auto& round = std::get<AppendRequest>(decoded.ValueOrDie());
+  EXPECT_EQ(std::bit_cast<uint64_t>(round.seconds),
+            std::bit_cast<uint64_t>(append.seconds));
+}
+
+TEST(ProtocolRoundTripTest, ErrorResponseRoundTripsStatus) {
+  const Status original =
+      Status::DataError("csv row 17: unparsable utilization");
+  const ErrorResponse encoded = ErrorResponse::FromStatus(original);
+  const Result<Response> decoded =
+      DecodeResponse(PayloadOf(EncodeResponse(encoded)));
+  ASSERT_TRUE(decoded.ok());
+  const Status round =
+      std::get<ErrorResponse>(decoded.ValueOrDie()).ToStatus();
+  EXPECT_EQ(round.code(), original.code());
+  EXPECT_EQ(round.message(), original.message());
+}
+
+TEST(ProtocolErrorTest, EveryStrictPrefixIsInvalidArgument) {
+  for (const Request& request : SampleRequests()) {
+    const std::vector<uint8_t> payload = PayloadOf(EncodeRequest(request));
+    for (size_t len = 0; len < payload.size(); ++len) {
+      const Result<Request> decoded = DecodeRequest(
+          std::span<const uint8_t>(payload.data(), len));
+      ASSERT_FALSE(decoded.ok())
+          << "type " << static_cast<int>(TypeOf(request)) << " prefix len "
+          << len << " decoded successfully";
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  for (const Response& response : SampleResponses()) {
+    const std::vector<uint8_t> payload = PayloadOf(EncodeResponse(response));
+    for (size_t len = 0; len < payload.size(); ++len) {
+      const Result<Response> decoded = DecodeResponse(
+          std::span<const uint8_t>(payload.data(), len));
+      ASSERT_FALSE(decoded.ok())
+          << "type " << static_cast<int>(TypeOf(response)) << " prefix len "
+          << len << " decoded successfully";
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(ProtocolErrorTest, TrailingBytesAreInvalidArgument) {
+  for (const Request& request : SampleRequests()) {
+    std::vector<uint8_t> payload = PayloadOf(EncodeRequest(request));
+    payload.push_back(0x00);
+    const Result<Request> decoded = DecodeRequest(payload);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ProtocolErrorTest, BadMagicVersionAndTypeAreRejected) {
+  const std::vector<uint8_t> good = PayloadOf(EncodeRequest(RefreshRequest{}));
+
+  std::vector<uint8_t> bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(DecodeRequest(bad_magic).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<uint8_t> bad_version = good;
+  bad_version[2] = kProtocolVersion + 1;
+  EXPECT_EQ(DecodeRequest(bad_version).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<uint8_t> bad_type = good;
+  bad_type[3] = 0;
+  EXPECT_EQ(DecodeRequest(bad_type).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A response frame fed to the request decoder (and vice versa) fails:
+  // the two live in disjoint type ranges.
+  const std::vector<uint8_t> ack = PayloadOf(EncodeResponse(AckResponse{}));
+  EXPECT_EQ(DecodeRequest(ack).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeResponse(good).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolErrorTest, GiantDeclaredCountsDoNotAllocate) {
+  // A LoadHistory declaring 2^32-1 values in a tiny payload must fail on
+  // the count check, not attempt a 32 GiB reserve.
+  std::vector<uint8_t> payload = {kMagic0, kMagic1, kProtocolVersion,
+                                  static_cast<uint8_t>(
+                                      MessageType::kLoadHistory)};
+  payload.push_back(1);  // vehicle id "v" (u16 len LE).
+  payload.push_back(0);
+  payload.push_back('v');
+  for (int i = 0; i < 8; ++i) payload.push_back(0);  // start day = 0.
+  for (int i = 0; i < 4; ++i) payload.push_back(0xFF);  // count u32 max.
+  const Result<Request> decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolErrorTest, OversizedVehicleIdIsRejected) {
+  GetForecastRequest read;
+  read.vehicle_ids = {std::string(kMaxVehicleIdBytes + 1, 'x')};
+  const Result<Request> decoded =
+      DecodeRequest(PayloadOf(EncodeRequest(read)));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolErrorTest, FuzzedPayloadsNeverCrash) {
+  Rng rng(20260808);
+  const std::vector<uint8_t> seed_payload =
+      PayloadOf(EncodeRequest(SampleRequests()[1]));
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> payload;
+    if (trial % 2 == 0) {
+      // Pure garbage of random length.
+      const size_t len = rng.UniformInt(0, 64);
+      payload.reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        payload.push_back(static_cast<uint8_t>(rng.UniformInt(0, 255)));
+      }
+    } else {
+      // A valid payload with a few corrupted bytes — the adversarial case
+      // that tends to find over-reads.
+      payload = seed_payload;
+      const int flips = static_cast<int>(rng.UniformInt(1, 4));
+      for (int f = 0; f < flips; ++f) {
+        const size_t pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(payload.size()) - 1));
+        payload[pos] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+      }
+    }
+    const Result<Request> request = DecodeRequest(payload);
+    if (!request.ok()) {
+      EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+    }
+    const Result<Response> response = DecodeResponse(payload);
+    if (!response.ok()) {
+      EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(FrameAssemblerTest, ReassemblesAcrossArbitrarySplits) {
+  const std::vector<uint8_t> frame1 = EncodeRequest(SampleRequests()[0]);
+  const std::vector<uint8_t> frame2 = EncodeRequest(SampleRequests()[1]);
+  std::vector<uint8_t> stream = frame1;
+  stream.insert(stream.end(), frame2.begin(), frame2.end());
+
+  // Every split point of the concatenated stream yields the same two
+  // payloads.
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    FrameAssembler assembler;
+    assembler.Feed(std::span<const uint8_t>(stream.data(), split));
+    std::vector<std::vector<uint8_t>> payloads;
+    const auto drain = [&]() {
+      for (;;) {
+        Result<std::optional<std::vector<uint8_t>>> next = assembler.Next();
+        ASSERT_TRUE(next.ok()) << next.status();
+        if (!next.ValueOrDie().has_value()) break;
+        payloads.push_back(*std::move(next).ValueOrDie());
+      }
+    };
+    drain();
+    assembler.Feed(std::span<const uint8_t>(stream.data() + split,
+                                            stream.size() - split));
+    drain();
+    ASSERT_EQ(payloads.size(), 2u) << "split " << split;
+    EXPECT_EQ(payloads[0], PayloadOf(frame1));
+    EXPECT_EQ(payloads[1], PayloadOf(frame2));
+    EXPECT_EQ(assembler.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FrameAssemblerTest, ManyFramesInOneFeed) {
+  const std::vector<Request> requests = SampleRequests();
+  std::vector<uint8_t> stream;
+  for (const Request& request : requests) {
+    const std::vector<uint8_t> frame = EncodeRequest(request);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  FrameAssembler assembler;
+  assembler.Feed(stream);
+  for (const Request& request : requests) {
+    Result<std::optional<std::vector<uint8_t>>> next = assembler.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next.ValueOrDie().has_value());
+    const Result<Request> decoded = DecodeRequest(*next.ValueOrDie());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(SameRequest(request, decoded.ValueOrDie()));
+  }
+  Result<std::optional<std::vector<uint8_t>>> next = assembler.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next.ValueOrDie().has_value());
+}
+
+TEST(FrameAssemblerTest, OversizedLengthPrefixPoisonsTheStream) {
+  FrameAssembler assembler;
+  const uint32_t huge = static_cast<uint32_t>(kMaxPayloadBytes) + 1;
+  const std::vector<uint8_t> prefix = {
+      static_cast<uint8_t>(huge & 0xFF),
+      static_cast<uint8_t>((huge >> 8) & 0xFF),
+      static_cast<uint8_t>((huge >> 16) & 0xFF),
+      static_cast<uint8_t>((huge >> 24) & 0xFF)};
+  assembler.Feed(prefix);
+  EXPECT_EQ(assembler.Next().status().code(), StatusCode::kInvalidArgument);
+  // Poisoned for good: even a valid frame afterwards is not parsed, the
+  // byte alignment is unrecoverable.
+  assembler.Feed(EncodeRequest(RefreshRequest{}));
+  EXPECT_EQ(assembler.Next().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameAssemblerTest, UndersizedLengthPrefixPoisonsTheStream) {
+  FrameAssembler assembler;
+  // Declares a 2-byte payload — shorter than the 4-byte frame header.
+  assembler.Feed(std::vector<uint8_t>{2, 0, 0, 0, kMagic0, kMagic1});
+  EXPECT_EQ(assembler.Next().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StableVehicleHashTest, MatchesPinnedValues) {
+  // FNV-1a 64 test vectors; these pin the sharding function forever —
+  // changing it would silently re-shard every deployed fleet.
+  EXPECT_EQ(StableVehicleHash(""), 14695981039346656037ULL);
+  EXPECT_EQ(StableVehicleHash("a"), 12638187200555641996ULL);
+  EXPECT_EQ(StableVehicleHash("v1"), 634738200219259176ULL);
+  EXPECT_NE(StableVehicleHash("v1"), StableVehicleHash("v2"));
+}
+
+}  // namespace
+}  // namespace protocol
+}  // namespace serve
+}  // namespace nextmaint

@@ -427,6 +427,33 @@ TEST(ServingEngineTest, ErrorContract) {
   EXPECT_EQ(state.total_usage_s, 1'000.0);
 }
 
+TEST(ServingEngineTest, GetForecastsBatchReadsFromOneSnapshot) {
+  ServingEngine engine(FastOptions());
+  const data::DailySeries series = SimulatedVehicle(31, 600);
+  ASSERT_TRUE(engine.Register("v1", series.start_date()).ok());
+  ASSERT_TRUE(engine.LoadHistory("v1", series).ok());
+  // Registered but data-free: lands in the snapshot with no forecast.
+  ASSERT_TRUE(engine.Register("empty", Day(0)).ok());
+  ASSERT_TRUE(engine.RefreshForecasts().ok());
+  // Registered after the refresh: not in the published snapshot at all.
+  ASSERT_TRUE(engine.Register("late", Day(0)).ok());
+
+  const std::vector<std::string> ids = {"v1", "ghost", "empty", "late"};
+  const std::vector<Result<core::MaintenanceForecast>> results =
+      engine.GetForecasts(ids);
+  ASSERT_EQ(results.size(), 4u);
+
+  // Request order is preserved; every entry comes from the same epoch-1
+  // snapshot.
+  ASSERT_TRUE(results[0].ok()) << results[0].status();
+  EXPECT_EQ(results[0].ValueOrDie().vehicle_id, "v1");
+  EXPECT_EQ(results[0].ValueOrDie().days_left,
+            engine.Snapshot()->forecasts[0].days_left);
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(results[2].status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(results[3].status().code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace nextmaint
