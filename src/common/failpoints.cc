@@ -3,12 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string_view>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_annotations.h"
 #include "common/strings.h"
 
 namespace nextmaint {
@@ -32,8 +32,8 @@ struct ArmedSite {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, ArmedSite> armed;
+  Mutex mu;
+  std::map<std::string, ArmedSite> armed GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -98,7 +98,7 @@ Status MakeInjectedError(const char* site, StatusCode code) {
   return Status(code, msg);
 }
 
-void PublishArmedCount(Registry& registry) {
+void PublishArmedCount(Registry& registry) REQUIRES(registry.mu) {
   internal::g_armed_state.store(static_cast<int>(registry.armed.size()),
                                 std::memory_order_relaxed);
 }
@@ -111,9 +111,12 @@ std::atomic<int> g_armed_state{-1};
 
 bool InitFromEnv() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   int v = g_armed_state.load(std::memory_order_relaxed);
   if (v >= 0) return v > 0;  // another thread latched while we waited
+  // getenv is racy against setenv, but this runs once under the registry
+  // lock and the process never calls setenv after main starts.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("NEXTMAINT_FAILPOINTS");
   if (env != nullptr && *env != '\0') {
     // Arm() re-enters this latch-free path under the lock below, so inline
@@ -155,7 +158,7 @@ Status Arm(const std::string& specs) {
     return Status::InvalidArgument("empty failpoint spec");
   }
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   for (const ParsedSpec& spec : parsed) {
     ArmedSite& site = registry.armed[spec.site];
     site.nths.insert(spec.nth);
@@ -167,14 +170,14 @@ Status Arm(const std::string& specs) {
 
 void Disarm(const std::string& site) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.armed.erase(site);
   PublishArmedCount(registry);
 }
 
 void DisarmAll() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.armed.clear();
   PublishArmedCount(registry);
 }
@@ -212,14 +215,14 @@ bool IsRegisteredSite(const std::string& site) {
 
 uint64_t HitCount(const std::string& site) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.armed.find(site);
   return it == registry.armed.end() ? 0 : it->second.hits;
 }
 
 uint64_t FiredCount(const std::string& site) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.armed.find(site);
   return it == registry.armed.end() ? 0 : it->second.fired;
 }
@@ -227,7 +230,7 @@ uint64_t FiredCount(const std::string& site) {
 Status Check(const char* site) {
   if (!Enabled()) return Status::OK();
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.armed.find(site);
   if (it == registry.armed.end()) return Status::OK();
   ArmedSite& armed = it->second;
@@ -258,7 +261,7 @@ ScopedOrdinal::~ScopedOrdinal() { t_ordinal = saved_; }
 
 void ResetForTesting() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.armed.clear();
   internal::g_armed_state.store(-1, std::memory_order_relaxed);
 }

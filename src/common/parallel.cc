@@ -44,20 +44,36 @@ Status RunSerialChunks(size_t begin, size_t end, size_t grain,
 /// per-chunk result slots. Shared by the calling thread and any workers
 /// that picked up a ticket for it.
 struct ThreadPool::Job {
-  size_t begin = 0;
-  size_t end = 0;
-  size_t grain = 1;
-  size_t num_chunks = 0;
-  const Body* body = nullptr;
+  /// All fields are set here, before the job is shared with any worker
+  /// (constructors are exempt from the thread-safety analysis).
+  Job(size_t begin_in, size_t end_in, size_t grain_in, size_t num_chunks_in,
+      const Body* body_in)
+      : begin(begin_in),
+        end(end_in),
+        grain(grain_in),
+        num_chunks(num_chunks_in),
+        body(body_in),
+        statuses(num_chunks_in),
+        exceptions(num_chunks_in),
+        chunks_remaining(num_chunks_in) {}
 
+  const size_t begin;
+  const size_t end;
+  const size_t grain;
+  const size_t num_chunks;
+  const Body* const body;
+
+  /// Lock-free chunk claim ticket; may run past num_chunks.
   std::atomic<size_t> next_chunk{0};
-  std::atomic<size_t> chunks_remaining{0};
-  /// Written once each, by the thread that ran the chunk.
+  /// Written once each, by the thread that ran the chunk; read by the
+  /// owner only after chunks_remaining hits zero.
   std::vector<Status> statuses;
   std::vector<std::exception_ptr> exceptions;
 
-  std::mutex mu;
-  std::condition_variable done_cv;
+  Mutex mu;
+  CondVar done_cv;
+  /// Chunks not yet finished; the owner waits for zero.
+  size_t chunks_remaining GUARDED_BY(mu);
 };
 
 ThreadPool::ThreadPool(int thread_count)
@@ -66,20 +82,20 @@ ThreadPool::ThreadPool(int thread_count)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 bool ThreadPool::started() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return started_;
 }
 
 void ThreadPool::EnsureStarted() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) return;
   // The calling thread is one of the thread_count_ execution lanes, so
   // only thread_count_ - 1 background workers are needed.
@@ -94,8 +110,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
       if (stopping_) return;
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -117,12 +133,14 @@ void ThreadPool::RunChunks(Job* job) {
     } catch (...) {
       job->exceptions[chunk] = std::current_exception();
     }
-    if (job->chunks_remaining.fetch_sub(1) == 1) {
-      // Last chunk: wake the owner. The lock pairs with the owner's wait
-      // so the notification cannot be lost.
-      std::lock_guard<std::mutex> lock(job->mu);
-      job->done_cv.notify_all();
+    bool last = false;
+    {
+      MutexLock lock(job->mu);
+      last = --job->chunks_remaining == 0;
     }
+    // The decrement happened under the lock the owner's wait loop holds,
+    // so the notification cannot be lost.
+    if (last) job->done_cv.NotifyAll();
   }
   --tls_parallel_depth;
 }
@@ -144,35 +162,26 @@ Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // Heap-owned and reference-counted: a helper that pops a ticket after
   // every chunk has been claimed still dereferences the job (to discover
   // there is nothing left), possibly after this call returned.
-  auto job = std::make_shared<Job>();
-  job->begin = begin;
-  job->end = end;
-  job->grain = grain;
-  job->num_chunks = num_chunks;
-  job->body = &body;
-  job->chunks_remaining.store(num_chunks);
-  job->statuses.resize(num_chunks);
-  job->exceptions.resize(num_chunks);
+  auto job = std::make_shared<Job>(begin, end, grain, num_chunks, &body);
 
   // One ticket per helper; the calling thread covers the remaining lane.
   const size_t tickets =
       std::min<size_t>(static_cast<size_t>(parallelism) - 1, num_chunks - 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t i = 0; i < tickets; ++i) queue_.push_back(job);
   }
   if (tickets == 1) {
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   } else {
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
 
   RunChunks(job.get());
   {
     // Helpers may still be finishing chunks the caller could not claim.
-    std::unique_lock<std::mutex> lock(job->mu);
-    job->done_cv.wait(
-        lock, [&job] { return job->chunks_remaining.load() == 0; });
+    MutexLock lock(job->mu);
+    while (job->chunks_remaining != 0) job->done_cv.Wait(job->mu);
   }
 
   for (size_t c = 0; c < num_chunks; ++c) {
@@ -186,14 +195,14 @@ Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 
 namespace {
 
-std::mutex g_default_pool_mu;
-int g_default_thread_count = 0;  // 0 = hardware concurrency
-std::unique_ptr<ThreadPool> g_default_pool;
+Mutex g_default_pool_mu;
+int g_default_thread_count GUARDED_BY(g_default_pool_mu) = 0;  // 0 = hw
+std::unique_ptr<ThreadPool> g_default_pool GUARDED_BY(g_default_pool_mu);
 
 }  // namespace
 
 ThreadPool& ThreadPool::Default() {
-  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  MutexLock lock(g_default_pool_mu);
   if (g_default_pool == nullptr) {
     g_default_pool = std::make_unique<ThreadPool>(g_default_thread_count);
   }
@@ -201,7 +210,7 @@ ThreadPool& ThreadPool::Default() {
 }
 
 void ThreadPool::SetDefaultThreadCount(int thread_count) {
-  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  MutexLock lock(g_default_pool_mu);
   g_default_thread_count = std::max(0, thread_count);
   // Tear down so the next Default() rebuilds at the new size. Callers must
   // not have ParallelFor calls in flight (see header).
@@ -209,7 +218,7 @@ void ThreadPool::SetDefaultThreadCount(int thread_count) {
 }
 
 int ThreadPool::DefaultThreadCount() {
-  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  MutexLock lock(g_default_pool_mu);
   return g_default_thread_count == 0 ? HardwareThreadCount()
                                      : g_default_thread_count;
 }

@@ -1,16 +1,15 @@
 #ifndef NEXTMAINT_COMMON_PARALLEL_H_
 #define NEXTMAINT_COMMON_PARALLEL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 /// \file parallel.h
 /// Deterministic thread-pool parallelism.
@@ -65,7 +64,7 @@ class ThreadPool {
   int thread_count() const { return thread_count_; }
 
   /// True once the lazy worker spawn has happened.
-  bool started() const;
+  bool started() const EXCLUDES(mu_);
 
   /// Splits `[begin, end)` into chunks of `grain` indices (the final chunk
   /// may be shorter; `grain` 0 is treated as 1) and runs `body` once per
@@ -78,7 +77,7 @@ class ThreadPool {
   /// otherwise the status of the lowest-indexed failing chunk. A chunk that
   /// throws has its exception rethrown here after all chunks finish.
   [[nodiscard]] Status ParallelFor(size_t begin, size_t end, size_t grain, const Body& body,
-                     int max_parallelism = 0);
+                     int max_parallelism = 0) EXCLUDES(mu_);
 
   /// The process-wide default pool used by the free `ParallelFor`. Created
   /// on first use with `DefaultThreadCount()` threads.
@@ -95,21 +94,22 @@ class ThreadPool {
  private:
   struct Job;
 
-  void EnsureStarted();
-  void WorkerLoop();
+  void EnsureStarted() EXCLUDES(mu_);
+  void WorkerLoop() EXCLUDES(mu_);
   /// Claims and runs chunks of `job` until none remain.
   static void RunChunks(Job* job);
 
   const int thread_count_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
+  mutable Mutex mu_;
+  CondVar work_cv_;
   /// Helper tickets: one entry per worker invited to a job. Workers pop a
   /// ticket and claim chunks until the job runs dry.
-  std::deque<std::shared_ptr<Job>> queue_;
-  std::vector<std::thread> workers_;
-  bool started_ = false;
-  bool stopping_ = false;
+  std::deque<std::shared_ptr<Job>> queue_ GUARDED_BY(mu_);
+  /// Joined by the destructor, which the analysis exempts (no lock held).
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
+  bool started_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 /// Resolves a per-component thread-count option: `requested` > 0 is taken

@@ -19,6 +19,9 @@ namespace internal {
 std::atomic<int> g_enabled{-1};
 
 bool InitEnabledFromEnv() {
+  // getenv is racy against setenv, but this runs once during first-use
+  // latching and the process never calls setenv after main starts.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("NEXTMAINT_METRICS");
   const bool on = env != nullptr && *env != '\0' &&
                   std::strcmp(env, "0") != 0 &&
@@ -138,14 +141,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -153,7 +156,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(bounds.empty() ? DefaultTimeBounds()
@@ -163,7 +166,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricsRegistry::RecordSpan(SpanRecord span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spans_.size() >= kMaxSpans) {
     ++spans_dropped_;
     return;
@@ -172,7 +175,7 @@ void MetricsRegistry::RecordSpan(SpanRecord span) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   snapshot.enabled = Enabled();
   for (const auto& [name, counter] : counters_) {
@@ -203,7 +206,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -6,11 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 /// \file telemetry.h
 /// Fleet observability: a process-wide metrics registry plus scoped tracing.
@@ -172,20 +172,21 @@ class MetricsRegistry {
   /// bounds are fixed at first registration; later calls ignore `bounds`.
   /// Passing empty `bounds` selects the default wall-time buckets
   /// (100 us .. 60 s).
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name,
-                          const std::vector<double>& bounds = {});
+                          const std::vector<double>& bounds = {})
+      EXCLUDES(mu_);
 
   /// Appends one finished span (dropped beyond the collection cap).
-  void RecordSpan(SpanRecord span);
+  void RecordSpan(SpanRecord span) EXCLUDES(mu_);
 
   /// Consistent point-in-time copy of every instrument and collected span.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
   /// Zeroes every instrument and clears the span collection. Instrument
   /// identities (and cached pointers) survive.
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
   /// Seconds elapsed since the registry was created.
   double SecondsSinceEpoch() const;
@@ -193,12 +194,16 @@ class MetricsRegistry {
  private:
   MetricsRegistry();
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::vector<SpanRecord> spans_;
-  uint64_t spans_dropped_ = 0;
+  /// Guards registration and span collection; instrument value updates are
+  /// lock-free through the returned pointers (the pointees use relaxed
+  /// atomics and never move once registered).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
+  std::vector<SpanRecord> spans_ GUARDED_BY(mu_);
+  uint64_t spans_dropped_ GUARDED_BY(mu_) = 0;
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -1,0 +1,14 @@
+#include "common/thread_annotations.h"
+
+namespace nextmaint {
+
+void CondVar::Wait(Mutex& mu) {
+  // The caller holds mu (enforced by REQUIRES). Adopt that ownership into
+  // a unique_lock just long enough for the wait protocol — release before
+  // the unique_lock destructs so ownership stays with the caller's scope.
+  std::unique_lock<std::mutex> relock(mu.raw_, std::adopt_lock);
+  cv_.wait(relock);
+  relock.release();
+}
+
+}  // namespace nextmaint

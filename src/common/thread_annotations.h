@@ -1,0 +1,162 @@
+#ifndef NEXTMAINT_COMMON_THREAD_ANNOTATIONS_H_
+#define NEXTMAINT_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// \file thread_annotations.h
+/// Compile-time thread-safety: Clang lock annotations + annotated wrappers.
+///
+/// TSan only catches races a test happens to execute; Clang's Thread Safety
+/// Analysis (-Wthread-safety) proves lock discipline at compile time for
+/// every path. This header supplies the two halves of that contract:
+///
+///  1. The attribute macros (GUARDED_BY, REQUIRES, EXCLUDES, ACQUIRE,
+///     RELEASE, ...). They expand to Clang capability attributes under
+///     Clang and to nothing elsewhere, so GCC builds are unaffected.
+///  2. Annotated locking vocabulary: `Mutex`, `MutexLock`, and `CondVar`.
+///     The analysis only sees locks it can name, so all locking in this
+///     codebase flows through these wrappers — raw std::mutex /
+///     std::lock_guard / std::condition_variable are invisible to the
+///     analysis and are rejected by the `guarded-mutex` and
+///     `lock-annotation-drift` lint rules (docs/static-analysis.md).
+///
+/// The checked build is `-DNEXTMAINT_THREAD_SAFETY=ON` with Clang, which
+/// turns on `-Wthread-safety -Werror=thread-safety` (the CI `thread-safety`
+/// job). Rules of thumb when annotating:
+///
+///  - Every mutex-guarded member is declared `GUARDED_BY(mu)`.
+///  - A function that must be called with a lock held is `REQUIRES(mu)`;
+///    one that takes the lock itself is `EXCLUDES(mu)` in its declaration.
+///  - Constructors and destructors are exempt from the analysis, which is
+///    how guarded fields get initialized before an object is shared.
+///  - Condition waits are written as explicit loops —
+///    `while (!cond) cv.Wait(mu);` — because the analysis does not
+///    propagate held capabilities into predicate lambdas.
+///  - Escape hatch of last resort: NO_THREAD_SAFETY_ANALYSIS on the
+///    function. Not permitted in serve/ or common/parallel (see
+///    docs/static-analysis.md for the policy).
+
+#if defined(__clang__)
+#define NEXTMAINT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NEXTMAINT_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a type as a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex").
+#define CAPABILITY(x) NEXTMAINT_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY NEXTMAINT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GUARDED_BY(x) NEXTMAINT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is protected by `x` (the pointer itself is
+/// not).
+#define PT_GUARDED_BY(x) NEXTMAINT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be entered with the listed capabilities held (and
+/// leaves them held).
+#define REQUIRES(...) \
+  NEXTMAINT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be entered with the listed capabilities NOT held —
+/// it acquires (and releases) them itself. Catches self-deadlock.
+#define EXCLUDES(...) NEXTMAINT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability and leaves it held on return.
+#define ACQUIRE(...) \
+  NEXTMAINT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define RELEASE(...) \
+  NEXTMAINT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `x` (true/false).
+#define TRY_ACQUIRE(...) \
+  NEXTMAINT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Lock-ordering declarations (documented hierarchy, checked with
+/// -Wthread-safety-beta).
+#define ACQUIRED_BEFORE(...) \
+  NEXTMAINT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  NEXTMAINT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) NEXTMAINT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Disables the analysis for one function. Last resort; see the policy in
+/// docs/static-analysis.md before reaching for this.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NEXTMAINT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace nextmaint {
+
+/// std::mutex with a capability annotation, so the analysis can track who
+/// holds it. Prefer the RAII `MutexLock`; Lock()/Unlock() exist for the
+/// rare split acquire/release.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { raw_.lock(); }
+  void Unlock() RELEASE() { raw_.unlock(); }
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;  // nextmaint-lint: allow(guarded-mutex)
+};
+
+/// RAII lock over `Mutex` — the annotated std::lock_guard.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with `Mutex`.
+///
+/// Deliberately has no predicate overload: the analysis cannot see
+/// capabilities inside a lambda, so waits are written as explicit loops,
+/// which it can check:
+///
+///     MutexLock lock(mu_);
+///     while (queue_.empty() && !stopping_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` (which the caller must hold), blocks until
+  /// notified, and reacquires `mu` before returning. Subject to spurious
+  /// wakeups — always wait in a `while (!condition)` loop.
+  void Wait(Mutex& mu) REQUIRES(mu);
+
+  /// Wakes one waiter. Callers may (but need not) hold the mutex; the
+  /// state change the waiter tests must have been made under it.
+  void NotifyOne() { cv_.notify_one(); }
+
+  /// Wakes all waiters.
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace nextmaint
+
+#endif  // NEXTMAINT_COMMON_THREAD_ANNOTATIONS_H_

@@ -81,6 +81,18 @@ LintConfig LintConfig::ProjectDefault() {
   // would silently reintroduce the access pattern the refactor removed.
   config.policy.row_iteration_paths = {"src/ml/histogram.h",
                                        "src/ml/histogram.cc"};
+  // Raw std::mutex may only appear under common/ (in practice: inside the
+  // annotated wrapper); everything else declares nextmaint::Mutex so the
+  // Clang thread-safety build can track it.
+  config.policy.raw_mutex_prefixes = {"src/common/"};
+  // The wrapper layer itself is the one sanctioned home of the raw
+  // primitives it wraps.
+  config.policy.thread_wrapper_allowlist = {
+      "src/common/thread_annotations.h", "src/common/thread_annotations.cc"};
+  // The serving stack and the thread pool must stay fully analyzable: no
+  // NO_THREAD_SAFETY_ANALYSIS escape hatches there (docs/static-analysis.md).
+  config.policy.no_analysis_banned_prefixes = {"src/serve/",
+                                               "src/common/parallel"};
   return config;
 }
 
@@ -98,6 +110,8 @@ std::vector<Finding> LintSource(
   append(CheckLayering(path, content, src, config.policy));
   append(CheckNakedNew(path, src, config.policy));
   append(CheckRowIteration(path, content, src, config.policy));
+  append(CheckGuardedMutex(path, src, config.policy));
+  append(CheckLockAnnotationDrift(path, src, config.policy));
   return findings;
 }
 

@@ -49,6 +49,10 @@ const char* RuleName(Rule rule) {
       return "naked-new";
     case Rule::kRowIteration:
       return "row-iteration";
+    case Rule::kGuardedMutex:
+      return "guarded-mutex";
+    case Rule::kLockAnnotationDrift:
+      return "lock-annotation-drift";
   }
   return "unknown";
 }
@@ -68,6 +72,104 @@ bool PathMatchesSuffix(const std::string& path,
     }
   }
   return false;
+}
+
+bool PathMatchesPrefix(const std::string& path,
+                       const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes) {
+    if (path.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+std::vector<Finding> CheckGuardedMutex(const std::string& path,
+                                       const ScrubbedSource& src,
+                                       const RulePolicy& policy) {
+  std::vector<Finding> findings;
+  if (PathMatchesSuffix(path, policy.thread_wrapper_allowlist)) {
+    return findings;
+  }
+  // Mutex-typed member/global declarations: `Mutex name;` /
+  // `mutable std::mutex name;`. References and parameters (`Mutex& mu`)
+  // deliberately do not match — only owning declarations need a guard.
+  static const std::regex* const kMutexDecl =
+      new std::regex(  // nextmaint-lint: allow(naked-new)
+          R"((?:\bmutable\s+)?\b(std\s*::\s*mutex|(?:nextmaint\s*::\s*)?Mutex)\s+([A-Za-z_]\w*)\s*;)");
+  for (std::sregex_iterator it(src.code.begin(), src.code.end(), *kMutexDecl),
+       end;
+       it != end; ++it) {
+    const int line = src.LineOf(static_cast<size_t>(it->position()));
+    if (src.IsAllowed(line, RuleName(Rule::kGuardedMutex))) continue;
+    const std::string name = (*it)[2];
+    const bool raw = (*it)[1].str().find("std") != std::string::npos;
+    if (raw && !PathMatchesPrefix(path, policy.raw_mutex_prefixes)) {
+      findings.push_back(
+          {path, line, Rule::kGuardedMutex,
+           StrFormat("raw std::mutex '%s' is invisible to -Wthread-safety; "
+                     "use nextmaint::Mutex from common/thread_annotations.h",
+                     name.c_str())});
+    }
+    // The declared mutex must guard at least one field in this file.
+    const std::regex guarded(R"(\b(?:PT_)?GUARDED_BY\s*\(\s*)" + name +
+                             R"(\s*\))");
+    if (!std::regex_search(src.code, guarded)) {
+      findings.push_back(
+          {path, line, Rule::kGuardedMutex,
+           StrFormat("mutex '%s' guards nothing; annotate at least one "
+                     "sibling field GUARDED_BY(%s) (or remove the mutex)",
+                     name.c_str(), name.c_str())});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckLockAnnotationDrift(const std::string& path,
+                                              const ScrubbedSource& src,
+                                              const RulePolicy& policy) {
+  std::vector<Finding> findings;
+  if (PathMatchesSuffix(path, policy.thread_wrapper_allowlist)) {
+    return findings;
+  }
+  // Raw std:: locking vocabulary. Locks taken through these are invisible
+  // to the Clang analysis, so the REQUIRES/EXCLUDES annotations on the
+  // surrounding functions silently drift out of sync with reality.
+  static const std::regex* const kRawLocking =
+      new std::regex(  // nextmaint-lint: allow(naked-new)
+          R"(\bstd\s*::\s*(lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable(?:_any)?|recursive_timed_mutex|recursive_mutex|shared_mutex|timed_mutex)\b)");
+  for (std::sregex_iterator it(src.code.begin(), src.code.end(), *kRawLocking),
+       end;
+       it != end; ++it) {
+    const int line = src.LineOf(static_cast<size_t>(it->position()));
+    if (src.IsAllowed(line, RuleName(Rule::kLockAnnotationDrift))) continue;
+    findings.push_back(
+        {path, line, Rule::kLockAnnotationDrift,
+         StrFormat("std::%s bypasses the annotated locking layer; lock "
+                   "through Mutex/MutexLock/CondVar "
+                   "(common/thread_annotations.h) so -Wthread-safety sees "
+                   "it and keep REQUIRES/EXCLUDES on the locking function's "
+                   "declaration",
+                   it->str(1).c_str())});
+  }
+  // Suppressions are a last resort everywhere, and banned outright in the
+  // subsystems whose lock discipline the serving stack depends on.
+  static const std::regex* const kNoAnalysis =
+      new std::regex(  // nextmaint-lint: allow(naked-new)
+          R"(\bNO_THREAD_SAFETY_ANALYSIS\b)");
+  if (PathMatchesPrefix(path, policy.no_analysis_banned_prefixes)) {
+    for (std::sregex_iterator it(src.code.begin(), src.code.end(),
+                                 *kNoAnalysis),
+         end;
+         it != end; ++it) {
+      const int line = src.LineOf(static_cast<size_t>(it->position()));
+      if (src.IsAllowed(line, RuleName(Rule::kLockAnnotationDrift))) continue;
+      findings.push_back(
+          {path, line, Rule::kLockAnnotationDrift,
+           "NO_THREAD_SAFETY_ANALYSIS is banned in this subsystem; restate "
+           "the locking so the analysis can prove it "
+           "(docs/static-analysis.md#thread-safety-analysis)"});
+    }
+  }
+  return findings;
 }
 
 std::vector<Finding> CheckBannedPrimitives(const std::string& path,

@@ -35,6 +35,14 @@ enum class Rule {
   /// inside the columnar histogram kernels, which must consume pre-binned
   /// sources exclusively.
   kRowIteration,
+  /// A mutex that guards nothing (no sibling GUARDED_BY field in the same
+  /// file), or a raw `std::mutex` outside the annotated-wrapper layer.
+  kGuardedMutex,
+  /// Locking that drifts away from the annotated vocabulary: raw std::
+  /// locking primitives (lock_guard, unique_lock, condition_variable, ...)
+  /// that -Wthread-safety cannot see, or a NO_THREAD_SAFETY_ANALYSIS
+  /// suppression in a subsystem that must stay fully analyzable.
+  kLockAnnotationDrift,
 };
 
 /// Canonical kebab-case rule name ("banned-primitive", ...), as used by
@@ -67,11 +75,24 @@ struct RulePolicy {
   /// Path suffixes the row-iteration rule applies to (the histogram kernel
   /// files; everywhere else row access is legitimate).
   std::vector<std::string> row_iteration_paths;
+  /// Path prefixes where a raw `std::mutex` member may still appear (the
+  /// annotated-wrapper layer lives under common/).
+  std::vector<std::string> raw_mutex_prefixes;
+  /// Path suffixes exempt from both thread-safety rules: the annotation
+  /// layer itself, which wraps the raw primitives everyone else must avoid.
+  std::vector<std::string> thread_wrapper_allowlist;
+  /// Path prefixes where NO_THREAD_SAFETY_ANALYSIS is banned outright
+  /// (serve/ and the thread pool must stay fully analyzable).
+  std::vector<std::string> no_analysis_banned_prefixes;
 };
 
 /// True when `path` ends with one of `suffixes` (paths use '/' separators).
 bool PathMatchesSuffix(const std::string& path,
                        const std::vector<std::string>& suffixes);
+
+/// True when `path` starts with one of `prefixes`.
+bool PathMatchesPrefix(const std::string& path,
+                       const std::vector<std::string>& prefixes);
 
 /// Rule 1: banned nondeterminism primitives.
 std::vector<Finding> CheckBannedPrimitives(const std::string& path,
@@ -105,6 +126,27 @@ std::vector<Finding> CheckRowIteration(const std::string& path,
                                        const std::string& content,
                                        const ScrubbedSource& src,
                                        const RulePolicy& policy);
+
+/// Rule 6: every declared mutex must guard something. Flags a
+/// `std::mutex` / `Mutex` member or global with no `GUARDED_BY(<name>)` /
+/// `PT_GUARDED_BY(<name>)` field in the same file, and any raw
+/// `std::mutex` declaration outside `policy.raw_mutex_prefixes` (raw
+/// mutexes are invisible to -Wthread-safety; use nextmaint::Mutex).
+/// Name matching is per file, so two mutexes sharing a field name in one
+/// file satisfy each other — the Clang analysis closes that gap.
+std::vector<Finding> CheckGuardedMutex(const std::string& path,
+                                       const ScrubbedSource& src,
+                                       const RulePolicy& policy);
+
+/// Rule 7: lock-annotation drift. Flags raw std:: locking vocabulary
+/// (lock_guard, unique_lock, scoped_lock, shared_lock, condition_variable,
+/// recursive/shared/timed mutexes) anywhere outside the wrapper layer —
+/// locking through them bypasses the REQUIRES/EXCLUDES annotations the
+/// Clang build checks — and NO_THREAD_SAFETY_ANALYSIS inside
+/// `policy.no_analysis_banned_prefixes`.
+std::vector<Finding> CheckLockAnnotationDrift(const std::string& path,
+                                              const ScrubbedSource& src,
+                                              const RulePolicy& policy);
 
 /// Harvests names of functions declared or defined to return Status or
 /// Result<...> from one scrubbed file into `out`.

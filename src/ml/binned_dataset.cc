@@ -138,7 +138,7 @@ std::shared_ptr<const PreBinned> BinningCache::GetOrCompute(const Matrix& x,
                                                             int max_bins,
                                                             int num_threads) {
   const Key key{FingerprintMatrix(x), x.rows(), x.cols(), max_bins};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++lookups_;
   if (auto it = entries_.find(key); it != entries_.end()) {
     ++hits_;
@@ -153,7 +153,7 @@ std::shared_ptr<const PreBinned> BinningCache::GetOrCompute(const Matrix& x,
 }
 
 BinningCache::Stats BinningCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats stats;
   stats.lookups = lookups_;
   stats.hits = hits_;
@@ -162,7 +162,7 @@ BinningCache::Stats BinningCache::stats() const {
 }
 
 void BinningCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
 }
 

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "ml/matrix.h"
 
 /// \file binned_dataset.h
@@ -154,10 +154,11 @@ class BinningCache {
   /// inserting it on a miss. Concurrent callers are serialized; the
   /// returned object is immutable and safe to share across threads.
   std::shared_ptr<const PreBinned> GetOrCompute(const Matrix& x, int max_bins,
-                                                int num_threads = 1);
+                                                int num_threads = 1)
+      EXCLUDES(mutex_);
 
-  Stats stats() const;
-  void Clear();
+  Stats stats() const EXCLUDES(mutex_);
+  void Clear() EXCLUDES(mutex_);
 
  private:
   struct Key {
@@ -171,10 +172,10 @@ class BinningCache {
   /// Wholesale-reset threshold; see class comment.
   static constexpr size_t kMaxEntries = 64;
 
-  mutable std::mutex mutex_;
-  std::map<Key, std::shared_ptr<const PreBinned>> entries_;
-  size_t lookups_ = 0;
-  size_t hits_ = 0;
+  mutable Mutex mutex_;
+  std::map<Key, std::shared_ptr<const PreBinned>> entries_ GUARDED_BY(mutex_);
+  size_t lookups_ GUARDED_BY(mutex_) = 0;
+  size_t hits_ GUARDED_BY(mutex_) = 0;
 };
 
 /// How the tree learners (Tree/RF/XGB) execute training: which core runs

@@ -30,16 +30,28 @@ struct FleetDaemon::PendingOp {
 
 /// Shared completion state of one Refresh barrier: the last shard in
 /// merges the per-shard results and resolves the caller's future.
+///
+/// Lock order: a leg may resolve while its shard's lock is held, so
+/// RefreshBarrier::mu is always acquired after Shard::mu, never before
+/// (docs/static-analysis.md#lock-hierarchy).
 struct FleetDaemon::RefreshBarrier {
-  std::mutex mu;
-  size_t remaining = 0;
-  uint64_t epoch = 0;
-  uint64_t refreshed = 0;
-  uint64_t reused = 0;
-  uint32_t shards = 0;
+  RefreshBarrier(size_t legs, std::promise<protocol::Response> done_in)
+      : remaining(legs),
+        shards(static_cast<uint32_t>(legs)),
+        done(std::move(done_in)) {}
+
+  Mutex mu;
+  /// Shard legs not yet completed; the last leg in resolves `done`.
+  size_t remaining GUARDED_BY(mu);
+  uint64_t epoch GUARDED_BY(mu) = 0;
+  uint64_t refreshed GUARDED_BY(mu) = 0;
+  uint64_t reused GUARDED_BY(mu) = 0;
   /// Per-shard failures; the lowest failing shard's status wins so the
   /// merged error is deterministic regardless of worker finish order.
-  std::vector<std::pair<uint32_t, Status>> errors;
+  std::vector<std::pair<uint32_t, Status>> errors GUARDED_BY(mu);
+  /// Shard count at submit time (immutable after construction).
+  const uint32_t shards;
+  /// Resolved exactly once, by CompleteBarrier on the last leg in.
   std::promise<protocol::Response> done;
 };
 
@@ -59,10 +71,13 @@ struct FleetDaemon::Shard {
   const size_t index;
   ServingEngine engine;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<PendingOp> queue;
-  bool stop = false;
+  /// Guards the write queue. Lock order: taken before RefreshBarrier::mu
+  /// (a refresh leg can fail — and complete its barrier — under this
+  /// lock); never acquired while holding a barrier's lock.
+  Mutex mu;
+  CondVar cv;
+  std::deque<PendingOp> queue GUARDED_BY(mu);
+  bool stop GUARDED_BY(mu) = false;
   std::thread worker;
 
   // Worker-thread-only state (no locking needed once Start() ran).
@@ -139,7 +154,7 @@ void FleetDaemon::Stop() {
     for (auto& shard : shards_) {
       std::deque<PendingOp> orphaned;
       {
-        std::lock_guard<std::mutex> lock(shard->mu);
+        MutexLock lock(shard->mu);
         shard->stop = true;
         orphaned.swap(shard->queue);
         shard->queue_depth.store(0);
@@ -152,10 +167,10 @@ void FleetDaemon::Stop() {
   }
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       shard->stop = true;
     }
-    shard->cv.notify_all();
+    shard->cv.NotifyAll();
   }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
@@ -170,7 +185,7 @@ void FleetDaemon::FailPendingOp(Shard& shard, PendingOp& op,
   }
   bool last = false;
   {
-    std::lock_guard<std::mutex> lock(op.barrier->mu);
+    MutexLock lock(op.barrier->mu);
     op.barrier->errors.emplace_back(static_cast<uint32_t>(shard.index),
                                     status);
     last = (--op.barrier->remaining == 0);
@@ -179,21 +194,30 @@ void FleetDaemon::FailPendingOp(Shard& shard, PendingOp& op,
 }
 
 void FleetDaemon::CompleteBarrier(RefreshBarrier& barrier) {
-  // Called by the last shard in; no lock needed (remaining hit zero).
-  if (barrier.errors.empty()) {
-    protocol::RefreshDoneResponse done;
-    done.epoch = barrier.epoch;
-    done.refreshed = barrier.refreshed;
-    done.reused = barrier.reused;
-    done.shards = barrier.shards;
-    barrier.done.set_value(done);
-    return;
+  // Called by the last leg in: remaining hit zero, so no other thread
+  // still touches the barrier — but the fields are guarded, so read them
+  // under the lock anyway. The promise resolves outside it: a caller
+  // blocked in future::get() may destroy the barrier the moment the value
+  // lands.
+  protocol::Response response;
+  {
+    MutexLock lock(barrier.mu);
+    if (barrier.errors.empty()) {
+      protocol::RefreshDoneResponse done;
+      done.epoch = barrier.epoch;
+      done.refreshed = barrier.refreshed;
+      done.reused = barrier.reused;
+      done.shards = barrier.shards;
+      response = done;
+    } else {
+      auto lowest = std::min_element(
+          barrier.errors.begin(), barrier.errors.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      response = ErrorFrom(lowest->second.WithContext(
+          "shard " + std::to_string(lowest->first) + " refresh failed"));
+    }
   }
-  auto lowest = std::min_element(
-      barrier.errors.begin(), barrier.errors.end(),
-      [](const auto& a, const auto& b) { return a.first < b.first; });
-  barrier.done.set_value(ErrorFrom(lowest->second.WithContext(
-      "shard " + std::to_string(lowest->first) + " refresh failed")));
+  barrier.done.set_value(std::move(response));
 }
 
 Status FleetDaemon::CheckEnqueue() {
@@ -212,7 +236,7 @@ std::future<protocol::Response> FleetDaemon::EnqueueWrite(size_t shard_index,
   }
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (stopping_.load() || shard.stop) {
       op.done.set_value(
           ErrorFrom(Status::FailedPrecondition("daemon is stopping")));
@@ -235,7 +259,7 @@ std::future<protocol::Response> FleetDaemon::EnqueueWrite(size_t shard_index,
     shard.queue_gauge->Set(depth);
     notify = true;
   }
-  if (notify) shard.cv.notify_one();
+  if (notify) shard.cv.NotifyOne();
   return future;
 }
 
@@ -264,10 +288,8 @@ std::future<protocol::Response> FleetDaemon::SubmitAsync(
           "refresh requires a started daemon (call Start() first)")));
       return future;
     }
-    auto barrier = std::make_shared<RefreshBarrier>();
-    barrier->remaining = shards_.size();
-    barrier->shards = static_cast<uint32_t>(shards_.size());
-    barrier->done = std::move(promise);
+    auto barrier =
+        std::make_shared<RefreshBarrier>(shards_.size(), std::move(promise));
     // Refresh legs are control traffic: they bypass max_queue so a full
     // write queue can always be flushed.
     for (auto& shard : shards_) {
@@ -276,7 +298,7 @@ std::future<protocol::Response> FleetDaemon::SubmitAsync(
       op.request = protocol::RefreshRequest{};
       op.barrier = barrier;
       {
-        std::lock_guard<std::mutex> lock(shard->mu);
+        MutexLock lock(shard->mu);
         if (shard->stop) {
           FailPendingOp(*shard, op,
                         Status::FailedPrecondition("daemon is stopping"));
@@ -284,7 +306,7 @@ std::future<protocol::Response> FleetDaemon::SubmitAsync(
         }
         shard->queue.push_back(std::move(op));
       }
-      shard->cv.notify_one();
+      shard->cv.NotifyOne();
     }
     return future;
   }
@@ -317,9 +339,8 @@ void FleetDaemon::ShardLoop(size_t index) {
   for (;;) {
     std::deque<PendingOp> batch;
     {
-      std::unique_lock<std::mutex> lock(shard.mu);
-      shard.cv.wait(lock,
-                    [&shard] { return shard.stop || !shard.queue.empty(); });
+      MutexLock lock(shard.mu);
+      while (!shard.stop && shard.queue.empty()) shard.cv.Wait(shard.mu);
       if (shard.queue.empty() && shard.stop) break;
       batch.swap(shard.queue);
       shard.queue_depth.store(0);
@@ -412,7 +433,7 @@ void FleetDaemon::ApplyRefresh(Shard& shard, PendingOp& op) {
   shard.appends_since_refresh = 0;
   bool last = false;
   {
-    std::lock_guard<std::mutex> lock(op.barrier->mu);
+    MutexLock lock(op.barrier->mu);
     if (result.ok()) {
       const RefreshStats& stats = result.ValueOrDie();
       op.barrier->epoch = std::max(op.barrier->epoch, stats.epoch);

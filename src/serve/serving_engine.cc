@@ -292,7 +292,7 @@ void ServingEngine::PublishSnapshot() {
       snapshot->degradations.vehicles.push_back(*entry.forecast_degradation);
     }
   }
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   snapshot_ = std::move(snapshot);
 }
 
@@ -309,7 +309,7 @@ const core::MaintenanceForecast* FleetSnapshot::FindForecast(
 
 std::shared_ptr<const FleetSnapshot> ServingEngine::Snapshot() const {
   telemetry::Count("serve.snapshot.reads");
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   return snapshot_;
 }
 

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -12,6 +11,7 @@
 
 #include "common/date.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/category.h"
 #include "core/scheduler.h"
 #include "data/time_series.h"
@@ -152,7 +152,8 @@ class ServingEngine {
 
   /// The current published snapshot. Never null; epoch 0 with no
   /// forecasts before the first refresh. Thread-safe against the writer.
-  std::shared_ptr<const FleetSnapshot> Snapshot() const;
+  std::shared_ptr<const FleetSnapshot> Snapshot() const
+      EXCLUDES(snapshot_mu_);
 
   /// Batch read: per-vehicle forecasts for `ids`, in request order.
   ///
@@ -233,7 +234,7 @@ class ServingEngine {
   void MarkDirty(CacheEntry& entry);
 
   /// Assembles and publishes the snapshot for the current cache contents.
-  void PublishSnapshot();
+  void PublishSnapshot() EXCLUDES(snapshot_mu_);
 
   core::SchedulerOptions options_;
   core::FleetScheduler scheduler_;
@@ -246,8 +247,10 @@ class ServingEngine {
   size_t dirty_count_ = 0;
   uint64_t epoch_ = 0;
   RefreshStats last_stats_;
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const FleetSnapshot> snapshot_;
+  /// The only lock in the engine: everything else follows the single-writer
+  /// contract (see the file comment) and is touched by the writer alone.
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const FleetSnapshot> snapshot_ GUARDED_BY(snapshot_mu_);
 };
 
 }  // namespace serve

@@ -125,13 +125,12 @@ void SocketServer::AcceptLoop() {
       // Closed or shut down: stop accepting.
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       ::close(fd);
       return;
     }
-    auto connection = std::make_unique<Connection>();
-    connection->fd = fd;
+    auto connection = std::make_unique<Connection>(fd);
     Connection* raw = connection.get();
     connections_.push_back(std::move(connection));
     raw->thread = std::thread(&SocketServer::ServeConnection, this, raw);
@@ -139,12 +138,19 @@ void SocketServer::AcceptLoop() {
 }
 
 void SocketServer::ServeConnection(Connection* connection) {
+  // The fd never changes between here and the close below (this thread is
+  // the only writer), so I/O runs on a stable local copy instead of reading
+  // the guarded member unlocked on every recv/send.
+  int fd = -1;
+  {
+    MutexLock lock(connection->mu);
+    fd = connection->fd;
+  }
   protocol::FrameAssembler assembler;
   std::vector<uint8_t> read_buffer(64 << 10);
   bool shutdown_seen = false;
   for (;;) {
-    const ssize_t n =
-        ::recv(connection->fd, read_buffer.data(), read_buffer.size(), 0);
+    const ssize_t n = ::recv(fd, read_buffer.data(), read_buffer.size(), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       break;
@@ -158,7 +164,7 @@ void SocketServer::ServeConnection(Connection* connection) {
         // Byte alignment is lost; answer once and drop the connection.
         const std::vector<uint8_t> error_frame = protocol::EncodeResponse(
             protocol::ErrorResponse::FromStatus(next.status()));
-        SendAll(connection->fd, error_frame.data(), error_frame.size());
+        SendAll(fd, error_frame.data(), error_frame.size());
         poisoned = true;
         break;
       }
@@ -166,7 +172,7 @@ void SocketServer::ServeConnection(Connection* connection) {
           std::move(next).ValueOrDie();
       if (!payload.has_value()) break;
       const std::vector<uint8_t> response = daemon_->HandleFrame(*payload);
-      if (!SendAll(connection->fd, response.data(), response.size())) {
+      if (!SendAll(fd, response.data(), response.size())) {
         poisoned = true;
         break;
       }
@@ -179,7 +185,7 @@ void SocketServer::ServeConnection(Connection* connection) {
     if (poisoned || shutdown_seen) break;
   }
   {
-    std::lock_guard<std::mutex> lock(connection->mu);
+    MutexLock lock(connection->mu);
     ::close(connection->fd);
     connection->fd = -1;
   }
@@ -187,22 +193,22 @@ void SocketServer::ServeConnection(Connection* connection) {
 }
 
 void SocketServer::Signal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopping_) return;
   stopping_ = true;
   // Unblock accept() and every in-flight recv() so their threads exit.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   for (const auto& connection : connections_) {
-    std::lock_guard<std::mutex> conn_lock(connection->mu);
+    MutexLock conn_lock(connection->mu);
     if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
   }
-  stopped_cv_.notify_all();
+  stopped_cv_.NotifyAll();
 }
 
 void SocketServer::Teardown() {
   std::vector<std::unique_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (torn_down_) return;
     torn_down_ = true;
     connections.swap(connections_);
@@ -220,8 +226,8 @@ void SocketServer::Teardown() {
 
 void SocketServer::Wait() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    stopped_cv_.wait(lock, [this] { return stopping_; });
+    MutexLock lock(mu_);
+    while (!stopping_) stopped_cv_.Wait(mu_);
   }
   Teardown();
 }

@@ -1,14 +1,13 @@
 #ifndef NEXTMAINT_SERVE_SOCKET_SERVER_H_
 #define NEXTMAINT_SERVE_SOCKET_SERVER_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/daemon.h"
 
 /// \file socket_server.h
@@ -55,10 +54,10 @@ class SocketServer {
   /// Blocks until the daemon acknowledges a Shutdown frame (or Stop() is
   /// called), then tears the transport down. The natural main-thread call
   /// after Start().
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Asynchronously requests shutdown and tears down (idempotent).
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
   /// The bound TCP port after Start() (useful with tcp_port = 0);
   /// -1 for unix-domain servers.
@@ -69,28 +68,31 @@ class SocketServer {
 
  private:
   struct Connection {
-    int fd = -1;
+    explicit Connection(int fd_in) : fd(fd_in) {}
+    /// Guards fd against concurrent shutdown/close. Lock order: taken
+    /// after SocketServer::mu_ (Signal holds both); never the reverse.
+    Mutex mu;
+    int fd GUARDED_BY(mu) = -1;
     std::thread thread;
-    std::mutex mu;  // guards fd against concurrent shutdown/close
   };
 
-  void AcceptLoop();
-  void ServeConnection(Connection* connection);
+  void AcceptLoop() EXCLUDES(mu_);
+  void ServeConnection(Connection* connection) EXCLUDES(mu_);
   /// Flags the server as stopping and unblocks accept/read calls.
-  void Signal();
+  void Signal() EXCLUDES(mu_);
   /// Joins threads and closes sockets; safe to call more than once.
-  void Teardown();
+  void Teardown() EXCLUDES(mu_);
 
   FleetDaemon* daemon_;
   SocketServerOptions options_;
   int listen_fd_ = -1;
   int bound_port_ = -1;
   std::thread accept_thread_;
-  mutable std::mutex mu_;
-  std::condition_variable stopped_cv_;
-  bool stopping_ = false;
-  bool torn_down_ = false;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  mutable Mutex mu_;
+  CondVar stopped_cv_;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  bool torn_down_ GUARDED_BY(mu_) = false;
+  std::vector<std::unique_ptr<Connection>> connections_ GUARDED_BY(mu_);
 };
 
 }  // namespace serve

@@ -293,6 +293,128 @@ TEST(RowIterationRuleTest, CommentsAndSuppressionsWork) {
           .empty());
 }
 
+// ---------------------------------------------------------------- rule 6
+
+TEST(GuardedMutexRuleTest, FlagsRawStdMutexOutsideCommon) {
+  const auto findings = Lint("src/serve/foo.h",
+                             "class Q {\n"
+                             "  std::mutex mu_;\n"
+                             "  int x_ GUARDED_BY(mu_);\n"
+                             "};\n");
+  ASSERT_TRUE(HasRule(findings, Rule::kGuardedMutex));
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(GuardedMutexRuleTest, FlagsMutexGuardingNothing) {
+  const auto findings = Lint("src/serve/foo.h",
+                             "class Q {\n"
+                             "  Mutex mu_;\n"
+                             "  int x_;\n"
+                             "};\n");
+  ASSERT_TRUE(HasRule(findings, Rule::kGuardedMutex));
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(GuardedMutexRuleTest, PassesGuardedAnnotatedMutex) {
+  EXPECT_TRUE(Lint("src/serve/foo.h",
+                   "class Q {\n"
+                   "  mutable Mutex mu_;\n"
+                   "  int x_ GUARDED_BY(mu_);\n"
+                   "  char* p_ PT_GUARDED_BY(mu_);\n"
+                   "};\n")
+                  .empty());
+}
+
+TEST(GuardedMutexRuleTest, RawStdMutexAllowedUnderCommonWhenGuarding) {
+  const std::string source =
+      "struct R {\n"
+      "  std::mutex mu;\n"
+      "  int n GUARDED_BY(mu);\n"
+      "};\n";
+  EXPECT_TRUE(Lint("src/common/foo.cc", source).empty());
+  EXPECT_FALSE(Lint("src/core/foo.cc", source).empty());
+}
+
+TEST(GuardedMutexRuleTest, ReferencesAndParametersDoNotMatch) {
+  EXPECT_TRUE(Lint("src/serve/foo.h",
+                   "void Wait(Mutex& mu);\n"
+                   "void Lock(std::mutex* mu);\n")
+                  .empty());
+}
+
+TEST(GuardedMutexRuleTest, WrapperHeaderIsExempt) {
+  EXPECT_TRUE(Lint("src/common/thread_annotations.h",
+                   "class Mutex {\n"
+                   "  std::mutex raw_;\n"
+                   "};\n")
+                  .empty());
+}
+
+TEST(GuardedMutexRuleTest, InlineSuppressionSilencesOneLine) {
+  const auto findings = Lint(
+      "src/serve/foo.h",
+      "class Q {\n"
+      "  Mutex a_;  // nextmaint-lint: allow(guarded-mutex)\n"
+      "  Mutex b_;\n"
+      "};\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[0].rule, Rule::kGuardedMutex);
+}
+
+// ---------------------------------------------------------------- rule 7
+
+TEST(LockAnnotationDriftRuleTest, FlagsRawLockingVocabulary) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/core/foo.cc", "std::lock_guard<std::mutex> lock(mu_);\n"),
+      Rule::kLockAnnotationDrift));
+  EXPECT_TRUE(HasRule(
+      Lint("src/core/foo.cc", "std::unique_lock<std::mutex> lock(mu_);\n"),
+      Rule::kLockAnnotationDrift));
+  EXPECT_TRUE(HasRule(Lint("src/core/foo.cc", "std::condition_variable cv;\n"),
+                      Rule::kLockAnnotationDrift));
+  EXPECT_TRUE(
+      HasRule(Lint("src/core/foo.cc", "std::condition_variable_any cv;\n"),
+              Rule::kLockAnnotationDrift));
+  EXPECT_TRUE(HasRule(Lint("src/core/foo.cc", "std::shared_mutex rw;\n"),
+                      Rule::kLockAnnotationDrift));
+}
+
+TEST(LockAnnotationDriftRuleTest, PassesAnnotatedWrappers) {
+  EXPECT_TRUE(Lint("src/serve/foo.cc",
+                   "MutexLock lock(mu_);\n"
+                   "while (queue_.empty()) cv_.Wait(mu_);\n"
+                   "cv_.NotifyAll();\n")
+                  .empty());
+}
+
+TEST(LockAnnotationDriftRuleTest, WrapperFilesAreExempt) {
+  EXPECT_TRUE(Lint("src/common/thread_annotations.cc",
+                   "std::unique_lock<std::mutex> relock(mu.raw_);\n")
+                  .empty());
+}
+
+TEST(LockAnnotationDriftRuleTest, FlagsSuppressionInServeAndParallel) {
+  const std::string source = "void F() NO_THREAD_SAFETY_ANALYSIS;\n";
+  EXPECT_TRUE(HasRule(Lint("src/serve/daemon.cc", source),
+                      Rule::kLockAnnotationDrift));
+  EXPECT_TRUE(HasRule(Lint("src/common/parallel.cc", source),
+                      Rule::kLockAnnotationDrift));
+  // Elsewhere NO_THREAD_SAFETY_ANALYSIS is discouraged but not lint-banned.
+  EXPECT_TRUE(Lint("src/common/telemetry.cc", source).empty());
+}
+
+TEST(LockAnnotationDriftRuleTest, IgnoresCommentsAndSuppressions) {
+  EXPECT_TRUE(Lint("src/core/foo.cc",
+                   "// replaced std::lock_guard with MutexLock\n")
+                  .empty());
+  EXPECT_TRUE(
+      Lint("src/core/foo.cc",
+           "std::lock_guard<std::mutex> lock(mu_);  "
+           "// nextmaint-lint: allow(lock-annotation-drift)\n")
+          .empty());
+}
+
 // ------------------------------------------------------------- plumbing
 
 TEST(FindingTest, ToStringFormat) {
@@ -306,6 +428,8 @@ TEST(RuleNameTest, KebabCaseNames) {
   EXPECT_STREQ(RuleName(Rule::kLayering), "layering");
   EXPECT_STREQ(RuleName(Rule::kNakedNew), "naked-new");
   EXPECT_STREQ(RuleName(Rule::kRowIteration), "row-iteration");
+  EXPECT_STREQ(RuleName(Rule::kGuardedMutex), "guarded-mutex");
+  EXPECT_STREQ(RuleName(Rule::kLockAnnotationDrift), "lock-annotation-drift");
 }
 
 }  // namespace

@@ -1,0 +1,26 @@
+// Negative compile fixture for the Clang thread-safety build
+// (docs/static-analysis.md#thread-safety-analysis): reading a GUARDED_BY
+// member without holding its mutex MUST fail under
+// -Wthread-safety -Werror=thread-safety. The ThreadSafetyNegativeCompile
+// ctest builds this target and asserts the build FAILS (WILL_FAIL), so a
+// regression that silently disarms the analysis — a broken macro
+// definition, a dropped compiler flag — turns the suite red.
+//
+// This target is EXCLUDE_FROM_ALL: it must never link into the real build.
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Account {
+  nextmaint::Mutex mu;
+  long balance GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  // BUG (deliberate): no MutexLock — the analysis must reject this read.
+  return account.balance == 0 ? 0 : 1;
+}
