@@ -10,10 +10,22 @@
 //
 // ISSUE 5 acceptance: incremental refresh after a single-day append on a
 // >=50-vehicle fleet must be >=10x faster than the batch re-run.
+//
+// Warm mode (NEXTMAINT_BENCH_WARM=1, ISSUE 9): reruns an append-heavy
+// schedule on a tree-model fleet twice — exact cold retrains vs
+// SchedulerOptions::warm_start resumes — and measures both the refresh
+// latency and the forecast divergence the resume trades for it. The E_MRE
+// style divergence (mean relative |days_left| gap vs the exact engine)
+// must stay within the bound documented in docs/warm-start.md; the bench
+// exits non-zero on a violation. The record lands in the JSON named by
+// NEXTMAINT_BENCH_WARM_JSON.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -62,6 +74,188 @@ bool ForecastsIdentical(
   return true;
 }
 
+/// Tree-model serving options for the warm benchmark: RF per vehicle (the
+/// resumable ensemble), XGB as the unified cold-start model, trimmed for
+/// bench speed.
+nextmaint::core::SchedulerOptions WarmBenchOptions(const BenchConfig& config,
+                                                   double tv,
+                                                   bool warm_start) {
+  nextmaint::core::SchedulerOptions options;
+  options.maintenance_interval_s = tv;
+  options.window = 3;
+  options.algorithms = {"RF"};
+  options.unified_algorithm = "XGB";
+  options.selection.tune = false;
+  options.selection.train_on_last29_only = true;
+  options.selection.resampling_shifts = 0;
+  options.cold_start.model_params = {{"num_estimators", 20},
+                                     {"num_iterations", 12},
+                                     {"max_depth", 5},
+                                     {"max_bins", 128},
+                                     {"min_samples_leaf", 2}};
+  options.num_threads = config.num_threads;
+  options.warm_start = warm_start;
+  options.warm_start_rounds = 4;
+  return options;
+}
+
+/// Ingests everything but the trailing `held_out` days of each vehicle and
+/// publishes the initial snapshot. Returns false on any failure.
+bool SeedEngine(nextmaint::serve::ServingEngine& engine,
+                const nextmaint::telem::Fleet& fleet, size_t held_out) {
+  for (const auto& vehicle : fleet.vehicles) {
+    const auto& series = vehicle.utilization;
+    if (!engine.Register(vehicle.profile.id, series.start_date()).ok() ||
+        !engine
+             .LoadHistory(vehicle.profile.id,
+                          series.Slice(0, series.size() - held_out))
+             .ok()) {
+      return false;
+    }
+  }
+  return engine.RefreshForecasts().ok();
+}
+
+/// The append-heavy replay: delivers the held-out days to every vehicle in
+/// `batches` batches, refreshing after each. Returns the summed refresh
+/// seconds, or a negative value on failure; accumulates warm resumes into
+/// `warm_started`.
+double ReplayAppends(nextmaint::serve::ServingEngine& engine,
+                     const nextmaint::telem::Fleet& fleet, size_t held_out,
+                     size_t batches, size_t* warm_started) {
+  const size_t per_batch = held_out / batches;
+  double refresh_total = 0.0;
+  for (size_t batch = 0; batch < batches; ++batch) {
+    for (const auto& vehicle : fleet.vehicles) {
+      const auto& series = vehicle.utilization;
+      const size_t base = series.size() - held_out + batch * per_batch;
+      for (size_t d = base; d < base + per_batch; ++d) {
+        if (!engine
+                 .Append(vehicle.profile.id,
+                         series.start_date().AddDays(static_cast<int64_t>(d)),
+                         series[d])
+                 .ok()) {
+          return -1.0;
+        }
+      }
+    }
+    const Clock::time_point start = Clock::now();
+    const auto stats = engine.RefreshForecasts();
+    refresh_total += SecondsSince(start);
+    if (!stats.ok()) return -1.0;
+    *warm_started += stats.ValueOrDie().warm_started;
+  }
+  return refresh_total;
+}
+
+/// E_MRE-style divergence between the warm and the exact fleet snapshots:
+/// mean relative |days_left| gap, with a 1-day floor on the denominator.
+double ForecastDivergence(
+    const std::vector<nextmaint::core::MaintenanceForecast>& warm,
+    const std::vector<nextmaint::core::MaintenanceForecast>& exact) {
+  // Joined by vehicle_id: a vehicle the non-strict engines degraded
+  // differently (e.g. a failed per-vehicle selection on one side) drops
+  // out of the mean instead of poisoning it.
+  std::map<std::string, double> exact_days;
+  for (const auto& forecast : exact) {
+    exact_days[forecast.vehicle_id] = forecast.days_left;
+  }
+  double total = 0.0;
+  size_t joined = 0;
+  for (const auto& forecast : warm) {
+    const auto it = exact_days.find(forecast.vehicle_id);
+    if (it == exact_days.end()) continue;
+    total += std::fabs(forecast.days_left - it->second) /
+             std::max(std::fabs(it->second), 1.0);
+    ++joined;
+  }
+  if (joined == 0) return -1.0;
+  return total / static_cast<double>(joined);
+}
+
+/// The documented warm-start divergence bound (docs/warm-start.md). The
+/// warm_start_test.cc differential harness pins the same value at the
+/// model level.
+constexpr double kDivergenceBound = 0.25;
+
+int RunWarmBench(const BenchConfig& config, double tv,
+                 const nextmaint::telem::Fleet& fleet) {
+  const size_t kHeldOut = 6;
+  const size_t kBatches = 3;
+
+  nextmaint::serve::ServingEngine exact(
+      WarmBenchOptions(config, tv, /*warm_start=*/false));
+  nextmaint::serve::ServingEngine warm(
+      WarmBenchOptions(config, tv, /*warm_start=*/true));
+  if (!SeedEngine(exact, fleet, kHeldOut) ||
+      !SeedEngine(warm, fleet, kHeldOut)) {
+    std::fprintf(stderr, "warm bench seeding failed\n");
+    return 1;
+  }
+
+  size_t cold_resumes = 0;
+  size_t warm_resumes = 0;
+  const double cold_seconds =
+      ReplayAppends(exact, fleet, kHeldOut, kBatches, &cold_resumes);
+  const double warm_seconds =
+      ReplayAppends(warm, fleet, kHeldOut, kBatches, &warm_resumes);
+  if (cold_seconds < 0.0 || warm_seconds < 0.0) {
+    std::fprintf(stderr, "warm bench replay failed\n");
+    return 1;
+  }
+
+  const double divergence = ForecastDivergence(warm.Snapshot()->forecasts,
+                                               exact.Snapshot()->forecasts);
+  const double speedup =
+      warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+  const bool within_bound =
+      divergence >= 0.0 && divergence <= kDivergenceBound;
+
+  char json[512];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"warm_start\",\"schema\":1,\"vehicles\":%d,\"days\":%d,"
+      "\"threads\":%d,\"append_days\":%zu,\"refreshes\":%zu,"
+      "\"cold_refresh_seconds\":%.6f,\"warm_refresh_seconds\":%.6f,"
+      "\"speedup\":%.2f,\"warm_resumes\":%zu,\"divergence\":%.6f,"
+      "\"bound\":%.2f,\"within_bound\":%s}",
+      config.num_vehicles, config.num_days, config.num_threads, kHeldOut,
+      kBatches, cold_seconds, warm_seconds, speedup, warm_resumes,
+      divergence, kDivergenceBound, within_bound ? "true" : "false");
+  std::printf("%s\n", json);
+
+  if (const char* path = std::getenv("NEXTMAINT_BENCH_WARM_JSON")) {
+    if (*path != '\0') {
+      std::FILE* file = std::fopen(path, "w");
+      if (file == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+      }
+      std::fprintf(file, "%s\n", json);
+      std::fclose(file);
+    }
+  }
+
+  if (cold_resumes != 0) {
+    std::fprintf(stderr, "exact engine reported warm resumes\n");
+    return 1;
+  }
+  if (warm_resumes == 0) {
+    std::fprintf(stderr, "warm engine never resumed a model — the "
+                         "append-heavy schedule should make every old "
+                         "vehicle eligible\n");
+    return 1;
+  }
+  if (!within_bound) {
+    std::fprintf(stderr,
+                 "warm-start divergence %.6f exceeds the documented bound "
+                 "%.2f (docs/warm-start.md)\n",
+                 divergence, kDivergenceBound);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -74,6 +268,12 @@ int main() {
   config.maintenance_interval_s = 500'000.0;
   const double tv = config.maintenance_interval_s;
   const nextmaint::telem::Fleet fleet = MakeReferenceFleet(config);
+
+  // Warm mode replaces the cold bit-identity bench with the warm-vs-exact
+  // divergence bench (docs/warm-start.md); CI runs both.
+  if (const char* mode = std::getenv("NEXTMAINT_BENCH_WARM")) {
+    if (*mode != '\0' && *mode != '0') return RunWarmBench(config, tv, fleet);
+  }
 
   const nextmaint::core::SchedulerOptions options =
       ServingOptions(config, tv);

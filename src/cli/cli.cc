@@ -170,6 +170,7 @@ Result<CommonOptions> ParseCommonOptions(const ParsedArgs& args) {
     }
     common.batch_window = parsed.ValueOrDie();
   }
+  common.warm_start = args.HasFlag("warm-start");
   return common;
 }
 
@@ -292,6 +293,7 @@ Result<core::SchedulerOptions> SchedulerOptionsFromArgs(
   options.window = static_cast<int>(window);
   options.num_threads = common.threads;
   options.strict = common.strict;
+  options.warm_start = common.warm_start;
   options.selection.tune = args.HasFlag("tune");
   options.selection.train_on_last29_only = true;
   options.selection.resampling_shifts = 2;
@@ -643,8 +645,9 @@ Status RunServe(const ParsedArgs& args, std::ostream& out) {
     }
     const serve::RefreshStats& s = stats.ValueOrDie();
     out << "refresh epoch " << s.epoch << ": " << s.refreshed
-        << " refreshed, " << s.reused << " reused"
-        << (s.corpus_rebuilt ? ", corpus rebuilt" : "") << "\n";
+        << " refreshed, " << s.reused << " reused";
+    if (s.warm_started > 0) out << ", " << s.warm_started << " warm";
+    out << (s.corpus_rebuilt ? ", corpus rebuilt" : "") << "\n";
     return Status::OK();
   };
 
@@ -696,14 +699,16 @@ std::string UsageText() {
       "           [--threads N]\n"
       "  evaluate --data DIR [--tv S] [--window W] [--last29] [--tune]\n"
       "  serve    --data DIR [--tv S] [--window W] [--replay-days N]\n"
-      "           [--refresh-every N] [--threads N]\n"
+      "           [--refresh-every N] [--threads N] [--warm-start]\n"
       "  serve    --daemon --data DIR (--socket PATH | --port N)\n"
       "           [--shards N] [--max-queue N] [--batch-window N]\n"
       "           [--tv S] [--window W] [--threads N]\n"
       "\n"
       "serve replays the trailing --replay-days of each vehicle through the\n"
       "incremental engine: warm-start, then append day by day and refresh\n"
-      "only the dirty vehicles (docs/serving.md).\n"
+      "only the dirty vehicles (docs/serving.md). --warm-start resumes\n"
+      "eligible ensemble models in place instead of retraining them from\n"
+      "scratch, within a measured divergence bound (docs/warm-start.md).\n"
       "serve --daemon runs the long-lived sharded daemon instead: vehicles\n"
       "are sharded by stable hash across --shards serving engines and the\n"
       "versioned binary protocol is served on a unix socket or TCP\n"

@@ -24,12 +24,14 @@
 ///   evaluate --data DIR [--tv SECONDS] [--window W] [--last29]
 ///       Compare the five paper algorithms per vehicle (E_MRE / E_Global).
 ///   serve --data DIR [--tv SECONDS] [--window W] [--replay-days N]
-///         [--refresh-every N]
+///         [--refresh-every N] [--warm-start]
 ///       Replay the trailing days of each vehicle series through the
 ///       incremental serving engine: warm-start on the leading history,
 ///       then append day by day and refresh only the dirty vehicles,
 ///       printing per-refresh stats and the final fleet snapshot
-///       (docs/serving.md).
+///       (docs/serving.md). --warm-start resumes eligible ensemble models
+///       incrementally instead of retraining them from scratch
+///       (docs/warm-start.md).
 ///   serve --daemon --data DIR (--socket PATH | --port N) [--shards N]
 ///         [--max-queue N] [--batch-window N] [--tv SECONDS] [--window W]
 ///       Long-running sharded daemon: warm-start the fleet, publish an
@@ -103,6 +105,9 @@ struct CommonOptions {
   /// --batch-window N: auto-refresh a shard every N applied appends
   /// (0 = only explicit Refresh requests).
   int64_t batch_window = 0;
+  /// --warm-start: refreshes resume eligible ensemble models in place
+  /// instead of retraining them cold (docs/warm-start.md).
+  bool warm_start = false;
 };
 
 /// Parses and validates the shared flags: --threads must be a non-negative

@@ -201,6 +201,7 @@ const std::vector<std::string>& RegisteredSites() {
       "serve.daemon.enqueue",
       "serve.daemon.refresh",
       "serve.refresh",
+      "serve.refresh.warm",
   };
   return *sites;
 }

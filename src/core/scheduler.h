@@ -105,6 +105,16 @@ struct SchedulerOptions {
   /// Propagated into `selection` and `cold_start` by the constructor. See
   /// docs/binned-training.md.
   ml::TreeCore tree_core = ml::TreeCore::kBinned;
+  /// Warm-start refresh: the serving engine's refresh pass resumes
+  /// eligible dirty vehicles' ensemble models (WarmStartVehicle) instead
+  /// of retraining them from scratch, trading an exact retrain for an
+  /// O(warm_start_rounds) resume within a measured forecast-divergence
+  /// bound (docs/warm-start.md). Ignored by the batch facade — TrainAll
+  /// always trains cold.
+  bool warm_start = false;
+  /// Extra ensemble units (boosting rounds for XGB, appended trees for RF)
+  /// per warm resume.
+  int warm_start_rounds = 10;
 };
 
 /// Shared cold-start training inputs: the old vehicles' first-cycle corpus
@@ -204,6 +214,20 @@ class FleetScheduler {
   /// True when `id` currently has a trained (or fallback) model, i.e. it
   /// would be included in FleetForecast. NotFound for unregistered ids.
   [[nodiscard]] Result<bool> HasTrainedModel(const std::string& id) const;
+
+  /// Warm-start resume of one vehicle's model: rebuilds the refit dataset
+  /// over the vehicle's full history (the exact dataset TrainOneVehicle's
+  /// refit uses — same window, normalization, Last29 filter and time-shift
+  /// re-sampling) and extends the fitted ensemble with
+  /// Regressor::ContinueFit for `extra_rounds` units. Returns true when
+  /// the model was resumed; false when the vehicle is not eligible (no
+  /// trained model, a non-ensemble model, or not an old vehicle) — the
+  /// caller should retrain cold instead. NotFound for unregistered ids;
+  /// resume errors propagate (the serving engine degrades them to a cold
+  /// retrain). Serial API: not safe against concurrent use of the same
+  /// vehicle's model.
+  [[nodiscard]] Result<bool> WarmStartVehicle(const std::string& id,
+                                              int extra_rounds);
 
   /// Predicts the next maintenance for one vehicle (requires TrainAll).
   /// NotFound for unregistered ids; FailedPrecondition when the vehicle has

@@ -172,6 +172,103 @@ Status RandomForestRegressor::FitImpl(const Dataset& train) {
   return Status::OK();
 }
 
+Status RandomForestRegressor::ContinueFitImpl(const Dataset& train,
+                                              int extra_rounds) {
+  if (train.empty()) {
+    return Status::InvalidArgument("cannot resume RF on an empty dataset");
+  }
+  const size_t num_features = trees_.front().num_features();
+  if (train.num_features() != num_features) {
+    return Status::InvalidArgument(
+        "feature count mismatch: got " +
+        std::to_string(train.num_features()) + ", trained with " +
+        std::to_string(num_features));
+  }
+  if (!train.x().AllFinite()) {
+    return Status::InvalidArgument("RF features contain non-finite values");
+  }
+  if (extra_rounds == 0) return Status::OK();  // byte-identical no-op
+
+  const size_t n = train.num_rows();
+  const size_t p = train.num_features();
+  int max_features = options_.max_features;
+  if (max_features <= 0) max_features = static_cast<int>(p);
+
+  // Continuation stream: keyed by the current forest size so that resuming
+  // in two steps of k trees equals one step of 2k trees drawn from each
+  // intermediate size, and a save/load round trip (which keeps options_ via
+  // the 'resume' line and trees_ via the tree bodies) resumes identically.
+  const size_t trees_before = trees_.size();
+  Rng rng(options_.seed ^ (0x9e3779b97f4a7c15ULL * trees_before));
+  const size_t bootstrap_size = std::max<size_t>(
+      1, static_cast<size_t>(options_.bootstrap_fraction *
+                             static_cast<double>(n)));
+  const size_t extra = static_cast<size_t>(extra_rounds);
+  std::vector<std::vector<size_t>> samples(extra);
+  std::vector<uint64_t> seeds(extra);
+  for (size_t t = 0; t < extra; ++t) {
+    samples[t].resize(bootstrap_size);
+    for (size_t i = 0; i < bootstrap_size; ++i) {
+      samples[t][i] = static_cast<size_t>(rng.UniformInt(n));
+    }
+    seeds[t] = rng.NextUint64();
+  }
+
+  std::shared_ptr<const PreBinned> cached;
+  BinMapper local_mapper;
+  BinnedDataset local_binned;
+  const BinMapper* mapper = nullptr;
+  const BinnedDataset* binned = nullptr;
+  if (options_.core == TreeCore::kBinned && options_.binning_cache) {
+    cached = options_.binning_cache->GetOrCompute(
+        train.x(), options_.max_bins, options_.num_threads);
+    mapper = &cached->mapper;
+    binned = &cached->binned;
+  } else {
+    local_mapper.Compute(train.x(), options_.max_bins);
+    mapper = &local_mapper;
+    if (options_.core == TreeCore::kBinned) {
+      local_binned.Build(train.x(), *mapper, options_.num_threads);
+      binned = &local_binned;
+    }
+  }
+
+  trees_.resize(trees_before + extra);
+  const Status fit_status = ParallelFor(
+      0, extra, /*grain=*/1,
+      [&](size_t chunk_begin, size_t chunk_end) -> Status {
+        for (size_t t = chunk_begin; t < chunk_end; ++t) {
+          DecisionTreeRegressor::Options tree_options;
+          tree_options.max_depth = options_.max_depth;
+          tree_options.min_samples_split = options_.min_samples_split;
+          tree_options.min_samples_leaf = options_.min_samples_leaf;
+          tree_options.max_features = max_features;
+          tree_options.seed = seeds[t];
+          tree_options.max_bins = options_.max_bins;
+          tree_options.core = options_.core;
+
+          DecisionTreeRegressor tree(tree_options);
+          NM_RETURN_NOT_OK(
+              tree.FitBinned(train, *mapper, binned, samples[t])
+                  .WithContext("tree " +
+                               std::to_string(trees_before + t)));
+          trees_[trees_before + t] = std::move(tree);
+        }
+        return Status::OK();
+      },
+      options_.num_threads);
+  if (!fit_status.ok()) {
+    trees_.resize(trees_before);  // all-or-nothing
+    return fit_status;
+  }
+
+  // The original out-of-bag membership is gone (it is not persisted and the
+  // matrix may have grown), so the estimate cannot be extended coherently.
+  oob_mae_ = std::numeric_limits<double>::quiet_NaN();
+  telemetry::Count("ml.rf.trees_resumed", extra);
+  return Status::OK();
+}
+
 std::vector<double> RandomForestRegressor::FeatureImportances() const {
   if (trees_.empty()) return {};
   std::vector<double> total;
@@ -248,7 +345,16 @@ Status RandomForestRegressor::Save(std::ostream& out) const {
   if (trees_.empty()) {
     return Status::FailedPrecondition("cannot save an unfitted RF model");
   }
+  out.precision(17);
   out << "nextmaint-model v1 RF\n";
+  // Resumable state: the hyper-parameters and seed ContinueFit needs to
+  // extend the forest after a round trip (num_estimators stays out — the
+  // resume budget is the caller's extra_rounds). Readers predate this
+  // line, so LoadBody treats it as optional.
+  out << "resume " << options_.max_depth << " " << options_.min_samples_split
+      << " " << options_.min_samples_leaf << " " << options_.max_features
+      << " " << options_.bootstrap_fraction << " " << options_.seed << " "
+      << options_.max_bins << "\n";
   out << "trees " << trees_.size() << "\n";
   for (const DecisionTreeRegressor& tree : trees_) {
     NM_RETURN_NOT_OK(tree.Save(out));
@@ -262,13 +368,33 @@ Result<RandomForestRegressor> RandomForestRegressor::LoadBody(
     std::istream& in) {
   std::string token;
   size_t count = 0;
-  if (!(in >> token >> count) || token != "trees") {
+  RandomForestRegressor model;
+  if (!(in >> token)) {
+    return Status::DataError("RF: truncated body");
+  }
+  if (token == "resume") {
+    // Optional resumable-state line (absent in pre-warm-start files, whose
+    // models load fine but resume with default hyper-parameters).
+    Options& o = model.options_;
+    if (!(in >> o.max_depth >> o.min_samples_split >> o.min_samples_leaf >>
+          o.max_features >> o.bootstrap_fraction >> o.seed >> o.max_bins)) {
+      return Status::DataError("RF: truncated 'resume' line");
+    }
+    if (o.min_samples_split < 1 || o.min_samples_leaf < 1 ||
+        o.bootstrap_fraction <= 0.0 || o.bootstrap_fraction > 1.0 ||
+        o.max_bins < 2 || o.max_bins > 65535) {
+      return Status::DataError("RF: 'resume' values out of range");
+    }
+    if (!(in >> token)) {
+      return Status::DataError("RF: truncated after 'resume'");
+    }
+  }
+  if (!(in >> count) || token != "trees") {
     return Status::DataError("RF: expected 'trees <k>'");
   }
   if (count == 0 || count > 1'000'000) {
     return Status::DataError("RF: implausible tree count");
   }
-  RandomForestRegressor model;
   model.trees_.reserve(count);
   for (size_t t = 0; t < count; ++t) {
     std::string magic, version, name;

@@ -89,6 +89,16 @@ class RandomForestRegressor final : public Regressor {
 
  protected:
   [[nodiscard]] Status FitImpl(const Dataset& train) override;
+  /// Warm-start resume: appends `extra_rounds` trees bootstrapped from the
+  /// grown training set. The continuation draws bootstrap samples and tree
+  /// seeds from Rng(seed ^ golden_ratio * tree_count()), so the appended
+  /// trees are a pure function of (options, current size, data) — a
+  /// save/load round trip resumes identically to the in-memory model, and
+  /// any thread count yields bit-identical forests. oob_mae() becomes NaN
+  /// after a resume (out-of-bag membership is not persisted). All-or-
+  /// nothing on error; `extra_rounds == 0` is a byte-identical no-op.
+  [[nodiscard]] Status ContinueFitImpl(const Dataset& train,
+                                       int extra_rounds) override;
   /// Per-row tree-sum average, trees visited in order — bit-identical to
   /// looping Predict, but with the virtual dispatch and fitted checks
   /// hoisted out of the row loop.

@@ -1,6 +1,7 @@
 #include "serve/serving_engine.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "common/failpoints.h"
@@ -88,8 +89,11 @@ Status ServingEngine::LoadHistory(const std::string& id,
   RecomputeCachedState(it->second, series, options_.maintenance_interval_s);
   MarkDirty(it->second);
   // The cached corpus contribution may describe the replaced history; the
-  // next refresh must re-extract and treat it as changed.
+  // next refresh must re-extract and treat it as changed. A replaced
+  // history also voids warm-start eligibility — the cached model was
+  // trained on data that no longer exists.
   it->second.contribution_stale = true;
+  it->second.warm_capable = false;
   telemetry::Count("serve.load_history");
   return Status::OK();
 }
@@ -164,14 +168,53 @@ Result<RefreshStats> ServingEngine::RefreshForecasts() {
     }
   }
 
-  // Phase 3: retrain exactly the dirty vehicles against the shared inputs
-  // (TrainVehicles fans out over the thread pool and quarantines failures
-  // behind BL fallbacks, the same code path TrainAll runs).
-  std::vector<std::string> dirty_ids;
-  for (const auto& [id, entry] : entries_) {
-    if (entry.dirty) dirty_ids.push_back(id);
+  // Phase 2.5 (serial, opt-in): warm-start pass. Each dirty vehicle whose
+  // cached ensemble model is resumable gets a WarmStartVehicle resume
+  // instead of a cold retrain; everyone else falls through to phase 3.
+  // The failpoint fires once per dirty vehicle (before the eligibility
+  // check, so nth-selection is stable regardless of model winners); any
+  // warm failure — injected or real — degrades to the cold retrain, even
+  // in strict mode: the cold path IS the exact behavior, so escalating an
+  // optimization failure into a fleet abort would serve no one.
+  std::set<std::string> warm_ids;
+  if (options_.warm_start) {
+    uint64_t warm_ordinal = 0;
+    for (auto& [id, entry] : entries_) {
+      if (!entry.dirty) continue;
+      failpoints::ScopedOrdinal ordinal(++warm_ordinal);
+      const CacheEntry& e = entry;
+      const std::string& vehicle_id = id;
+      const Result<bool> warmed = [&]() -> Result<bool> {
+        NEXTMAINT_FAILPOINT("serve.refresh.warm");
+        if (!e.warm_capable || e.category != core::VehicleCategory::kOld) {
+          return false;
+        }
+        return scheduler_.WarmStartVehicle(vehicle_id,
+                                           options_.warm_start_rounds);
+      }();
+      if (!warmed.ok()) {
+        NM_LOG(Warning) << vehicle_id << ": warm-start degraded to cold "
+                        << "retrain (" << warmed.status().ToString() << ")";
+        telemetry::Count("serve.refresh.warm_fallbacks");
+        continue;
+      }
+      if (warmed.ValueOrDie()) warm_ids.insert(vehicle_id);
+    }
+    stats.warm_started = warm_ids.size();
   }
-  NM_RETURN_NOT_OK(scheduler_.TrainVehicles(dirty_ids, cold_start_inputs_));
+
+  // Phase 3: retrain the dirty vehicles that were not warm-resumed against
+  // the shared inputs (TrainVehicles fans out over the thread pool and
+  // quarantines failures behind BL fallbacks, the same code path TrainAll
+  // runs).
+  std::vector<std::string> dirty_ids;
+  std::vector<std::string> cold_ids;
+  for (const auto& [id, entry] : entries_) {
+    if (!entry.dirty) continue;
+    dirty_ids.push_back(id);
+    if (warm_ids.find(id) == warm_ids.end()) cold_ids.push_back(id);
+  }
+  NM_RETURN_NOT_OK(scheduler_.TrainVehicles(cold_ids, cold_start_inputs_));
   for (const std::string& id : dirty_ids) {
     entries_.at(id).train_degradation.reset();
   }
@@ -238,6 +281,16 @@ Result<RefreshStats> ServingEngine::RefreshForecasts() {
                       << (degradation.fallback ? "serving BL fallback"
                                                : "skipped");
     }
+    // Warm-start eligibility for the NEXT refresh: this refresh left the
+    // vehicle with a cleanly trained per-vehicle ensemble model (the
+    // forecast's model name is the scheduler's model_name for the vehicle;
+    // shared cold-start models report decorated names like "XGB_Uni").
+    entry.warm_capable =
+        entry.forecast.has_value() &&
+        !entry.train_degradation.has_value() &&
+        !entry.forecast_degradation.has_value() &&
+        (entry.forecast->model_name == "RF" ||
+         entry.forecast->model_name == "XGB");
     entry.dirty = false;
     entry.last_refresh_epoch = epoch_;
   }
@@ -252,6 +305,7 @@ Result<RefreshStats> ServingEngine::RefreshForecasts() {
   telemetry::Count("serve.refresh.count");
   telemetry::Count("serve.refresh.vehicles_refreshed", stats.refreshed);
   telemetry::Count("serve.refresh.vehicles_reused", stats.reused);
+  telemetry::Count("serve.refresh.warm_refreshes", stats.warm_started);
   telemetry::SetGauge("serve.epoch", static_cast<double>(epoch_));
   telemetry::SetGauge("serve.dirty_vehicles", 0.0);
   return stats;

@@ -39,6 +39,15 @@
 /// changes (which dirties every cold-start consumer). See
 /// docs/serving.md for the full argument.
 ///
+/// The one opt-in exception: SchedulerOptions::warm_start resumes eligible
+/// dirty vehicles' ensemble models with FleetScheduler::WarmStartVehicle
+/// instead of retraining them cold. A warm-refreshed fleet is still
+/// deterministic at any thread count, but its forecasts are no longer
+/// bit-identical to the batch run — they track it within a measured
+/// divergence bound enforced by bench_serving (docs/warm-start.md). A warm
+/// resume that fails degrades to the cold retrain, never to a dropped
+/// vehicle.
+///
 /// Threading contract: one writer (Register/Append/LoadHistory/
 /// RefreshForecasts must be externally serialized), any number of
 /// concurrent Snapshot() readers. Snapshots are immutable and published
@@ -117,6 +126,9 @@ struct RefreshStats {
   /// True when a dirty vehicle's corpus contribution changed and the
   /// shared cold-start inputs (corpus + Model_Uni) were rebuilt.
   bool corpus_rebuilt = false;
+  /// Vehicles refreshed by a warm-start resume instead of a cold retrain
+  /// (subset of `refreshed`; always 0 without SchedulerOptions::warm_start).
+  size_t warm_started = 0;
 };
 
 /// Incremental serving engine over a FleetScheduler.
@@ -213,6 +225,11 @@ class ServingEngine {
     /// Set by LoadHistory: the cached contribution may describe replaced
     /// data, so the next refresh must treat it as changed.
     bool contribution_stale = false;
+    /// True when the vehicle's cached model can be warm-start resumed: the
+    /// last refresh trained it clean (no quarantine) onto a per-vehicle
+    /// ensemble model, and its history has only grown since (LoadHistory
+    /// replaces the history and clears this).
+    bool warm_capable = false;
     // Cached outputs of the last refresh that touched this vehicle.
     std::optional<core::MaintenanceForecast> forecast;
     std::optional<core::VehicleDegradation> train_degradation;

@@ -76,16 +76,19 @@ TEST(ParseCommonOptionsTest, DefaultsAndHappyPath) {
   EXPECT_TRUE(defaults.metrics_json.empty());
   EXPECT_TRUE(defaults.failpoints.empty());
   EXPECT_TRUE(defaults.load_models.empty());
+  EXPECT_FALSE(defaults.warm_start);
 
   const CommonOptions parsed =
       ParseCommonOptions(ParseArgs({"forecast", "--threads", "4", "--strict",
                                     "--metrics-json", "m.json",
-                                    "--load-models", "ckpt.txt"}))
+                                    "--load-models", "ckpt.txt",
+                                    "--warm-start"}))
           .ValueOrDie();
   EXPECT_EQ(parsed.threads, 4);
   EXPECT_TRUE(parsed.strict);
   EXPECT_EQ(parsed.metrics_json, "m.json");
   EXPECT_EQ(parsed.load_models, "ckpt.txt");
+  EXPECT_TRUE(parsed.warm_start);
 }
 
 TEST(ParseCommonOptionsTest, RejectsMalformedValues) {
@@ -384,6 +387,27 @@ TEST_F(CliPipelineTest, ServeReplayMatchesBatchForecast) {
   EXPECT_NE(text.find(batch_out.str()), std::string::npos)
       << "serve table diverged from batch forecast\n"
       << text << "\n---\n" << batch_out.str();
+}
+
+TEST_F(CliPipelineTest, ServeWarmStartReplayRuns) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "3",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  std::ostringstream serve_out;
+  ASSERT_TRUE(RunCommand({"serve", "--data", Dir(), "--tv", "500000",
+                          "--window", "3", "--replay-days", "7",
+                          "--refresh-every", "2", "--warm-start"},
+                         serve_out)
+                  .ok());
+  const std::string text = serve_out.str();
+  // The warm replay still narrates its refreshes and ends on the snapshot;
+  // resumed refreshes are narrated as "N warm".
+  EXPECT_NE(text.find("refresh epoch 1:"), std::string::npos) << text;
+  EXPECT_NE(text.find("fleet snapshot at epoch"), std::string::npos);
+  EXPECT_NE(text.find(" warm"), std::string::npos)
+      << "no refresh reported a warm-start resume\n" << text;
 }
 
 TEST_F(CliPipelineTest, ServeValidatesFlags) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoints.h"
 #include "core/scheduler.h"
 #include "telematics/fleet.h"
 
@@ -452,6 +453,114 @@ TEST(ServingEngineTest, GetForecastsBatchReadsFromOneSnapshot) {
   EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
   EXPECT_EQ(results[2].status().code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(results[3].status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start refreshes (docs/warm-start.md)
+
+/// Options that make every old vehicle warm-capable: the selection can only
+/// pick RF, and cold starts use the XGB unified model.
+core::SchedulerOptions WarmOptions(int num_threads = 1) {
+  core::SchedulerOptions options = FastOptions(num_threads);
+  options.algorithms = {"RF"};
+  options.unified_algorithm = "XGB";
+  options.cold_start.model_params = {{"num_estimators", 6},
+                                     {"num_iterations", 8},
+                                     {"max_depth", 4},
+                                     {"max_bins", 64},
+                                     {"min_samples_leaf", 2}};
+  options.warm_start = true;
+  options.warm_start_rounds = 4;
+  return options;
+}
+
+TEST(ServingEngineWarmStartTest, AppendOnlyRefreshResumesEligibleVehicles) {
+  ServingEngine engine(WarmOptions());
+  const data::DailySeries series = SimulatedVehicle(301, 600);
+  ASSERT_TRUE(engine.Register("v1", series.start_date()).ok());
+  ASSERT_TRUE(engine.LoadHistory("v1", series.Slice(0, 590)).ok());
+  // First refresh is necessarily cold: no cached model existed before it.
+  const RefreshStats first = engine.RefreshForecasts().ValueOrDie();
+  EXPECT_EQ(first.warm_started, 0u);
+  ASSERT_EQ(engine.Snapshot()->forecasts.size(), 1u);
+  ASSERT_EQ(engine.Snapshot()->forecasts[0].model_name, "RF");
+  // The resumed ensemble is observable through the checkpoint bytes
+  // growing; tree-count introspection is not part of the serve API.
+  const size_t checkpoint_before =
+      CheckpointBytes(engine.scheduler(), "warm_before.txt").size();
+
+  // Append-only growth: the cached RF is eligible and must be resumed, not
+  // retrained.
+  for (int day = 590; day < 594; ++day) {
+    ASSERT_TRUE(engine
+                    .Append("v1", series.start_date().AddDays(day),
+                            series[static_cast<size_t>(day)])
+                    .ok());
+  }
+  const RefreshStats warm = engine.RefreshForecasts().ValueOrDie();
+  EXPECT_EQ(warm.refreshed, 1u);
+  EXPECT_EQ(warm.warm_started, 1u);
+  // The vehicle keeps a live forecast and its resumed model grew.
+  ASSERT_EQ(engine.Snapshot()->forecasts.size(), 1u);
+  EXPECT_EQ(engine.Snapshot()->forecasts[0].model_name, "RF");
+  EXPECT_GT(CheckpointBytes(engine.scheduler(), "warm_after.txt").size(),
+            checkpoint_before);
+}
+
+TEST(ServingEngineWarmStartTest, LoadHistoryClearsWarmEligibility) {
+  ServingEngine engine(WarmOptions());
+  const data::DailySeries series = SimulatedVehicle(302, 600);
+  ASSERT_TRUE(engine.Register("v1", series.start_date()).ok());
+  ASSERT_TRUE(engine.LoadHistory("v1", series.Slice(0, 590)).ok());
+  ASSERT_TRUE(engine.RefreshForecasts().ok());
+  // A series replacement may rewrite history, so the cached model can no
+  // longer be resumed: the next refresh must fall back to a cold retrain.
+  ASSERT_TRUE(engine.LoadHistory("v1", series.Slice(0, 595)).ok());
+  const RefreshStats stats = engine.RefreshForecasts().ValueOrDie();
+  EXPECT_EQ(stats.refreshed, 1u);
+  EXPECT_EQ(stats.warm_started, 0u);
+  EXPECT_EQ(engine.Snapshot()->forecasts.size(), 1u);
+}
+
+TEST(ServingEngineWarmStartTest, DisabledFlagNeverWarmStarts) {
+  core::SchedulerOptions options = WarmOptions();
+  options.warm_start = false;
+  ServingEngine engine(options);
+  const data::DailySeries series = SimulatedVehicle(303, 600);
+  ASSERT_TRUE(engine.Register("v1", series.start_date()).ok());
+  ASSERT_TRUE(engine.LoadHistory("v1", series.Slice(0, 595)).ok());
+  ASSERT_TRUE(engine.RefreshForecasts().ok());
+  ASSERT_TRUE(
+      engine.Append("v1", series.start_date().AddDays(595), series[595]).ok());
+  const RefreshStats stats = engine.RefreshForecasts().ValueOrDie();
+  EXPECT_EQ(stats.refreshed, 1u);
+  EXPECT_EQ(stats.warm_started, 0u);
+}
+
+/// The serve.refresh.warm failpoint contract: a failed warm resume must
+/// degrade to the cold retrain — the vehicle keeps a forecast and the
+/// refresh succeeds — never to a dropped vehicle or a failed refresh.
+TEST(ServingEngineWarmStartTest, WarmFailureDegradesToColdRetrain) {
+  if (!failpoints::CompiledIn()) {
+    GTEST_SKIP() << "failpoints not compiled in";
+  }
+  failpoints::DisarmAll();
+  ServingEngine engine(WarmOptions());
+  const data::DailySeries series = SimulatedVehicle(304, 600);
+  ASSERT_TRUE(engine.Register("v1", series.start_date()).ok());
+  ASSERT_TRUE(engine.LoadHistory("v1", series.Slice(0, 595)).ok());
+  ASSERT_TRUE(engine.RefreshForecasts().ok());
+  ASSERT_TRUE(
+      engine.Append("v1", series.start_date().AddDays(595), series[595]).ok());
+
+  ASSERT_TRUE(failpoints::Arm("serve.refresh.warm").ok());
+  const Result<RefreshStats> stats = engine.RefreshForecasts();
+  failpoints::DisarmAll();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats.ValueOrDie().refreshed, 1u);
+  EXPECT_EQ(stats.ValueOrDie().warm_started, 0u);
+  ASSERT_EQ(engine.Snapshot()->forecasts.size(), 1u);
+  EXPECT_EQ(engine.Snapshot()->forecasts[0].model_name, "RF");
 }
 
 }  // namespace
