@@ -5,11 +5,21 @@
 // non-zero read and append throughput, emitting BENCH_fleet_load.json.
 //
 // Phases, each timed separately:
+//   0. checkpoint — mmap segmented vs legacy text checkpoint of the same
+//                   fleet: save both formats, then time (and peak-RSS
+//                   measure, via VmHWM with a clear_refs reset) a fresh
+//                   LoadCheckpoint of each. The segmented load must be
+//                   faster and no hungrier than the legacy parse — the
+//                   ISSUE 10 out-of-core acceptance;
 //   1. warm load  — pipelined LoadHistory waves across all shard queues;
 //   2. refresh    — one Refresh barrier training every vehicle;
 //   3. mixed      — 80% forecast reads / 20% single-day appends, reads
 //                   answered lock-free from shard snapshots while appends
 //                   flow through admission control, then a final barrier.
+//
+// Phase 0 runs first, on a fresh heap, so the two loads' RSS deltas
+// reflect genuine allocation growth rather than allocator reuse of pages
+// freed by the daemon phases.
 //
 // Latency percentiles come from the daemon's own SLO histograms
 // (serve.daemon.{append,read}.seconds) via telemetry::Snapshot(); when the
@@ -21,23 +31,31 @@
 // smaller fleet; the quick-bench loop caps it harder). One JSON line goes
 // to stdout and, when NEXTMAINT_BENCH_JSON names a file, to that file.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <future>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <variant>
 #include <vector>
 
+#include "bench/harness.h"
 #include "common/date.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "core/baseline.h"
 #include "core/scheduler.h"
 #include "serve/daemon.h"
 #include "serve/protocol.h"
+#include "storage/checkpoint_store.h"
 
 namespace {
 
@@ -80,6 +98,119 @@ bool IsAck(const protocol::Response& response) {
   return std::holds_alternative<protocol::AckResponse>(response);
 }
 
+/// Phase 0 results: both checkpoint formats over the same fleet.
+struct CheckpointBench {
+  double save_seconds = 0.0;          // segmented SaveAll of the fleet
+  double save_vehicle_seconds = 0.0;  // single-segment rewrite + commit
+  double mmap_load_seconds = 0.0;
+  double legacy_load_seconds = 0.0;
+  uint64_t mmap_rss_delta = 0;    // peak-RSS growth during each load
+  uint64_t legacy_rss_delta = 0;
+  uint64_t checkpoint_bytes = 0;  // segmented file size
+  bool rss_reset = false;  // both clear_refs resets were honoured
+};
+
+void CheckpointDie(const nextmaint::Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "checkpoint phase: %s: %s\n", what,
+               status.ToString().c_str());
+  std::exit(1);
+}
+
+/// Saves the same fleet as a segmented mmap checkpoint and as a legacy
+/// text checkpoint, then times a fresh LoadCheckpoint of each with the
+/// peak-RSS watermark reset in between. Models are one shared BL body —
+/// the phase measures the load path, so only their count and framing
+/// matter, not their contents.
+CheckpointBench RunCheckpointBench(const std::vector<std::string>& ids,
+                                   double tv, nextmaint::Date start) {
+  namespace bench = nextmaint::bench;
+  namespace core = nextmaint::core;
+  namespace storage = nextmaint::storage;
+  namespace fs = std::filesystem;
+  CheckpointBench out;
+
+  std::error_code ec;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("nextmaint_fleet_load_" + std::to_string(::getpid()));
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "checkpoint phase: cannot create %s\n",
+                 dir.string().c_str());
+    std::exit(1);
+  }
+  const std::string mmap_path = (dir / "fleet.ckpt").string();
+  const std::string legacy_path = (dir / "fleet_legacy.ckpt").string();
+
+  std::ostringstream body;
+  CheckpointDie(core::BaselinePredictor(15'000.0, 1.0 / tv).Save(body),
+                "serialize BL body");
+
+  std::vector<storage::VehicleRecord> records;
+  records.reserve(ids.size());
+  for (const std::string& id : ids) {
+    records.push_back(storage::VehicleRecord{id, "BL", body.str()});
+  }
+  auto store_or = storage::CheckpointStore::Open(mmap_path);
+  CheckpointDie(store_or.status(), "open segmented store");
+  const Clock::time_point save_start = Clock::now();
+  CheckpointDie(store_or.ValueOrDie()->SaveAll(std::move(records)).status(),
+                "SaveAll");
+  out.save_seconds = SecondsSince(save_start);
+  out.checkpoint_bytes = static_cast<uint64_t>(fs::file_size(mmap_path, ec));
+
+  auto make_fleet = [&]() {
+    core::SchedulerOptions options;
+    options.maintenance_interval_s = tv;
+    options.window = 3;
+    auto fleet = std::make_unique<core::FleetScheduler>(options);
+    for (const std::string& id : ids) {
+      CheckpointDie(fleet->RegisterVehicle(id, start), "register vehicle");
+    }
+    return fleet;
+  };
+
+  // Derive the legacy file from the segmented one: lazy-loaded segments
+  // are copied out verbatim, so both files frame identical model bytes.
+  auto writer = make_fleet();
+  CheckpointDie(writer->LoadCheckpoint(mmap_path), "stage for legacy save");
+  CheckpointDie(writer->SaveLegacyCheckpoint(legacy_path),
+                "SaveLegacyCheckpoint");
+  const Clock::time_point save_vehicle_start = Clock::now();
+  CheckpointDie(writer->SaveVehicleCheckpoint(mmap_path, ids.front()),
+                "SaveVehicleCheckpoint");
+  out.save_vehicle_seconds = SecondsSince(save_vehicle_start);
+
+  // `writer` stays alive across both measured loads so neither one
+  // recycles heap pages the other just freed.
+  auto mmap_fleet = make_fleet();
+  const bool reset_mmap = bench::ResetPeakRss();
+  const uint64_t mmap_rss_before = bench::PeakRssBytes();
+  const Clock::time_point mmap_start = Clock::now();
+  CheckpointDie(mmap_fleet->LoadCheckpoint(mmap_path), "mmap LoadCheckpoint");
+  out.mmap_load_seconds = SecondsSince(mmap_start);
+  const uint64_t mmap_rss_after = bench::PeakRssBytes();
+
+  auto legacy_fleet = make_fleet();
+  const bool reset_legacy = bench::ResetPeakRss();
+  const uint64_t legacy_rss_before = bench::PeakRssBytes();
+  const Clock::time_point legacy_start = Clock::now();
+  CheckpointDie(legacy_fleet->LoadCheckpoint(legacy_path),
+                "legacy LoadCheckpoint");
+  out.legacy_load_seconds = SecondsSince(legacy_start);
+  const uint64_t legacy_rss_after = bench::PeakRssBytes();
+
+  out.rss_reset = reset_mmap && reset_legacy;
+  out.mmap_rss_delta =
+      mmap_rss_after > mmap_rss_before ? mmap_rss_after - mmap_rss_before : 0;
+  out.legacy_rss_delta = legacy_rss_after > legacy_rss_before
+                             ? legacy_rss_after - legacy_rss_before
+                             : 0;
+
+  fs::remove_all(dir, ec);
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -93,6 +224,18 @@ int main() {
   const size_t kWave = 1024;  // in-flight writes per pipelined wave
 
   nextmaint::telemetry::SetEnabled(true);
+
+  const nextmaint::Date start =
+      nextmaint::Date::FromYmd(2016, 1, 1).ValueOrDie();
+  std::vector<std::string> ids;
+  ids.reserve(static_cast<size_t>(vehicles));
+  for (int64_t v = 0; v < vehicles; ++v) {
+    ids.push_back("truck-" + std::to_string(v));
+  }
+
+  // Phase 0: checkpoint format comparison, before the daemon touches the
+  // heap (see the file comment).
+  const CheckpointBench ckpt = RunCheckpointBench(ids, tv, start);
 
   serve::DaemonOptions options;
   options.scheduler.maintenance_interval_s = tv;
@@ -114,17 +257,10 @@ int main() {
     return 1;
   }
 
-  const nextmaint::Date start =
-      nextmaint::Date::FromYmd(2016, 1, 1).ValueOrDie();
   nextmaint::Rng rng(20260808);
 
   // Phase 1: warm load. One LoadHistory per vehicle, pipelined in waves so
   // every shard queue stays busy without tripping admission control.
-  std::vector<std::string> ids;
-  ids.reserve(static_cast<size_t>(vehicles));
-  for (int64_t v = 0; v < vehicles; ++v) {
-    ids.push_back("truck-" + std::to_string(v));
-  }
   uint64_t overloaded_retries = 0;
   const Clock::time_point load_start = Clock::now();
   {
@@ -280,17 +416,22 @@ int main() {
   const bool telemetry_live =
       append_latency.count > 0 && read_latency.count > 0;
 
-  char json[1024];
+  char json[2048];
   std::snprintf(
       json, sizeof(json),
-      "{\"bench\":\"fleet_load\",\"schema\":1,\"vehicles\":%lld,"
+      "{\"bench\":\"fleet_load\",\"schema\":2,\"vehicles\":%lld,"
       "\"days\":%lld,\"shards\":%d,\"load_seconds\":%.3f,"
       "\"refresh_seconds\":%.3f,\"mixed_seconds\":%.3f,"
       "\"reads\":%llu,\"read_vehicles\":%llu,\"appends\":%llu,"
       "\"read_throughput\":%.1f,\"append_throughput\":%.1f,"
       "\"overloaded_retries\":%llu,\"overloaded_total\":%llu,"
       "\"append_p50_ms\":%.3f,\"append_p99_ms\":%.3f,"
-      "\"read_p50_ms\":%.3f,\"read_p99_ms\":%.3f,\"telemetry\":%s}",
+      "\"read_p50_ms\":%.3f,\"read_p99_ms\":%.3f,\"telemetry\":%s,"
+      "\"ckpt_bytes\":%llu,\"ckpt_save_seconds\":%.3f,"
+      "\"ckpt_save_vehicle_ms\":%.3f,\"ckpt_mmap_load_seconds\":%.4f,"
+      "\"ckpt_legacy_load_seconds\":%.4f,\"ckpt_mmap_rss_mb\":%.1f,"
+      "\"ckpt_legacy_rss_mb\":%.1f,\"rss_reset\":%s,"
+      "\"peak_rss_mb\":%.1f}",
       static_cast<long long>(vehicles), static_cast<long long>(days), shards,
       load_seconds, refresh_seconds, mixed_seconds,
       static_cast<unsigned long long>(reads),
@@ -303,7 +444,15 @@ int main() {
       Percentile(append_latency, 0.99) * 1e3,
       Percentile(read_latency, 0.5) * 1e3,
       Percentile(read_latency, 0.99) * 1e3,
-      telemetry_live ? "true" : "false");
+      telemetry_live ? "true" : "false",
+      static_cast<unsigned long long>(ckpt.checkpoint_bytes),
+      ckpt.save_seconds, ckpt.save_vehicle_seconds * 1e3,
+      ckpt.mmap_load_seconds, ckpt.legacy_load_seconds,
+      static_cast<double>(ckpt.mmap_rss_delta) / (1024.0 * 1024.0),
+      static_cast<double>(ckpt.legacy_rss_delta) / (1024.0 * 1024.0),
+      ckpt.rss_reset ? "true" : "false",
+      static_cast<double>(nextmaint::bench::PeakRssBytes()) /
+          (1024.0 * 1024.0));
   std::printf("%s\n", json);
 
   if (const char* path = std::getenv("NEXTMAINT_BENCH_JSON")) {
@@ -328,6 +477,25 @@ int main() {
                  "%llu forecast reads came back non-OK after warm refresh\n",
                  static_cast<unsigned long long>(read_errors));
     return 1;
+  }
+  // The out-of-core acceptance only has teeth at scale; tiny CI fleets
+  // would compare microsecond noise.
+  if (vehicles >= 1000) {
+    if (ckpt.mmap_load_seconds >= ckpt.legacy_load_seconds) {
+      std::fprintf(stderr,
+                   "segmented mmap load (%.4fs) was not faster than the "
+                   "legacy text parse (%.4fs)\n",
+                   ckpt.mmap_load_seconds, ckpt.legacy_load_seconds);
+      return 1;
+    }
+    if (ckpt.rss_reset && ckpt.mmap_rss_delta > ckpt.legacy_rss_delta) {
+      std::fprintf(stderr,
+                   "segmented mmap load grew peak RSS by %llu bytes, more "
+                   "than the legacy parse's %llu\n",
+                   static_cast<unsigned long long>(ckpt.mmap_rss_delta),
+                   static_cast<unsigned long long>(ckpt.legacy_rss_delta));
+      return 1;
+    }
   }
   return 0;
 }

@@ -126,6 +126,29 @@ void PrintTableRow(const std::vector<std::string>& cells) {
   std::printf("\n");
 }
 
+uint64_t PeakRssBytes() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  uint64_t bytes = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    unsigned long long kib = 0;
+    if (std::sscanf(line, "VmHWM: %llu kB", &kib) == 1) {
+      bytes = static_cast<uint64_t>(kib) * 1024;
+      break;
+    }
+  }
+  std::fclose(status);
+  return bytes;
+}
+
+bool ResetPeakRss() {
+  std::FILE* clear_refs = std::fopen("/proc/self/clear_refs", "w");
+  if (clear_refs == nullptr) return false;
+  const bool ok = std::fputs("5", clear_refs) >= 0;
+  return (std::fclose(clear_refs) == 0) && ok;
+}
+
 MetricsReport::MetricsReport(std::string title) : title_(std::move(title)) {
   if (telemetry::Enabled()) before_ = telemetry::Snapshot();
 }

@@ -83,6 +83,19 @@ void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns);
 void PrintTableRow(const std::vector<std::string>& cells);
 
+/// Peak resident-set size of this process in bytes (Linux VmHWM from
+/// /proc/self/status). 0 when the value cannot be read (non-Linux, proc
+/// unmounted); benches then report their RSS fields as 0 rather than
+/// failing.
+uint64_t PeakRssBytes();
+
+/// Resets the kernel's peak-RSS watermark to the *current* RSS by writing
+/// "5" to /proc/self/clear_refs, so a subsequent PeakRssBytes() reflects
+/// only growth since the reset. Returns false when the kernel refuses the
+/// write (old kernels, restricted procfs) — callers should then flag their
+/// RSS deltas as unreset rather than asserting on them.
+bool ResetPeakRss();
+
 /// RAII metrics report for one figure/table run: snapshots the registry at
 /// construction and, when telemetry is enabled (NEXTMAINT_METRICS=1),
 /// prints the delta accumulated during the run at destruction. With

@@ -16,6 +16,7 @@
 #include "serve/protocol.h"
 #include "serve/serving_engine.h"
 #include "serve/socket_server.h"
+#include "storage/corpus.h"
 #include "telematics/fleet.h"
 
 namespace nextmaint {
@@ -183,16 +184,14 @@ struct FleetLoad {
   std::vector<std::pair<std::string, Status>> skipped;
 };
 
-/// Loads every `*.csv` vehicle series in `dir` (fleet.csv excluded).
-/// The file stem is the vehicle id. With `strict` the first unreadable
-/// vehicle aborts the load; otherwise it is recorded in `skipped` and the
-/// rest of the fleet is served (docs/fault-injection.md).
-Result<FleetLoad> LoadFleetDir(const std::string& dir, bool strict) {
+/// The sorted per-vehicle CSV worklist of a fleet directory (fleet.csv and
+/// weather.csv excluded). Sorted by stem — the vehicle id — which is also
+/// the strictly ascending order the corpus compactor writes in.
+Result<std::vector<fs::path>> ListVehicleCsvs(const std::string& dir) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
     return Status::NotFound("'" + dir + "' is not a directory");
   }
-  FleetLoad load;
   std::vector<fs::path> paths;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (entry.path().extension() == ".csv" &&
@@ -201,23 +200,38 @@ Result<FleetLoad> LoadFleetDir(const std::string& dir, bool strict) {
       paths.push_back(entry.path());
     }
   }
-  std::sort(paths.begin(), paths.end());
+  std::sort(paths.begin(), paths.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.stem().string() < b.stem().string();
+            });
+  return paths;
+}
+
+/// Reads and aggregates one vehicle CSV (shared by the directory loader
+/// and the streaming compactor). Not yet cleaned.
+Result<data::DailySeries> ReadVehicleCsv(const fs::path& path) {
+  NM_ASSIGN_OR_RETURN(data::Table table, data::ReadCsvFile(path.string()));
+  // Accept either column name for the daily seconds.
+  Result<data::DailySeries> loaded =
+      data::AggregateDaily(table, "date", "utilization_s");
+  if (!loaded.ok()) {
+    loaded = data::AggregateDaily(table, "date", "usage");
+  }
+  if (!loaded.ok()) {
+    return loaded.status().WithContext(path.string());
+  }
+  return loaded;
+}
+
+/// Loads every `*.csv` vehicle series in `dir` (fleet.csv excluded).
+/// The file stem is the vehicle id. With `strict` the first unreadable
+/// vehicle aborts the load; otherwise it is recorded in `skipped` and the
+/// rest of the fleet is served (docs/fault-injection.md).
+Result<FleetLoad> LoadFleetDir(const std::string& dir, bool strict) {
+  NM_ASSIGN_OR_RETURN(std::vector<fs::path> paths, ListVehicleCsvs(dir));
+  FleetLoad load;
   for (const fs::path& path : paths) {
-    const auto read_series = [&]() -> Result<data::DailySeries> {
-      NM_ASSIGN_OR_RETURN(data::Table table,
-                          data::ReadCsvFile(path.string()));
-      // Accept either column name for the daily seconds.
-      Result<data::DailySeries> loaded =
-          data::AggregateDaily(table, "date", "utilization_s");
-      if (!loaded.ok()) {
-        loaded = data::AggregateDaily(table, "date", "usage");
-      }
-      if (!loaded.ok()) {
-        return loaded.status().WithContext(path.string());
-      }
-      return loaded;
-    };
-    Result<data::DailySeries> loaded = read_series();
+    Result<data::DailySeries> loaded = ReadVehicleCsv(path);
     if (!loaded.ok()) {
       if (strict) return loaded.status();
       telemetry::Count("cli.vehicles_skipped");
@@ -235,6 +249,48 @@ Result<FleetLoad> LoadFleetDir(const std::string& dir, bool strict) {
     }
     return Status::NotFound("no vehicle CSVs under '" + dir + "'");
   }
+  return load;
+}
+
+/// Loads a fleet from either a CSV directory or a compacted binary corpus
+/// (built by `nextmaint compact`). A regular file routes by magic: corpus
+/// files decode their summary index eagerly and materialize each vehicle's
+/// series from its column block — no CSV parsing on the serving path.
+Result<FleetLoad> LoadFleetSource(const std::string& source, bool strict) {
+  std::error_code ec;
+  if (!fs::is_regular_file(source, ec)) {
+    return LoadFleetDir(source, strict);
+  }
+  NM_ASSIGN_OR_RETURN(const bool is_corpus, storage::IsCorpusFile(source));
+  if (!is_corpus) {
+    return Status::InvalidArgument(
+        "'" + source + "' is neither a fleet directory nor a compacted "
+        "corpus (build one with `nextmaint compact`)");
+  }
+  NM_ASSIGN_OR_RETURN(std::unique_ptr<storage::CorpusReader> reader,
+                      storage::CorpusReader::Open(source));
+  FleetLoad load;
+  for (const storage::CorpusVehicleSummary& summary : reader->summaries()) {
+    Result<data::DailySeries> series = reader->Series(summary.vehicle_id);
+    if (!series.ok()) {
+      // A corrupt column block degrades that vehicle alone; the summary
+      // index already validated, so the rest of the corpus stays usable.
+      if (strict) return series.status().WithContext(summary.vehicle_id);
+      telemetry::Count("cli.vehicles_skipped");
+      load.skipped.emplace_back(summary.vehicle_id, series.status());
+      continue;
+    }
+    load.vehicles.emplace_back(summary.vehicle_id,
+                               std::move(series).ValueOrDie());
+  }
+  if (load.vehicles.empty()) {
+    if (!load.skipped.empty()) {
+      return load.skipped.front().second.WithContext(
+          "no loadable vehicles in corpus '" + source + "'");
+    }
+    return Status::NotFound("corpus '" + source + "' holds no vehicles");
+  }
+  telemetry::Count("cli.corpus_loads");
   return load;
 }
 
@@ -307,7 +363,7 @@ Result<core::FleetScheduler> MakeTrainedScheduler(const ParsedArgs& args,
                                                   const std::string& dir,
                                                   std::ostream& out) {
   NM_ASSIGN_OR_RETURN(const CommonOptions common, ParseCommonOptions(args));
-  NM_ASSIGN_OR_RETURN(FleetLoad load, LoadFleetDir(dir, common.strict));
+  NM_ASSIGN_OR_RETURN(FleetLoad load, LoadFleetSource(dir, common.strict));
   ReportSkippedVehicles(load, out);
   const auto& vehicles = load.vehicles;
   NM_ASSIGN_OR_RETURN(core::SchedulerOptions options,
@@ -337,7 +393,7 @@ Status RunServeDaemon(const ParsedArgs& args, const CommonOptions& common,
         UsageText());
   }
   NM_ASSIGN_OR_RETURN(
-      FleetLoad load, LoadFleetDir(args.flags.at("data"), common.strict));
+      FleetLoad load, LoadFleetSource(args.flags.at("data"), common.strict));
   ReportSkippedVehicles(load, out);
   NM_ASSIGN_OR_RETURN(core::SchedulerOptions scheduler_options,
                       SchedulerOptionsFromArgs(args, common));
@@ -476,6 +532,54 @@ Status RunSimulate(const ParsedArgs& args, std::ostream& out) {
   return Status::OK();
 }
 
+Status RunCompact(const ParsedArgs& args, std::ostream& out) {
+  if (!args.HasFlag("data") || !args.HasFlag("out")) {
+    return Status::InvalidArgument(
+        "compact requires --data DIR and --out FILE\n" + UsageText());
+  }
+  NM_ASSIGN_OR_RETURN(const CommonOptions common, ParseCommonOptions(args));
+  NM_ASSIGN_OR_RETURN(double tv, args.DoubleFlagOr("tv", 2'000'000.0));
+  const std::string out_path = args.flags.at("out");
+
+  // Pass 1: the sorted worklist (stems ascending — the id order the
+  // corpus index requires, which also makes the output byte-deterministic
+  // for a given directory). Pass 2 streams the fleet through the writer
+  // one vehicle at a time: only one series is ever resident, so compaction
+  // memory stays flat no matter the fleet size.
+  NM_ASSIGN_OR_RETURN(std::vector<fs::path> paths,
+                      ListVehicleCsvs(args.flags.at("data")));
+  NM_ASSIGN_OR_RETURN(std::unique_ptr<storage::CorpusWriter> writer,
+                      storage::CorpusWriter::Create(out_path, tv));
+  size_t written = 0;
+  size_t skipped = 0;
+  for (const fs::path& path : paths) {
+    const std::string id = path.stem().string();
+    Result<data::DailySeries> loaded = ReadVehicleCsv(path);
+    if (!loaded.ok()) {
+      if (common.strict) return loaded.status();
+      telemetry::Count("cli.vehicles_skipped");
+      out << "skipped vehicle " << id << ": " << loaded.status().ToString()
+          << "\n";
+      ++skipped;
+      continue;
+    }
+    data::DailySeries series = std::move(loaded).ValueOrDie();
+    data::Clean(&series);
+    NM_RETURN_NOT_OK(writer->AddVehicle(id, series).WithContext(id));
+    ++written;
+  }
+  if (written == 0) {
+    return Status::NotFound("no loadable vehicle CSVs under '" +
+                            args.flags.at("data") + "'");
+  }
+  NM_ASSIGN_OR_RETURN(const uint64_t bytes, writer->Finish());
+  out << "compacted " << written << " vehicle(s) to " << out_path << " ("
+      << bytes << " bytes";
+  if (skipped > 0) out << ", " << skipped << " skipped";
+  out << ")\n";
+  return Status::OK();
+}
+
 Status RunForecast(const ParsedArgs& args, std::ostream& out) {
   if (!args.HasFlag("data")) {
     return Status::InvalidArgument("forecast requires --data DIR");
@@ -550,7 +654,7 @@ Status RunEvaluate(const ParsedArgs& args, std::ostream& out) {
   }
   NM_ASSIGN_OR_RETURN(
       FleetLoad load,
-      LoadFleetDir(args.flags.at("data"), args.HasFlag("strict")));
+      LoadFleetSource(args.flags.at("data"), args.HasFlag("strict")));
   ReportSkippedVehicles(load, out);
   const auto& vehicles = load.vehicles;
   NM_ASSIGN_OR_RETURN(double tv, args.DoubleFlagOr("tv", 2'000'000.0));
@@ -609,7 +713,7 @@ Status RunServe(const ParsedArgs& args, std::ostream& out) {
         "--refresh-every expects a positive integer\n" + UsageText());
   }
   NM_ASSIGN_OR_RETURN(
-      FleetLoad load, LoadFleetDir(args.flags.at("data"), common.strict));
+      FleetLoad load, LoadFleetSource(args.flags.at("data"), common.strict));
   ReportSkippedVehicles(load, out);
   NM_ASSIGN_OR_RETURN(core::SchedulerOptions options,
                       SchedulerOptionsFromArgs(args, common));
@@ -693,6 +797,7 @@ std::string UsageText() {
       "commands:\n"
       "  simulate --out DIR [--vehicles N] [--days N] [--seed S] [--tv S]\n"
       "           [--weather]\n"
+      "  compact  --data DIR --out FILE [--tv S]\n"
       "  forecast --data DIR [--tv S] [--window W] [--tune] [--threads N]\n"
       "           [--save-models FILE] [--load-models FILE]\n"
       "  plan     --data DIR [--capacity N] [--horizon DAYS] [--weekends]\n"
@@ -704,6 +809,11 @@ std::string UsageText() {
       "           [--shards N] [--max-queue N] [--batch-window N]\n"
       "           [--tv S] [--window W] [--threads N]\n"
       "\n"
+      "compact streams the fleet's CSVs into one binary corpus file\n"
+      "(docs/storage.md); every --data flag accepts that file in place of\n"
+      "the CSV directory, skipping CSV parsing on later runs. Checkpoints\n"
+      "(--save-models/--load-models) use the segmented mmap format: loads\n"
+      "map the file and deserialize each model on first use.\n"
       "serve replays the trailing --replay-days of each vehicle through the\n"
       "incremental engine: warm-start, then append day by day and refresh\n"
       "only the dirty vehicles (docs/serving.md). --warm-start resumes\n"
@@ -751,6 +861,8 @@ Status RunCommand(const std::vector<std::string>& args, std::ostream& out) {
   Status status;
   if (command == "simulate") {
     status = RunSimulate(parsed, out);
+  } else if (command == "compact") {
+    status = RunCompact(parsed, out);
   } else if (command == "forecast") {
     status = RunForecast(parsed, out);
   } else if (command == "plan") {

@@ -16,9 +16,16 @@
 ///   simulate --out DIR [--vehicles N] [--days N] [--seed S] [--weather]
 ///       Simulate a fleet and write one CSV per vehicle (date,utilization_s)
 ///       plus fleet.csv with the vehicle inventory.
+///   compact --data DIR --out FILE [--tv SECONDS]
+///       Stream the fleet's per-vehicle CSVs into one compacted binary
+///       corpus (docs/storage.md): column blocks behind summary headers,
+///       so later runs skip CSV parsing and cold-start screening reads
+///       headers only. Every fleet command accepts the corpus file in
+///       place of the CSV directory (--data FILE).
 ///   forecast --data DIR [--tv SECONDS] [--window W] [--save-models FILE]
 ///       Load per-vehicle CSVs, train the scheduler, print the fleet
-///       forecast; optionally persist the trained models.
+///       forecast; optionally persist the trained models as a segmented
+///       mmap checkpoint (docs/storage.md).
 ///   plan --data DIR [--capacity N] [--horizon DAYS] [--weekends]
 ///       Forecast, then book workshop slots under capacity constraints.
 ///   evaluate --data DIR [--tv SECONDS] [--window W] [--last29]
@@ -121,6 +128,7 @@ struct CommonOptions {
 
 /// Command entry points. `out` receives human-readable results.
 [[nodiscard]] Status RunSimulate(const ParsedArgs& args, std::ostream& out);
+[[nodiscard]] Status RunCompact(const ParsedArgs& args, std::ostream& out);
 [[nodiscard]] Status RunForecast(const ParsedArgs& args, std::ostream& out);
 [[nodiscard]] Status RunPlan(const ParsedArgs& args, std::ostream& out);
 [[nodiscard]] Status RunEvaluate(const ParsedArgs& args, std::ostream& out);

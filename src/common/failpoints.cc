@@ -202,6 +202,10 @@ const std::vector<std::string>& RegisteredSites() {
       "serve.daemon.refresh",
       "serve.refresh",
       "serve.refresh.warm",
+      "storage.checkpoint.commit",
+      "storage.checkpoint.map",
+      "storage.checkpoint.open",
+      "storage.checkpoint.segment_write",
   };
   return *sites;
 }

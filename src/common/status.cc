@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "already-exists";
     case StatusCode::kUnknown:
       return "unknown";
+    case StatusCode::kDataLoss:
+      return "data-loss";
   }
   return "invalid-code";
 }

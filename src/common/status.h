@@ -37,6 +37,11 @@ enum class StatusCode : int {
   kAlreadyExists = 7,
   /// Catch-all for errors that fit no other category.
   kUnknown = 8,
+  /// Durable state is unrecoverably corrupt (failed checksum, torn write,
+  /// truncated segment). Distinct from kDataError, which flags malformed
+  /// *input* data: kDataLoss means bytes we previously wrote back cannot be
+  /// trusted anymore.
+  kDataLoss = 9,
 };
 
 /// Returns the canonical lowercase name of a status code
@@ -91,6 +96,9 @@ class [[nodiscard]] Status {
   }
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -12,6 +12,7 @@
 #include "core/similarity.h"
 #include "ml/binned_dataset.h"
 #include "ml/regressor.h"
+#include "storage/corpus.h"
 
 /// \file cold_start.h
 /// Methodology for new and semi-new vehicles (Section 4.4).
@@ -85,6 +86,18 @@ struct SimilarityModel {
     const std::string& algorithm,
     const std::vector<double>& target_first_half_usage,
     const std::vector<FirstCycleData>& corpus,
+    const ColdStartOptions& options);
+
+/// Most-similar search over a compacted corpus's summary headers
+/// (docs/storage.md): the candidates are the header-resident
+/// first-half-cycle keys, so no column block — and no full series — is
+/// ever touched. Vehicles whose key is empty (category "new" at
+/// compaction time) are skipped; InvalidArgument when none carries a key.
+/// The winner's full first cycle can then be materialized selectively via
+/// storage::CorpusReader::Series for TrainSimilarityModel.
+[[nodiscard]] Result<SimilarityMatch> MostSimilarFromCorpus(
+    const std::vector<double>& target_first_half_usage,
+    const std::vector<storage::CorpusVehicleSummary>& summaries,
     const ColdStartOptions& options);
 
 /// The semi-new BL baseline: AVG over the first half of the target's first

@@ -7,6 +7,7 @@
 
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string_view>
 #include <utility>
 
@@ -89,6 +90,7 @@ Status FleetScheduler::IngestSeries(const std::string& id,
   it->second.first_day = series.start_date();
   it->second.usage = series;
   it->second.model.reset();
+  it->second.pending_segment = storage::SegmentView();
   binning_caches_.erase(id);
   // Unlike Append, a wholesale series replacement can change the vehicle's
   // first cycle and therefore the cold-start corpus; reset the shared
@@ -222,6 +224,7 @@ Status FleetScheduler::TrainOneVehicle(const std::string& id,
   telemetry::ScopedTimer vehicle_timer("scheduler.train.vehicle.seconds");
   state.model.reset();
   state.model_name.clear();
+  state.pending_segment = storage::SegmentView();
   if (state.usage.empty()) return Status::OK();
   NM_ASSIGN_OR_RETURN(
       VehicleCategory category,
@@ -391,6 +394,7 @@ Status FleetScheduler::TrainVehicles(const std::vector<std::string>& ids,
           // baseline so the fleet keeps a forecast for it.
           state.model.reset();
           state.model_name.clear();
+          state.pending_segment = storage::SegmentView();
           VehicleDegradation degradation;
           degradation.vehicle_id = id;
           degradation.stage = "train";
@@ -428,7 +432,9 @@ Status FleetScheduler::TrainVehicles(const std::vector<std::string>& ids,
 
 Result<bool> FleetScheduler::HasTrainedModel(const std::string& id) const {
   NM_ASSIGN_OR_RETURN(const VehicleState* state, FindVehicle(id));
-  return state->model != nullptr;
+  // A lazily loaded segment counts: the model exists on disk and
+  // materializes on first use.
+  return state->model != nullptr || state->pending_segment.valid();
 }
 
 Result<bool> FleetScheduler::WarmStartVehicle(const std::string& id,
@@ -438,6 +444,7 @@ Result<bool> FleetScheduler::WarmStartVehicle(const std::string& id,
     return Status::NotFound("vehicle '" + id + "' is not registered");
   }
   VehicleState& state = it->second;
+  NM_RETURN_NOT_OK(MaterializeModel(id, state));
   // Eligibility: only the per-vehicle ensemble models resume. Everything
   // else (BL, LR/LSVR, the shared unified/similarity models, untrained
   // vehicles) needs the cold path.
@@ -477,6 +484,7 @@ Result<MaintenanceForecast> FleetScheduler::Forecast(
   NEXTMAINT_FAILPOINT("scheduler.forecast_vehicle");
   telemetry::ScopedTimer forecast_timer("scheduler.forecast.vehicle.seconds");
   NM_ASSIGN_OR_RETURN(const VehicleState* state, FindVehicle(id));
+  NM_RETURN_NOT_OK(MaterializeModel(id, *state));
   if (state->model == nullptr) {
     return Status::FailedPrecondition(
         "vehicle '" + id + "' has no trained model (run TrainAll; new "
@@ -540,7 +548,9 @@ Result<std::vector<MaintenanceForecast>> FleetScheduler::FleetForecast()
   // identical at any thread count.
   std::vector<const std::string*> ids;
   for (const auto& [id, state] : vehicles_) {
-    if (state.model != nullptr) ids.push_back(&id);
+    if (state.model != nullptr || state.pending_segment.valid()) {
+      ids.push_back(&id);
+    }
   }
   std::vector<std::optional<MaintenanceForecast>> slots(ids.size());
   std::vector<std::optional<VehicleDegradation>> quarantined(ids.size());
@@ -670,14 +680,55 @@ Result<DriftReport> FleetScheduler::CheckDrift(
   return report;
 }
 
+Status FleetScheduler::MaterializeModel(const std::string& id,
+                                        const VehicleState& state) const {
+  if (state.model != nullptr || !state.pending_segment.valid()) {
+    return Status::OK();
+  }
+  // First touch of this vehicle's checkpoint segment: the CRC check and
+  // the parse both happen here, so corruption confined to one segment
+  // degrades only that vehicle.
+  Result<std::string_view> payload = state.pending_segment.Payload();
+  if (!payload.ok()) return payload.status().WithContext(id);
+  std::istringstream in{std::string(payload.ValueOrDie())};
+  Result<std::unique_ptr<ml::Regressor>> model = LoadAnyModel(in);
+  if (!model.ok()) return model.status().WithContext(id);
+  state.model = std::move(model).ValueOrDie();
+  state.pending_segment = storage::SegmentView();
+  telemetry::Count("scheduler.checkpoint.lazy_materializations");
+  return Status::OK();
+}
+
+Result<storage::VehicleRecord> FleetScheduler::CheckpointRecord(
+    const std::string& id, const VehicleState& state) const {
+  storage::VehicleRecord record;
+  record.vehicle_id = id;
+  record.model_name = state.model_name;
+  if (state.model != nullptr) {
+    // Unified models are shared across vehicles; each vehicle writes its
+    // own copy so checkpoints stay self-contained.
+    std::ostringstream payload;
+    NM_RETURN_NOT_OK(state.model->Save(payload).WithContext(id));
+    record.payload = std::move(payload).str();
+  } else {
+    // Never-materialized lazy segment: copy the bytes verbatim — no parse,
+    // and re-saving a lazily loaded fleet stays byte-identical.
+    Result<std::string_view> payload = state.pending_segment.Payload();
+    if (!payload.ok()) return payload.status().WithContext(id);
+    record.payload = std::string(payload.ValueOrDie());
+  }
+  return record;
+}
+
 Status FleetScheduler::WriteCheckpointPayload(std::ostream& out) const {
   NEXTMAINT_FAILPOINT("scheduler.save_models");
   for (const auto& [id, state] : vehicles_) {
-    if (state.model == nullptr) continue;
-    // Unified models are shared across vehicles; each vehicle writes its
-    // own copy so files stay self-contained.
-    out << "vehicle " << id << " " << state.model_name << "\n";
-    NM_RETURN_NOT_OK(state.model->Save(out).WithContext(id));
+    if (state.model == nullptr && !state.pending_segment.valid()) continue;
+    NM_ASSIGN_OR_RETURN(storage::VehicleRecord record,
+                        CheckpointRecord(id, state));
+    out << "vehicle " << id << " " << record.model_name << "\n";
+    out.write(record.payload.data(),
+              static_cast<std::streamsize>(record.payload.size()));
   }
   out << "fleet-end\n";
   if (!out) return Status::IOError("fleet model serialization failed");
@@ -685,6 +736,50 @@ Status FleetScheduler::WriteCheckpointPayload(std::ostream& out) const {
 }
 
 Status FleetScheduler::SaveCheckpoint(const std::string& path) const {
+  NEXTMAINT_FAILPOINT("scheduler.save_models");
+  std::vector<storage::VehicleRecord> records;
+  records.reserve(vehicles_.size());
+  for (const auto& [id, state] : vehicles_) {
+    if (state.model == nullptr && !state.pending_segment.valid()) continue;
+    NM_ASSIGN_OR_RETURN(storage::VehicleRecord record,
+                        CheckpointRecord(id, state));
+    records.push_back(std::move(record));
+  }
+  NM_ASSIGN_OR_RETURN(std::shared_ptr<storage::CheckpointStore> store,
+                      storage::CheckpointStore::Open(path));
+  Result<uint64_t> generation = store->SaveAll(std::move(records));
+  if (!generation.ok()) return generation.status().WithContext(path);
+  telemetry::Count("scheduler.checkpoint.save_all");
+  return Status::OK();
+}
+
+Status FleetScheduler::SaveVehicleCheckpoint(const std::string& path,
+                                             const std::string& id) const {
+  NM_ASSIGN_OR_RETURN(const VehicleState* state, FindVehicle(id));
+  if (state->model == nullptr && !state->pending_segment.valid()) {
+    return Status::FailedPrecondition(
+        "vehicle '" + id + "' has no trained model to checkpoint");
+  }
+  NM_ASSIGN_OR_RETURN(storage::CheckpointFormat format,
+                      storage::SniffCheckpointFormat(path));
+  if (format != storage::CheckpointFormat::kSegmented) {
+    // Nothing segmented to update in place (first save, or a legacy file
+    // that must be migrated wholesale): write a full checkpoint.
+    return SaveCheckpoint(path);
+  }
+  NEXTMAINT_FAILPOINT("scheduler.save_models");
+  NM_ASSIGN_OR_RETURN(storage::VehicleRecord record,
+                      CheckpointRecord(id, *state));
+  NM_ASSIGN_OR_RETURN(std::shared_ptr<storage::CheckpointStore> store,
+                      storage::CheckpointStore::Open(path));
+  NM_RETURN_NOT_OK(store->SaveVehicle(std::move(record)).WithContext(path));
+  Result<uint64_t> generation = store->Commit();
+  if (!generation.ok()) return generation.status().WithContext(path);
+  telemetry::Count("scheduler.checkpoint.save_vehicle");
+  return Status::OK();
+}
+
+Status FleetScheduler::SaveLegacyCheckpoint(const std::string& path) const {
   // Write-to-temp + rename so a mid-stream failure never leaves a
   // truncated checkpoint at `path`: readers see either the previous
   // complete file or the new complete file. Assumes a single writer per
@@ -733,6 +828,7 @@ Status FleetScheduler::ReadCheckpointPayload(std::istream& in) {
         VehicleState& state = vehicles_.at(id);
         state.model = std::move(entry.model);
         state.model_name = std::move(entry.model_name);
+        state.pending_segment = storage::SegmentView();
       }
       return Status::OK();
     }
@@ -757,11 +853,48 @@ Status FleetScheduler::ReadCheckpointPayload(std::istream& in) {
 }
 
 Status FleetScheduler::LoadCheckpoint(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
+  NM_ASSIGN_OR_RETURN(storage::CheckpointFormat format,
+                      storage::SniffCheckpointFormat(path));
+  if (format == storage::CheckpointFormat::kMissing) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
-  return ReadCheckpointPayload(in).WithContext(path);
+  if (format == storage::CheckpointFormat::kLegacyText) {
+    // Migration read path: eager parse of the monolithic text checkpoint.
+    std::ifstream in(path);
+    if (!in) {
+      return Status::IOError("cannot open '" + path + "' for reading");
+    }
+    return ReadCheckpointPayload(in).WithContext(path);
+  }
+  // Segmented (kUnrecognized falls through too: the store reports the
+  // garbage superblock as DataLoss with the detail).
+  NEXTMAINT_FAILPOINT("scheduler.load_models");
+  NM_ASSIGN_OR_RETURN(std::shared_ptr<storage::CheckpointStore> store,
+                      storage::CheckpointStore::Open(path));
+  Result<storage::CheckpointManifest> loaded = store->Load();
+  if (!loaded.ok()) return loaded.status();
+  const storage::CheckpointManifest& manifest = loaded.ValueOrDie();
+  // Validate before mutating anything: every referenced vehicle must be
+  // registered, mirroring the legacy reader's commit-at-end semantics.
+  for (const storage::ManifestEntry& entry : manifest.vehicles) {
+    if (vehicles_.count(entry.vehicle_id) == 0) {
+      return Status::NotFound("model for unregistered vehicle '" +
+                              entry.vehicle_id + "'");
+    }
+  }
+  for (const storage::ManifestEntry& entry : manifest.vehicles) {
+    VehicleState& state = vehicles_.at(entry.vehicle_id);
+    // Lazy: stage the segment view; the model parses on first touch
+    // (MaterializeModel). The name is header-resident, so it is available
+    // immediately for reporting.
+    state.model.reset();
+    state.model_name = entry.model_name;
+    state.pending_segment = entry.segment;
+  }
+  telemetry::Count("scheduler.checkpoint.lazy_loads");
+  telemetry::SetGauge("scheduler.checkpoint.pending_segments",
+                      static_cast<double>(manifest.vehicles.size()));
+  return Status::OK();
 }
 
 }  // namespace core

@@ -15,6 +15,7 @@
 #include "core/old_vehicle.h"
 #include "data/time_series.h"
 #include "ml/regressor.h"
+#include "storage/checkpoint_store.h"
 
 /// \file scheduler.h
 /// The deployed-system facade ("The system we propose here is currently
@@ -248,20 +249,44 @@ class FleetScheduler {
       const std::string& id) const;
 
   /// Persists every trained per-vehicle model to `path` as one atomic
-  /// checkpoint: a sequence of "vehicle <id> <model-name>" headers, each
-  /// followed by the model's text serialization, then a "fleet-end" marker.
-  /// Written to a temp file and renamed into place, so readers see either
-  /// the previous complete checkpoint or the new one — never a truncated
-  /// file (single writer per path assumed). Untrained vehicles are skipped.
-  /// The usage data itself is not saved (it lives in the telematics store);
-  /// re-ingest it before forecasting with a loaded checkpoint.
+  /// checkpoint. Thin wrapper over storage::CheckpointStore::SaveAll: the
+  /// segmented "NMCKPT1" format (docs/storage.md), written to a temp file
+  /// and renamed into place, so readers see either the previous complete
+  /// checkpoint or the new one — never a truncated file (single writer per
+  /// path assumed). Byte-deterministic for a given fleet state. Untrained
+  /// vehicles are skipped; lazily loaded vehicles that never materialized
+  /// have their segment bytes copied verbatim (no parse). The usage data
+  /// itself is not saved (it lives in the telematics store); re-ingest it
+  /// before forecasting with a loaded checkpoint.
   [[nodiscard]] Status SaveCheckpoint(const std::string& path) const;
 
-  /// Restores models from a checkpoint written by SaveCheckpoint. Every
-  /// referenced vehicle must already be registered (NotFound otherwise);
-  /// vehicles absent from the checkpoint keep their current model. Parsed
-  /// into a staging area and committed only at the fleet-end marker, so a
-  /// truncated or corrupt checkpoint changes nothing.
+  /// SaveCheckpoint in the legacy monolithic text format ("vehicle <id>
+  /// <model-name>" headers + model bodies + "fleet-end"), kept for
+  /// migration tooling and the mmap-vs-legacy load bench. Same tmp+rename
+  /// atomicity.
+  [[nodiscard]] Status SaveLegacyCheckpoint(const std::string& path) const;
+
+  /// Persists exactly one vehicle into the segmented checkpoint at `path`:
+  /// storage::CheckpointStore::SaveVehicle appends the new segment, and
+  /// Commit publishes it through the alternate superblock slot — the rest
+  /// of the fleet's segments are never rewritten or touched. Falls back to
+  /// a full SaveCheckpoint when `path` holds no segmented checkpoint yet.
+  /// NotFound for unregistered ids; FailedPrecondition when the vehicle
+  /// has no model to persist.
+  [[nodiscard]] Status SaveVehicleCheckpoint(const std::string& path,
+                                             const std::string& id) const;
+
+  /// Restores models from a checkpoint at `path`. Thin wrapper over
+  /// storage::CheckpointStore::Load for the segmented format: the file is
+  /// mmapped, only the superblock + index are read eagerly, and each
+  /// vehicle's model deserializes on first touch (Forecast/WarmStart) from
+  /// its CRC-guarded segment — corruption there surfaces as DataLoss from
+  /// the touching call. The legacy text format is still recognized and
+  /// parsed eagerly (the migration read path). Every referenced vehicle
+  /// must already be registered (NotFound otherwise); vehicles absent from
+  /// the checkpoint keep their current model. Nothing is committed unless
+  /// the whole index (legacy: the whole stream) validates, so a truncated
+  /// or corrupt checkpoint changes nothing.
   [[nodiscard]] Status LoadCheckpoint(const std::string& path);
 
   /// Runs the CUSUM usage-drift monitor for one vehicle: the reference
@@ -296,8 +321,15 @@ class FleetScheduler {
   struct VehicleState {
     Date first_day;
     data::DailySeries usage;
-    std::shared_ptr<ml::Regressor> model;
+    /// mutable: the const read paths (Forecast) materialize a lazily
+    /// loaded model on first touch. Safe under the same per-vehicle
+    /// serialization contract those paths already rely on (parallel
+    /// fan-outs touch disjoint vehicles; see docs/parallelism.md).
+    mutable std::shared_ptr<ml::Regressor> model;
     std::string model_name;
+    /// Unparsed checkpoint segment staged by a lazy LoadCheckpoint;
+    /// cleared when the model materializes, retrains or re-ingests.
+    mutable storage::SegmentView pending_segment;
   };
 
   [[nodiscard]] Result<const VehicleState*> FindVehicle(const std::string& id) const;
@@ -313,8 +345,21 @@ class FleetScheduler {
                                        VehicleState& state,
                                        const ColdStartInputs& inputs);
 
-  /// Writes/reads the checkpoint payload (the stream behind
-  /// SaveCheckpoint/LoadCheckpoint and the deprecated stream shims).
+  /// Parses `state`'s pending checkpoint segment into a live model on
+  /// first touch (the lazy half of LoadCheckpoint). No-op when nothing is
+  /// pending; kDataLoss when the segment fails its CRC.
+  [[nodiscard]] Status MaterializeModel(const std::string& id,
+                                        const VehicleState& state) const;
+
+  /// One vehicle's checkpoint record: the serialized model, or the raw
+  /// pending segment bytes when the model never materialized (keeps
+  /// save-after-lazy-load parse-free and byte-identical).
+  [[nodiscard]] Result<storage::VehicleRecord> CheckpointRecord(
+      const std::string& id, const VehicleState& state) const;
+
+  /// Writes/reads the legacy text checkpoint payload (the migration
+  /// format behind SaveLegacyCheckpoint and LoadCheckpoint's legacy read
+  /// path).
   [[nodiscard]] Status WriteCheckpointPayload(std::ostream& out) const;
   [[nodiscard]] Status ReadCheckpointPayload(std::istream& in);
 

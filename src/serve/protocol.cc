@@ -158,7 +158,7 @@ class ByteReader {
 [[nodiscard]] Status ReadStatusCode(ByteReader& reader, StatusCode* out) {
   uint8_t raw = 0;
   NM_RETURN_NOT_OK(reader.ReadU8(&raw));
-  if (raw > static_cast<uint8_t>(StatusCode::kUnknown)) {
+  if (raw > static_cast<uint8_t>(StatusCode::kDataLoss)) {
     return Status::InvalidArgument("unknown status code on wire: " +
                                    std::to_string(raw));
   }

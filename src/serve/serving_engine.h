@@ -197,9 +197,24 @@ class ServingEngine {
   /// Current refresh generation.
   uint64_t epoch() const { return epoch_; }
 
+  /// Persists the fleet's trained models as a segmented checkpoint
+  /// (delegate; see FleetScheduler::SaveCheckpoint). Writer-side: follows
+  /// the single-writer contract like Append/RefreshForecasts.
+  [[nodiscard]] Status SaveCheckpoint(const std::string& path) const {
+    return scheduler_.SaveCheckpoint(path);
+  }
+
+  /// Persists exactly one vehicle into an existing segmented checkpoint
+  /// without rewriting the rest of the fleet (delegate; see
+  /// FleetScheduler::SaveVehicleCheckpoint).
+  [[nodiscard]] Status SaveVehicleCheckpoint(const std::string& path,
+                                             const std::string& id) const {
+    return scheduler_.SaveVehicleCheckpoint(path, id);
+  }
+
   /// Read access to the underlying batch facade (drift checks,
-  /// SaveCheckpoint, per-vehicle queries). The engine owns training and
-  /// ingestion; mutating the scheduler behind the engine's back voids the
+  /// per-vehicle queries). The engine owns training and ingestion;
+  /// mutating the scheduler behind the engine's back voids the
   /// bit-identity guarantee.
   const core::FleetScheduler& scheduler() const { return scheduler_; }
 

@@ -192,9 +192,16 @@ TEST_F(ChaosSweepTest, EverySiteDegradesCleanlyAndDeterministically) {
       const bool serve_site =
           !daemon_site && site.rfind("serve.", 0) == 0;
       std::vector<std::string> extra;
-      if (site == "scheduler.load_models") {
+      if (site == "scheduler.load_models" ||
+          site == "storage.checkpoint.open" ||
+          site == "storage.checkpoint.map") {
+        // Load-path sites: open and map fire when the segmented checkpoint
+        // is mmapped. (open also guards the save path's temp file, but the
+        // load leg covers it deterministically.)
         extra = {"--load-models", models_path_};
       } else {
+        // Save-path sites, including storage.checkpoint.segment_write and
+        // storage.checkpoint.commit inside CheckpointStore::SaveAll.
         extra = {"--save-models", (dir_ / "sweep_models.txt").string()};
       }
 

@@ -14,6 +14,7 @@
 
 #include "common/failpoints.h"
 #include "serve/client.h"
+#include "storage/checkpoint_store.h"
 
 namespace nextmaint {
 namespace cli {
@@ -180,16 +181,65 @@ TEST_F(CliPipelineTest, ForecastSavesModels) {
                           "--days", "600", "--tv", "500000"},
                          out)
                   .ok());
-  const std::string model_path = (dir_ / "models.txt").string();
+  const std::string model_path = (dir_ / "models.ckpt").string();
   std::ostringstream forecast_out;
   ASSERT_TRUE(RunCommand({"forecast", "--data", Dir(), "--tv", "500000",
                           "--window", "3", "--save-models", model_path},
                          forecast_out)
                   .ok());
-  std::ifstream models(model_path);
-  std::string first_token;
-  models >> first_token;
-  EXPECT_EQ(first_token, "vehicle");
+  // Checkpoints are written in the segmented mmap format.
+  EXPECT_EQ(storage::SniffCheckpointFormat(model_path).ValueOrDie(),
+            storage::CheckpointFormat::kSegmented);
+}
+
+TEST_F(CliPipelineTest, CompactedCorpusForecastsIdenticallyToCsvs) {
+  std::ostringstream out;
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "3",
+                          "--days", "600", "--tv", "500000"},
+                         out)
+                  .ok());
+  std::ostringstream csv_out;
+  ASSERT_TRUE(RunCommand({"forecast", "--data", Dir(), "--tv", "500000",
+                          "--window", "3"},
+                         csv_out)
+                  .ok());
+
+  const std::string corpus_path = (dir_ / "fleet.nmc").string();
+  std::ostringstream compact_out;
+  ASSERT_TRUE(RunCommand({"compact", "--data", Dir(), "--out", corpus_path,
+                          "--tv", "500000"},
+                         compact_out)
+                  .ok());
+  EXPECT_NE(compact_out.str().find("compacted 3 vehicle(s)"),
+            std::string::npos);
+
+  // `--data FILE` routes through the corpus reader and must reproduce the
+  // CSV-path forecasts byte for byte (f64 columns round-trip exactly).
+  std::ostringstream corpus_out;
+  ASSERT_TRUE(RunCommand({"forecast", "--data", corpus_path, "--tv", "500000",
+                          "--window", "3"},
+                         corpus_out)
+                  .ok());
+  EXPECT_EQ(corpus_out.str(), csv_out.str());
+}
+
+TEST_F(CliPipelineTest, CompactValidatesItsFlags) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCommand({"compact", "--data", Dir()}, out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCommand({"compact", "--out", Dir() + "/x.nmc"}, out).code(),
+            StatusCode::kInvalidArgument);
+  // A regular file that is not a corpus cannot serve as --data.
+  ASSERT_TRUE(RunCommand({"simulate", "--out", Dir(), "--vehicles", "1",
+                          "--days", "400", "--tv", "500000"},
+                         out)
+                  .ok());
+  std::ostringstream forecast_out;
+  EXPECT_EQ(RunCommand({"forecast", "--data", (dir_ / "v1.csv").string(),
+                        "--tv", "500000"},
+                       forecast_out)
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST_F(CliPipelineTest, PlanBooksEveryVehicle) {

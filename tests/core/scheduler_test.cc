@@ -537,8 +537,31 @@ TEST(FleetSchedulerTest, LoadCheckpointFailureCommitsNothing) {
   ASSERT_TRUE(trained.RegisterVehicle("v1", Day(0)).ok());
   ASSERT_TRUE(trained.IngestSeries("v1", SimulatedVehicle(53, 600)).ok());
   ASSERT_TRUE(trained.TrainAll().ok());
-  const std::string path = ::testing::TempDir() + "/checkpoint_commit.txt";
+  const std::string path = ::testing::TempDir() + "/checkpoint_commit.ckpt";
   ASSERT_TRUE(trained.SaveCheckpoint(path).ok());
+  const std::string full = ReadAll(path);
+
+  // Truncate inside the segment region: the superblock still decodes, but
+  // its spans now point past EOF, so nothing may commit.
+  ASSERT_GT(full.size(), storage::kDataRegionOffset + 8);
+  WriteAll(path, full.substr(0, storage::kDataRegionOffset + 8));
+  FleetScheduler restored(FastOptions());
+  ASSERT_TRUE(restored.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(restored.IngestSeries("v1", SimulatedVehicle(53, 600)).ok());
+  EXPECT_EQ(restored.LoadCheckpoint(path).code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+  // No partially loaded model leaks into serving.
+  EXPECT_EQ(restored.Forecast("v1").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FleetSchedulerTest, LegacyLoadCheckpointFailureCommitsNothing) {
+  FleetScheduler trained(FastOptions());
+  ASSERT_TRUE(trained.RegisterVehicle("v1", Day(0)).ok());
+  ASSERT_TRUE(trained.IngestSeries("v1", SimulatedVehicle(53, 600)).ok());
+  ASSERT_TRUE(trained.TrainAll().ok());
+  const std::string path = ::testing::TempDir() + "/checkpoint_commit.txt";
+  ASSERT_TRUE(trained.SaveLegacyCheckpoint(path).ok());
   const std::string full = ReadAll(path);
 
   // Cut the payload after v1's complete model but before the fleet-end

@@ -1,0 +1,201 @@
+// Compacted corpus tests: writer/reader round-trips, the header-resident
+// similarity key's pinning to core::FirstHalfCycleUsage, and corruption
+// handling (kDataLoss, never a crash).
+
+#include "storage/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cold_start.h"
+
+namespace nextmaint {
+namespace storage {
+namespace {
+
+constexpr double kTv = 300'000.0;
+
+Date Day(int offset) {
+  return Date::FromYmd(2016, 1, 1).ValueOrDie().AddDays(offset);
+}
+
+data::DailySeries MakeSeries(uint64_t seed, int days) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(days));
+  for (int d = 0; d < days; ++d) {
+    values.push_back(rng.Uniform(5'000.0, 20'000.0));
+  }
+  return data::DailySeries(Day(0), std::move(values));
+}
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "corpus_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".nmc";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  /// Writes a corpus of `count` vehicles ("fleet-000".."fleet-N") with
+  /// `days` days each and returns the input series by id.
+  std::map<std::string, data::DailySeries> WriteCorpus(int count, int days) {
+    std::map<std::string, data::DailySeries> fleet;
+    auto writer = CorpusWriter::Create(path_, kTv).ValueOrDie();
+    for (int v = 0; v < count; ++v) {
+      char id[16];
+      std::snprintf(id, sizeof(id), "fleet-%03d", v);
+      data::DailySeries series =
+          MakeSeries(static_cast<uint64_t>(v) + 1, days);
+      EXPECT_TRUE(writer->AddVehicle(id, series).ok());
+      fleet.emplace(id, std::move(series));
+    }
+    EXPECT_GT(writer->Finish().ValueOrDie(), kCorpusSuperblockBytes);
+    return fleet;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CorpusTest, RoundTripsEverySeriesExactly) {
+  const auto fleet = WriteCorpus(5, 60);
+  auto reader = CorpusReader::Open(path_).ValueOrDie();
+  EXPECT_EQ(reader->maintenance_interval_s(), kTv);
+  ASSERT_EQ(reader->summaries().size(), 5u);
+  for (const auto& [id, series] : fleet) {
+    const data::DailySeries loaded = reader->Series(id).ValueOrDie();
+    EXPECT_EQ(loaded.start_date().day_number(),
+              series.start_date().day_number());
+    // Bit-exact round-trip: f64 columns are stored verbatim.
+    ASSERT_EQ(loaded.size(), series.size());
+    EXPECT_EQ(loaded.values(), series.values());
+  }
+  EXPECT_EQ(reader->Series("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(reader->Summary("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CorpusTest, SummariesCarryTheExactFirstHalfCycleKey) {
+  const auto fleet = WriteCorpus(4, 60);
+  auto reader = CorpusReader::Open(path_).ValueOrDie();
+  for (const auto& [id, series] : fleet) {
+    const CorpusVehicleSummary* summary =
+        reader->Summary(id).ValueOrDie();
+    // The header key is pinned to core::FirstHalfCycleUsage: cold-start
+    // screening from headers must agree bit-for-bit with the CSV path.
+    const auto expected = core::FirstHalfCycleUsage(series, kTv);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(summary->first_half_usage, expected.ValueOrDie()) << id;
+    EXPECT_EQ(summary->num_days, series.size());
+    EXPECT_DOUBLE_EQ(summary->mean_usage,
+                     summary->total_usage / summary->num_days);
+  }
+}
+
+TEST_F(CorpusTest, NewVehicleGetsAnEmptyKeyAndSimilaritySkipsIt) {
+  auto writer = CorpusWriter::Create(path_, kTv).ValueOrDie();
+  // 3 days of light usage: far below T_v/2, category "new".
+  ASSERT_TRUE(
+      writer
+          ->AddVehicle("baby", data::DailySeries(Day(0), {10.0, 10.0, 10.0}))
+          .ok());
+  data::DailySeries old_series = MakeSeries(7, 60);
+  ASSERT_TRUE(writer->AddVehicle("old", old_series).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+
+  auto reader = CorpusReader::Open(path_).ValueOrDie();
+  EXPECT_TRUE(reader->Summary("baby").ValueOrDie()->first_half_usage.empty());
+  EXPECT_FALSE(reader->Summary("old").ValueOrDie()->first_half_usage.empty());
+
+  // Header-driven similarity skips the keyless vehicle and finds the old
+  // one — without materializing any block.
+  const auto match = core::MostSimilarFromCorpus(
+      core::FirstHalfCycleUsage(old_series, kTv).ValueOrDie(),
+      reader->summaries(), core::ColdStartOptions{});
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match.ValueOrDie().id, "old");
+}
+
+TEST_F(CorpusTest, SimilarityFailsCleanlyWhenNoVehicleHasAKey) {
+  auto writer = CorpusWriter::Create(path_, kTv).ValueOrDie();
+  ASSERT_TRUE(
+      writer->AddVehicle("baby", data::DailySeries(Day(0), {10.0})).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  auto reader = CorpusReader::Open(path_).ValueOrDie();
+  EXPECT_EQ(core::MostSimilarFromCorpus({10.0}, reader->summaries(),
+                                        core::ColdStartOptions{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CorpusTest, VehiclesMustArriveInAscendingIdOrder) {
+  auto writer = CorpusWriter::Create(path_, kTv).ValueOrDie();
+  ASSERT_TRUE(writer->AddVehicle("b", MakeSeries(1, 40)).ok());
+  EXPECT_FALSE(writer->AddVehicle("a", MakeSeries(2, 40)).ok());
+  EXPECT_FALSE(writer->AddVehicle("b", MakeSeries(3, 40)).ok());
+}
+
+TEST_F(CorpusTest, IsCorpusFileRoutes) {
+  WriteCorpus(1, 40);
+  EXPECT_TRUE(IsCorpusFile(path_).ValueOrDie());
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << "date,utilization_s\n2016-01-01,100\n";
+  }
+  EXPECT_FALSE(IsCorpusFile(path_).ValueOrDie());
+  EXPECT_FALSE(IsCorpusFile(path_ + ".does-not-exist").ok());
+}
+
+TEST_F(CorpusTest, TruncationAndBitFlipsAreDataLoss) {
+  WriteCorpus(3, 50);
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+
+  // Truncating into the summary index kills Open.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_EQ(CorpusReader::Open(path_).status().code(), StatusCode::kDataLoss);
+
+  // A bit flip inside one column block leaves Open (headers) fine but
+  // fails that vehicle's materialization — and only that vehicle's.
+  std::string flipped = bytes;
+  flipped[kCorpusSuperblockBytes + 1] ^= 0x20;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+  }
+  auto reader = CorpusReader::Open(path_).ValueOrDie();
+  ASSERT_EQ(reader->summaries().size(), 3u);
+  EXPECT_EQ(reader->Series("fleet-000").status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_TRUE(reader->Series("fleet-001").ok());
+
+  // Garbage superblock: not a corpus at all.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << std::string(4096, 'q');
+  }
+  EXPECT_FALSE(IsCorpusFile(path_).ValueOrDie());
+  EXPECT_EQ(CorpusReader::Open(path_).status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace nextmaint
